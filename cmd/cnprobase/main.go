@@ -1,0 +1,153 @@
+// Command cnprobase is the pipeline CLI: generate a synthetic
+// encyclopedia dump, build a taxonomy from a dump, and query the
+// result.
+//
+// Usage:
+//
+//	cnprobase gen   -entities 8000 -out corpus.jsonl
+//	cnprobase build -in corpus.jsonl -out taxonomy.json [-no-neural]
+//	cnprobase query -tax taxonomy.json -hypernyms 刘德华
+//	cnprobase query -tax taxonomy.json -hyponyms 演员 -limit 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cnprobase"
+	"cnprobase/internal/encyclopedia"
+	"cnprobase/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cnprobase: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "build":
+		cmdBuild(os.Args[2:])
+	case "query":
+		cmdQuery(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: cnprobase <gen|build|query> [flags]")
+	os.Exit(2)
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	entities := fs.Int("entities", 8000, "number of entities")
+	seed := fs.Int64("seed", 1, "world seed")
+	out := fs.String("out", "corpus.jsonl", "output dump path")
+	_ = fs.Parse(args)
+
+	cfg := synth.DefaultConfig()
+	cfg.Entities = *entities
+	cfg.Seed = *seed
+	w, err := synth.Generate(cfg)
+	if err != nil {
+		log.Fatalf("generate: %v", err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatalf("create %s: %v", *out, err)
+	}
+	defer f.Close()
+	if err := w.Corpus().WriteJSONL(f); err != nil {
+		log.Fatalf("write dump: %v", err)
+	}
+	c := w.Corpus()
+	fmt.Printf("wrote %s: %d pages, %d abstracts, %d triples, %d tags\n",
+		*out, c.Len(), c.AbstractCount(), c.TripleCount(), c.TagCount())
+}
+
+func cmdBuild(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	in := fs.String("in", "corpus.jsonl", "input dump path")
+	out := fs.String("out", "taxonomy.json", "output taxonomy path")
+	noNeural := fs.Bool("no-neural", false, "skip the neural (abstract) extractor")
+	_ = fs.Parse(args)
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatalf("open %s: %v", *in, err)
+	}
+	corpus, err := cnprobase.ReadCorpus(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("read corpus: %v", err)
+	}
+	opts := cnprobase.DefaultOptions()
+	if *noNeural {
+		opts.EnableNeural = false
+	}
+	res, err := cnprobase.Build(corpus, opts)
+	if err != nil {
+		log.Fatalf("build: %v", err)
+	}
+	st := res.Report.Stats
+	fmt.Printf("built taxonomy: %d entities, %d concepts, %d isA relations\n",
+		st.Entities, st.Concepts, st.IsARelations)
+	fmt.Printf("verification: kept %d of %d candidates\n",
+		res.Report.Verification.Kept, res.Report.Verification.Input)
+	g, err := os.Create(*out)
+	if err != nil {
+		log.Fatalf("create %s: %v", *out, err)
+	}
+	defer g.Close()
+	if err := res.Taxonomy.WriteJSON(g); err != nil {
+		log.Fatalf("write taxonomy: %v", err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func cmdQuery(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	taxPath := fs.String("tax", "taxonomy.json", "taxonomy path")
+	hypernyms := fs.String("hypernyms", "", "entity/concept to list hypernyms of")
+	hyponyms := fs.String("hyponyms", "", "concept to list hyponyms of")
+	limit := fs.Int("limit", 20, "max hyponyms to print")
+	_ = fs.Parse(args)
+
+	f, err := os.Open(*taxPath)
+	if err != nil {
+		log.Fatalf("open %s: %v", *taxPath, err)
+	}
+	tax, err := cnprobase.ReadTaxonomy(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("read taxonomy: %v", err)
+	}
+	switch {
+	case *hypernyms != "":
+		// Bare titles may be ambiguous: try the exact node first, then
+		// disambiguated IDs sharing the title.
+		hs := tax.Hypernyms(*hypernyms)
+		if len(hs) == 0 {
+			for _, n := range tax.Nodes() {
+				if t, _ := encyclopedia.ParseEntityID(n); t == *hypernyms {
+					fmt.Printf("%s → %v\n", n, tax.Hypernyms(n))
+				}
+			}
+			return
+		}
+		fmt.Printf("%s → %v\n", *hypernyms, hs)
+	case *hyponyms != "":
+		for _, h := range tax.Hyponyms(*hyponyms, *limit) {
+			fmt.Println(h)
+		}
+	default:
+		st := tax.ComputeStats()
+		fmt.Printf("entities=%d concepts=%d isA=%d\n", st.Entities, st.Concepts, st.IsARelations)
+	}
+}

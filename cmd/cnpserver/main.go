@@ -1,0 +1,83 @@
+// Command cnpserver serves a taxonomy over HTTP with the paper's three
+// APIs (Table II): men2ent, getConcept, getEntity, plus /api/stats.
+//
+// Usage:
+//
+//	cnpserver -addr :8080 -tax taxonomy.json          # serve a saved taxonomy
+//	cnpserver -addr :8080 -entities 4000              # build in-memory demo world
+//
+// Mentions are indexed from entity IDs and bare titles when serving a
+// saved taxonomy; the demo mode uses the pipeline's full mention index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"cnprobase"
+	"cnprobase/internal/encyclopedia"
+	"cnprobase/internal/taxonomy"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cnpserver: ")
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		taxPath  = flag.String("tax", "", "taxonomy JSON path (empty: build demo world)")
+		entities = flag.Int("entities", 4000, "demo world size when -tax is empty")
+	)
+	flag.Parse()
+
+	var (
+		tax      *cnprobase.Taxonomy
+		mentions *cnprobase.MentionIndex
+	)
+	if *taxPath != "" {
+		f, err := os.Open(*taxPath)
+		if err != nil {
+			log.Fatalf("open %s: %v", *taxPath, err)
+		}
+		tax, err = cnprobase.ReadTaxonomy(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("read taxonomy: %v", err)
+		}
+		mentions = taxonomy.NewMentionIndex()
+		for _, n := range tax.Nodes() {
+			if tax.Kind(n) == taxonomy.KindEntity {
+				mentions.Add(n, n)
+				if t, _ := encyclopedia.ParseEntityID(n); t != "" {
+					mentions.Add(t, n)
+				}
+			}
+		}
+	} else {
+		log.Printf("building demo world with %d entities...", *entities)
+		start := time.Now()
+		wcfg := cnprobase.DefaultWorldConfig()
+		wcfg.Entities = *entities
+		w, err := cnprobase.GenerateWorld(wcfg)
+		if err != nil {
+			log.Fatalf("generate world: %v", err)
+		}
+		res, err := cnprobase.Build(w.Corpus(), cnprobase.DefaultOptions())
+		if err != nil {
+			log.Fatalf("build: %v", err)
+		}
+		tax, mentions = res.Taxonomy, res.Mentions
+		st := res.Report.Stats
+		log.Printf("built in %v: %d entities, %d concepts, %d isA",
+			time.Since(start).Round(time.Millisecond), st.Entities, st.Concepts, st.IsARelations)
+	}
+
+	srv := cnprobase.NewAPIServer(tax, mentions)
+	fmt.Printf("serving men2ent/getConcept/getEntity on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+}

@@ -1,0 +1,175 @@
+// Package cnprobase is the public API of the CN-Probase reproduction:
+// a generation + verification pipeline that builds a large-scale
+// Chinese conceptual taxonomy from an encyclopedia corpus (Chen et al.,
+// "CN-Probase: A Data-driven Approach for Large-scale Chinese Taxonomy
+// Construction", ICDE 2019).
+//
+// The typical flow is three calls:
+//
+//	world, _ := cnprobase.GenerateWorld(cnprobase.DefaultWorldConfig()) // or ReadCorpus
+//	res, _ := cnprobase.Build(world.Corpus(), cnprobase.DefaultOptions())
+//	hypernyms := res.Taxonomy.Hypernyms(entityID)
+//
+// Build runs the four generation algorithms (bracket separation, neural
+// generation from abstracts, infobox predicate discovery, tag
+// extraction), merges candidates, applies the three verification
+// strategies (incompatible concepts, named-entity hypernyms, syntax
+// rules) and assembles the taxonomy with derived subconcept edges.
+package cnprobase
+
+import (
+	"io"
+
+	"cnprobase/internal/api"
+	"cnprobase/internal/baselines"
+	"cnprobase/internal/conceptualize"
+	"cnprobase/internal/core"
+	"cnprobase/internal/encyclopedia"
+	"cnprobase/internal/eval"
+	"cnprobase/internal/qa"
+	"cnprobase/internal/synth"
+	"cnprobase/internal/taxonomy"
+)
+
+// Re-exported types. Aliases keep the internal packages unimportable
+// while making the full API usable through this package.
+type (
+	// Taxonomy is the constructed isA graph.
+	Taxonomy = taxonomy.Taxonomy
+	// Edge is one isA relation with provenance.
+	Edge = taxonomy.Edge
+	// Source tags which algorithm generated an edge.
+	Source = taxonomy.Source
+	// TaxonomyStats summarizes a taxonomy (Table I row shape).
+	TaxonomyStats = taxonomy.Stats
+	// MentionIndex resolves surface mentions to entity IDs (men2ent).
+	MentionIndex = taxonomy.MentionIndex
+
+	// Corpus is an in-memory encyclopedia dump.
+	Corpus = encyclopedia.Corpus
+	// Page is one encyclopedia page (bracket, abstract, infobox, tags).
+	Page = encyclopedia.Page
+	// Triple is one infobox SPO triple.
+	Triple = encyclopedia.Triple
+
+	// Options configures the construction pipeline.
+	Options = core.Options
+	// Result bundles the pipeline outputs.
+	Result = core.Result
+	// Report describes a pipeline run.
+	Report = core.Report
+
+	// WorldConfig sizes the synthetic encyclopedia generator.
+	WorldConfig = synth.Config
+	// World is a generated ground-truth universe.
+	World = synth.World
+	// Oracle judges isA pairs against the world's ground truth.
+	Oracle = synth.Oracle
+
+	// APIServer serves men2ent/getConcept/getEntity over HTTP.
+	APIServer = api.Server
+
+	// Conceptualizer turns short text into a ranked concept vector.
+	Conceptualizer = conceptualize.Engine
+	// Conceptualization is the result of conceptualizing one text.
+	Conceptualization = conceptualize.Result
+	// Scored couples a taxonomy node with a typicality score.
+	Scored = taxonomy.Scored
+)
+
+// Source bits, re-exported.
+const (
+	SourceBracket     = taxonomy.SourceBracket
+	SourceAbstract    = taxonomy.SourceAbstract
+	SourceInfobox     = taxonomy.SourceInfobox
+	SourceTag         = taxonomy.SourceTag
+	SourceMorph       = taxonomy.SourceMorph
+	SourceSubsume     = taxonomy.SourceSubsume
+	SourceTranslation = taxonomy.SourceTranslation
+)
+
+// DefaultOptions returns the calibrated full-pipeline configuration.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Build constructs the taxonomy from an encyclopedia corpus.
+func Build(c *Corpus, opts Options) (*Result, error) {
+	return core.New(opts).Build(c)
+}
+
+// Update incrementally extends a prior Build result with newly crawled
+// pages (the never-ending extraction mode of the substrate the paper's
+// system runs on). The prior taxonomy is extended in place.
+func Update(prev *Result, delta *Corpus, opts Options) (*Result, error) {
+	return core.New(opts).Update(prev, delta)
+}
+
+// NewConceptualizer builds the short-text conceptualization engine over
+// a built taxonomy — the downstream application layer of Section V.
+func NewConceptualizer(t *Taxonomy, m *MentionIndex) *Conceptualizer {
+	return conceptualize.New(t, m)
+}
+
+// DefaultWorldConfig returns the calibrated synthetic-world settings.
+func DefaultWorldConfig() WorldConfig { return synth.DefaultConfig() }
+
+// GenerateWorld builds a synthetic encyclopedia world with ground
+// truth (the substitute for the CN-DBpedia dump; see DESIGN.md).
+func GenerateWorld(cfg WorldConfig) (*World, error) { return synth.Generate(cfg) }
+
+// ReadCorpus loads a JSON-Lines encyclopedia dump.
+func ReadCorpus(r io.Reader) (*Corpus, error) { return encyclopedia.ReadJSONL(r) }
+
+// NewTaxonomy returns an empty taxonomy for manual assembly.
+func NewTaxonomy() *Taxonomy { return taxonomy.New() }
+
+// ReadTaxonomy loads a taxonomy serialized with Taxonomy.WriteJSON.
+func ReadTaxonomy(r io.Reader) (*Taxonomy, error) { return taxonomy.ReadJSON(r) }
+
+// NewAPIServer builds the HTTP server over a taxonomy and mention
+// index.
+func NewAPIServer(t *Taxonomy, m *MentionIndex) *APIServer { return api.NewServer(t, m) }
+
+// SamplePrecision estimates the precision of a taxonomy by sampling
+// `sample` isA pairs (the paper samples 2000) and judging them with the
+// oracle.
+func SamplePrecision(t *Taxonomy, o *Oracle, sample int, seed int64) float64 {
+	return eval.SamplePrecision(eval.EdgePairs(t.Edges(), 0), o, sample, seed).Precision()
+}
+
+// QACoverage runs the paper's text-understanding experiment: generate
+// n questions from the world and measure taxonomy coverage.
+func QACoverage(w *World, res *Result, n int) (coverage, avgConcepts float64) {
+	cfg := qa.DefaultGeneratorConfig()
+	if n > 0 {
+		cfg.N = n
+	}
+	r := qa.Evaluate(qa.Generate(w, cfg), res.Taxonomy, res.Mentions)
+	return r.Coverage(), r.AvgConceptsPerEntity
+}
+
+// Baseline configuration types, re-exported.
+type (
+	// WikiTaxonomyConfig tunes the tag-only baseline.
+	WikiTaxonomyConfig = baselines.WikiTaxonomyConfig
+	// BigcilinConfig tunes the no-verification baseline.
+	BigcilinConfig = baselines.BigcilinConfig
+	// ProbaseTranConfig tunes the translation baseline.
+	ProbaseTranConfig = baselines.ProbaseTranConfig
+)
+
+// Baseline constructors and defaults, re-exported for the comparison
+// experiments.
+var (
+	// BuildWikiTaxonomy is the tag-only high-precision baseline.
+	BuildWikiTaxonomy = baselines.BuildWikiTaxonomy
+	// BuildBigcilin is the multi-source no-verification baseline.
+	BuildBigcilin = baselines.BuildBigcilin
+	// BuildProbaseTran is the translate-English-Probase baseline.
+	BuildProbaseTran = baselines.BuildProbaseTran
+	// DefaultWikiTaxonomyConfig mirrors the paper's Table I row.
+	DefaultWikiTaxonomyConfig = baselines.DefaultWikiTaxonomyConfig
+	// DefaultBigcilinConfig mirrors the paper's Table I row.
+	DefaultBigcilinConfig = baselines.DefaultBigcilinConfig
+	// DefaultProbaseTranConfig mirrors the paper's Table I row.
+	DefaultProbaseTranConfig = baselines.DefaultProbaseTranConfig
+)

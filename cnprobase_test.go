@@ -1,0 +1,122 @@
+package cnprobase
+
+import (
+	"bytes"
+	"testing"
+)
+
+func smallOptions() Options {
+	o := DefaultOptions()
+	o.NeuralEpochs = 1
+	o.NeuralMaxSamples = 200
+	o.Neural.Vocab = 300
+	return o
+}
+
+func buildSmall(t testing.TB, entities int) (*World, *Result) {
+	t.Helper()
+	wcfg := DefaultWorldConfig()
+	wcfg.Entities = entities
+	w, err := GenerateWorld(wcfg)
+	if err != nil {
+		t.Fatalf("GenerateWorld: %v", err)
+	}
+	res, err := Build(w.Corpus(), smallOptions())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return w, res
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	w, res := buildSmall(t, 800)
+	st := res.Report.Stats
+	if st.Entities == 0 || st.Concepts == 0 || st.IsARelations == 0 {
+		t.Fatalf("empty taxonomy: %+v", st)
+	}
+	// Query path: an entity's hypernyms are judged correct.
+	oracle := w.Oracle()
+	checked := 0
+	for _, e := range w.Entities {
+		hs := res.Taxonomy.Hypernyms(e.ID)
+		if len(hs) == 0 {
+			continue
+		}
+		checked++
+		ok := false
+		for _, h := range hs {
+			if oracle.Judge(e.ID, h) {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("entity %q: no correct hypernym among %v", e.ID, hs)
+		}
+		if checked > 20 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no entity had hypernyms")
+	}
+	if p := SamplePrecision(res.Taxonomy, oracle, 2000, 1); p < 0.85 {
+		t.Errorf("precision = %.3f, want ≥0.85", p)
+	}
+}
+
+func TestFacadeQACoverage(t *testing.T) {
+	w, res := buildSmall(t, 800)
+	cov, avg := QACoverage(w, res, 2000)
+	if cov < 0.8 {
+		t.Errorf("coverage = %.3f, want ≥0.8", cov)
+	}
+	if avg < 1 {
+		t.Errorf("avg concepts per entity = %.2f, want ≥1", avg)
+	}
+}
+
+func TestFacadeCorpusRoundTrip(t *testing.T) {
+	w, _ := buildSmall(t, 300)
+	var buf bytes.Buffer
+	if err := w.Corpus().WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	c, err := ReadCorpus(&buf)
+	if err != nil {
+		t.Fatalf("ReadCorpus: %v", err)
+	}
+	if c.Len() != w.Corpus().Len() {
+		t.Errorf("round trip pages = %d, want %d", c.Len(), w.Corpus().Len())
+	}
+}
+
+func TestFacadeTaxonomySerialization(t *testing.T) {
+	_, res := buildSmall(t, 300)
+	var buf bytes.Buffer
+	if err := res.Taxonomy.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	tax, err := ReadTaxonomy(&buf)
+	if err != nil {
+		t.Fatalf("ReadTaxonomy: %v", err)
+	}
+	if tax.EdgeCount() != res.Taxonomy.EdgeCount() {
+		t.Errorf("edges = %d, want %d", tax.EdgeCount(), res.Taxonomy.EdgeCount())
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	w, res := buildSmall(t, 800)
+	oracle := w.Oracle()
+	wiki := BuildWikiTaxonomy(w.Corpus(), DefaultWikiTaxonomyConfig())
+	tran, _ := BuildProbaseTran(w, DefaultProbaseTranConfig())
+	pCN := SamplePrecision(res.Taxonomy, oracle, 1000, 1)
+	pTran := SamplePrecision(tran, oracle, 1000, 1)
+	if pTran >= pCN {
+		t.Errorf("Probase-Tran %.3f should be below CN-Probase %.3f", pTran, pCN)
+	}
+	if wiki.EdgeCount() >= res.Taxonomy.EdgeCount() {
+		t.Errorf("WikiTaxonomy %d edges should be below CN-Probase %d",
+			wiki.EdgeCount(), res.Taxonomy.EdgeCount())
+	}
+}

@@ -1,0 +1,136 @@
+// Package api serves the taxonomy over HTTP with the paper's three
+// public APIs (Table II):
+//
+//	men2ent    — mention → disambiguated entities
+//	getConcept — entity → hypernym list
+//	getEntity  — concept → hyponym list
+//
+// plus a /stats endpoint exposing per-API call counters, which the
+// Table II workload experiment reads back. Handlers are safe for
+// concurrent use.
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"cnprobase/internal/taxonomy"
+)
+
+// Server hosts the three APIs over a taxonomy + mention index.
+type Server struct {
+	tax      *taxonomy.Taxonomy
+	mentions *taxonomy.MentionIndex
+
+	men2entCalls    atomic.Int64
+	getConceptCalls atomic.Int64
+	getEntityCalls  atomic.Int64
+}
+
+// NewServer builds a Server.
+func NewServer(tax *taxonomy.Taxonomy, mentions *taxonomy.MentionIndex) *Server {
+	return &Server{tax: tax, mentions: mentions}
+}
+
+// Handler returns the HTTP mux with all endpoints registered.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/men2ent", s.handleMen2Ent)
+	mux.HandleFunc("/api/getConcept", s.handleGetConcept)
+	mux.HandleFunc("/api/getEntity", s.handleGetEntity)
+	mux.HandleFunc("/api/stats", s.handleStats)
+	return mux
+}
+
+// Men2EntResponse is the payload of /api/men2ent.
+type Men2EntResponse struct {
+	Mention  string   `json:"mention"`
+	Entities []string `json:"entities"`
+}
+
+func (s *Server) handleMen2Ent(w http.ResponseWriter, r *http.Request) {
+	s.men2entCalls.Add(1)
+	mention := r.URL.Query().Get("mention")
+	if mention == "" {
+		http.Error(w, "missing ?mention=", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, Men2EntResponse{Mention: mention, Entities: s.mentions.Lookup(mention)})
+}
+
+// ConceptResponse is the payload of /api/getConcept. Ranked is filled
+// when the client asks for typicality-scored hypernyms (?ranked=1),
+// the Probase-style probabilistic reading.
+type ConceptResponse struct {
+	Entity    string            `json:"entity"`
+	Hypernyms []string          `json:"hypernyms"`
+	Ranked    []taxonomy.Scored `json:"ranked,omitempty"`
+}
+
+func (s *Server) handleGetConcept(w http.ResponseWriter, r *http.Request) {
+	s.getConceptCalls.Add(1)
+	entity := r.URL.Query().Get("entity")
+	if entity == "" {
+		http.Error(w, "missing ?entity=", http.StatusBadRequest)
+		return
+	}
+	resp := ConceptResponse{Entity: entity, Hypernyms: s.tax.Hypernyms(entity)}
+	if r.URL.Query().Get("ranked") == "1" {
+		resp.Ranked = s.tax.RankedHypernyms(entity, 0)
+	}
+	writeJSON(w, resp)
+}
+
+// EntityResponse is the payload of /api/getEntity.
+type EntityResponse struct {
+	Concept  string   `json:"concept"`
+	Hyponyms []string `json:"hyponyms"`
+}
+
+func (s *Server) handleGetEntity(w http.ResponseWriter, r *http.Request) {
+	s.getEntityCalls.Add(1)
+	concept := r.URL.Query().Get("concept")
+	if concept == "" {
+		http.Error(w, "missing ?concept=", http.StatusBadRequest)
+		return
+	}
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad ?limit=", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, EntityResponse{Concept: concept, Hyponyms: s.tax.Hyponyms(concept, limit)})
+}
+
+// Stats mirrors the call-count columns of the paper's Table II.
+type Stats struct {
+	Men2Ent    int64 `json:"men2ent"`
+	GetConcept int64 `json:"getConcept"`
+	GetEntity  int64 `json:"getEntity"`
+}
+
+// Counters returns a snapshot of the per-API call counts.
+func (s *Server) Counters() Stats {
+	return Stats{
+		Men2Ent:    s.men2entCalls.Load(),
+		GetConcept: s.getConceptCalls.Load(),
+		GetEntity:  s.getEntityCalls.Load(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Counters())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	// Encoding to the client can fail only on connection loss; nothing
+	// actionable remains at that point.
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,138 @@
+package api
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"cnprobase/internal/taxonomy"
+)
+
+// WorkloadConfig drives the Table II reproduction: a simulated client
+// population issuing calls in the mix the paper observed over six
+// months on Aliyun (43.9M men2ent : 13.8M getConcept : 25.8M
+// getEntity).
+type WorkloadConfig struct {
+	// Calls is the total number of API calls to issue.
+	Calls int
+	// Weights are the relative call frequencies, in the order men2ent,
+	// getConcept, getEntity (paper's observed counts by default).
+	Weights [3]float64
+	Seed    int64
+}
+
+// DefaultWorkloadConfig uses the paper's observed six-month mix.
+func DefaultWorkloadConfig() WorkloadConfig {
+	return WorkloadConfig{
+		Calls:   20000,
+		Weights: [3]float64{43896044, 13815076, 25793372},
+		Seed:    3,
+	}
+}
+
+// Client calls the three APIs over HTTP.
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://127.0.0.1:8080").
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/"), HTTP: http.DefaultClient}
+}
+
+func (c *Client) get(path string, params url.Values) error {
+	resp, err := c.HTTP.Get(c.Base + path + "?" + params.Encode())
+	if err != nil {
+		return fmt.Errorf("api client: %w", err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return fmt.Errorf("api client: drain: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("api client: %s: status %d", path, resp.StatusCode)
+	}
+	return nil
+}
+
+// Men2Ent issues a men2ent call.
+func (c *Client) Men2Ent(mention string) error {
+	return c.get("/api/men2ent", url.Values{"mention": {mention}})
+}
+
+// GetConcept issues a getConcept call.
+func (c *Client) GetConcept(entity string) error {
+	return c.get("/api/getConcept", url.Values{"entity": {entity}})
+}
+
+// GetEntity issues a getEntity call.
+func (c *Client) GetEntity(concept string) error {
+	return c.get("/api/getEntity", url.Values{"concept": {concept}, "limit": {"50"}})
+}
+
+// RunWorkload fires cfg.Calls requests against the client, sampling
+// API and argument per the weights, and returns the issued counts in
+// Table II order.
+func RunWorkload(c *Client, tax *taxonomy.Taxonomy, mentions *taxonomy.MentionIndex, cfg WorkloadConfig) (Stats, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	entities, concepts := splitNodes(tax)
+	if len(entities) == 0 || len(concepts) == 0 {
+		return Stats{}, fmt.Errorf("api workload: taxonomy has no entities or no concepts")
+	}
+	total := cfg.Weights[0] + cfg.Weights[1] + cfg.Weights[2]
+	if total <= 0 {
+		return Stats{}, fmt.Errorf("api workload: weights must be positive")
+	}
+	var issued Stats
+	for i := 0; i < cfg.Calls; i++ {
+		r := rng.Float64() * total
+		var err error
+		switch {
+		case r < cfg.Weights[0]:
+			ent := entities[rng.Intn(len(entities))]
+			mention := ent
+			if t := strings.Split(ent, "（"); len(t) > 0 {
+				mention = t[0]
+			}
+			err = c.Men2Ent(mention)
+			issued.Men2Ent++
+		case r < cfg.Weights[0]+cfg.Weights[1]:
+			err = c.GetConcept(entities[rng.Intn(len(entities))])
+			issued.GetConcept++
+		default:
+			err = c.GetEntity(concepts[rng.Intn(len(concepts))])
+			issued.GetEntity++
+		}
+		if err != nil {
+			return issued, err
+		}
+	}
+	return issued, nil
+}
+
+func splitNodes(tax *taxonomy.Taxonomy) (entities, concepts []string) {
+	for _, n := range tax.Nodes() {
+		switch tax.Kind(n) {
+		case taxonomy.KindEntity:
+			entities = append(entities, n)
+		case taxonomy.KindConcept:
+			concepts = append(concepts, n)
+		}
+	}
+	return entities, concepts
+}
+
+// FormatTable2 renders API usage in the layout of the paper's Table II.
+func FormatTable2(s Stats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-10s %-16s %12s\n", "API name", "Given", "Return", "Count")
+	fmt.Fprintf(&b, "%-12s %-10s %-16s %12d\n", "men2ent", "mention", "entity", s.Men2Ent)
+	fmt.Fprintf(&b, "%-12s %-10s %-16s %12d\n", "getConcept", "entity", "hypernym list", s.GetConcept)
+	fmt.Fprintf(&b, "%-12s %-10s %-16s %12d\n", "getEntity", "concept", "hyponym list", s.GetEntity)
+	return b.String()
+}

@@ -1,0 +1,211 @@
+package copynet
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBuildVocab(t *testing.T) {
+	v := BuildVocab([][]string{{"演员", "歌手", "演员"}, {"演员"}}, 10)
+	if v.Size() != numReserved+2 {
+		t.Fatalf("Size = %d, want %d", v.Size(), numReserved+2)
+	}
+	if !v.Known("演员") || !v.Known("歌手") {
+		t.Error("vocab missing words")
+	}
+	if v.ID("演员") == UNK || v.ID("不存在") != UNK {
+		t.Error("ID mapping wrong")
+	}
+	if v.Word(v.ID("演员")) != "演员" {
+		t.Error("Word(ID) round trip failed")
+	}
+	// Frequency cap: most frequent words kept.
+	v2 := BuildVocab([][]string{{"a", "a", "b"}}, 1)
+	if !v2.Known("a") || v2.Known("b") {
+		t.Error("vocab cap should keep the most frequent word")
+	}
+}
+
+func TestVocabReservedSlots(t *testing.T) {
+	v := BuildVocab(nil, 5)
+	if v.Word(BOS) != "<bos>" || v.Word(EOS) != "<eos>" || v.Word(UNK) != "<unk>" {
+		t.Error("reserved slots misplaced")
+	}
+	if v.Word(-1) != "<bad>" || v.Word(999) != "<bad>" {
+		t.Error("out-of-range Word should return <bad>")
+	}
+}
+
+func tinyConfig() Config {
+	return Config{Dim: 8, Hidden: 10, Att: 8, MaxSrc: 8, MaxTgt: 2, Vocab: 50, UseCopy: true, Seed: 3}
+}
+
+// TestModelGradientCheck numerically validates trainStep's analytic
+// gradients for a handful of parameters across every parameter tensor.
+func TestModelGradientCheck(t *testing.T) {
+	samples := []Sample{
+		{Src: []string{"甲", "乙", "丙"}, Tgt: []string{"乙"}},
+	}
+	vocab := BuildVocab([][]string{{"甲", "乙", "丙"}}, 10)
+	m := New(tinyConfig(), vocab)
+
+	s := samples[0]
+	m.trainStep(s) // fills gradients
+
+	const eps = 1e-5
+	for pi, pair := range m.params() {
+		// Check up to 4 entries per tensor to keep runtime sane.
+		step := len(pair.W)/4 + 1
+		for i := 0; i < len(pair.W); i += step {
+			orig := pair.W[i]
+			pair.W[i] = orig + eps
+			lp := m.Loss(s) * float64(len(s.Tgt)+1)
+			pair.W[i] = orig - eps
+			lm := m.Loss(s) * float64(len(s.Tgt)+1)
+			pair.W[i] = orig
+			num := (lp - lm) / (2 * eps)
+			got := pair.G[i]
+			if math.Abs(num-got) > 1e-3*(1+math.Abs(num)) {
+				t.Errorf("param %d entry %d: analytic %.8f vs numeric %.8f", pi, i, got, num)
+			}
+		}
+	}
+}
+
+// TestLearnsCopyTask trains on a task where the target is always the
+// token after the marker 是: the copy mechanism must attend and copy,
+// including tokens unseen in the (tiny) vocabulary.
+func TestLearnsCopyTask(t *testing.T) {
+	entities := []string{"红山", "白水", "青田", "黑河", "金沙", "紫云", "蓝湾", "绿洲"}
+	concepts := []string{"城市", "河流", "山脉", "湖泊"}
+	var samples []Sample
+	for i := 0; i < 240; i++ {
+		e := entities[i%len(entities)]
+		c := concepts[(i/3)%len(concepts)]
+		samples = append(samples, Sample{
+			Src: []string{e, "是", "一座", c},
+			Tgt: []string{c},
+		})
+	}
+	var seqs [][]string
+	for _, s := range samples {
+		seqs = append(seqs, s.Src, s.Tgt)
+	}
+	cfg := tinyConfig()
+	vocab := BuildVocab(seqs, cfg.Vocab)
+	m := New(cfg, vocab)
+
+	var losses []float64
+	m.Train(samples, 6, 0.02, func(r TrainReport) { losses = append(losses, r.Loss) })
+	if len(losses) != 6 {
+		t.Fatalf("expected 6 epoch reports, got %d", len(losses))
+	}
+	if losses[len(losses)-1] >= losses[0] {
+		t.Errorf("loss did not decrease: %v", losses)
+	}
+	hits := 0
+	for _, s := range samples[:40] {
+		if got := strings.Join(m.Generate(s.Src), ""); got == s.Tgt[0] {
+			hits++
+		}
+	}
+	if hits < 30 {
+		t.Errorf("copy task accuracy %d/40, want ≥30", hits)
+	}
+}
+
+// TestCopyHandlesOOV feeds a source containing an out-of-vocabulary
+// concept; the copy path can emit it, the no-copy model cannot — the
+// exact motivation the paper gives for CopyNet.
+func TestCopyHandlesOOV(t *testing.T) {
+	var samples []Sample
+	concepts := []string{"城市", "河流", "山脉", "湖泊", "村庄", "岛屿"}
+	for i := 0; i < 300; i++ {
+		c := concepts[i%len(concepts)]
+		samples = append(samples, Sample{
+			Src: []string{"它", "是", "一座", c},
+			Tgt: []string{c},
+		})
+	}
+	cfg := tinyConfig()
+	// Vocab too small to hold all concepts: last ones become OOV but
+	// remain learnable via copy.
+	cfg.Vocab = 6 // <bos>/<eos>/<unk> + 它/是/一座 + few concepts at most
+	var seqs [][]string
+	for _, s := range samples {
+		seqs = append(seqs, s.Src)
+	}
+	vocab := BuildVocab(seqs, cfg.Vocab)
+	oov := ""
+	for _, c := range concepts {
+		if !vocab.Known(c) {
+			oov = c
+			break
+		}
+	}
+	if oov == "" {
+		t.Fatal("test setup: expected an OOV concept")
+	}
+	m := New(cfg, vocab)
+	m.Train(samples, 6, 0.02, nil)
+	got := strings.Join(m.Generate([]string{"它", "是", "一座", oov}), "")
+	if got != oov {
+		t.Errorf("copy model generated %q for OOV target %q", got, oov)
+	}
+
+	// The no-copy model cannot ever emit the OOV surface form.
+	cfg2 := cfg
+	cfg2.UseCopy = false
+	m2 := New(cfg2, vocab)
+	m2.Train(samples, 4, 0.02, nil)
+	got2 := strings.Join(m2.Generate([]string{"它", "是", "一座", oov}), "")
+	if got2 == oov {
+		t.Errorf("no-copy model produced OOV token %q; copy ablation is broken", oov)
+	}
+}
+
+func TestGenerateEmptySource(t *testing.T) {
+	vocab := BuildVocab(nil, 5)
+	m := New(tinyConfig(), vocab)
+	if got := m.Generate(nil); got != nil {
+		t.Errorf("Generate(nil) = %v, want nil", got)
+	}
+}
+
+func TestLossFiniteOnUnseenTokens(t *testing.T) {
+	vocab := BuildVocab([][]string{{"甲"}}, 5)
+	m := New(tinyConfig(), vocab)
+	l := m.Loss(Sample{Src: []string{"未见过", "的", "词"}, Tgt: []string{"更没见过"}})
+	if math.IsNaN(l) || math.IsInf(l, 0) {
+		t.Errorf("loss = %v, want finite", l)
+	}
+}
+
+func TestTrainNoopOnEmptyInput(t *testing.T) {
+	vocab := BuildVocab(nil, 5)
+	m := New(tinyConfig(), vocab)
+	m.Train(nil, 3, 0.01, func(TrainReport) { t.Error("progress called for empty dataset") })
+	m.Train([]Sample{{Src: []string{"a"}, Tgt: []string{"b"}}}, 0, 0.01, func(TrainReport) { t.Error("progress called for zero epochs") })
+}
+
+func TestTargetSeqCap(t *testing.T) {
+	m := New(tinyConfig(), BuildVocab(nil, 5)) // MaxTgt = 2
+	got := m.targetSeq([]string{"a", "b", "c", "d"})
+	if len(got) != 3 || got[2] != "<eos>" {
+		t.Errorf("targetSeq = %v, want capped with <eos>", got)
+	}
+}
+
+func ExampleModel_Generate() {
+	samples := []Sample{}
+	for i := 0; i < 200; i++ {
+		samples = append(samples, Sample{Src: []string{"他", "是", "歌手"}, Tgt: []string{"歌手"}})
+	}
+	vocab := BuildVocab([][]string{{"他", "是", "歌手"}}, 10)
+	m := New(Config{Dim: 8, Hidden: 10, Att: 8, MaxSrc: 8, MaxTgt: 2, Vocab: 10, UseCopy: true, Seed: 1}, vocab)
+	m.Train(samples, 4, 0.02, nil)
+	fmt.Println(strings.Join(m.Generate([]string{"他", "是", "歌手"}), ""))
+	// Output: 歌手
+}

@@ -1,0 +1,224 @@
+package copynet
+
+import (
+	"math"
+	"math/rand"
+
+	"cnprobase/internal/nn"
+)
+
+// Config sizes the model. Defaults (see DefaultConfig) train in seconds
+// on a few thousand distant-supervision pairs.
+type Config struct {
+	Dim    int // embedding size
+	Hidden int // GRU state size
+	Att    int // attention space size
+	MaxSrc int // source truncation length (tokens)
+	MaxTgt int // decode length cap
+	Vocab  int // max vocabulary entries
+	// UseCopy toggles the copy mechanism; disabling it reproduces the
+	// plain seq2seq OOV failure the paper cites as the reason for
+	// CopyNet.
+	UseCopy bool
+	Seed    int64
+}
+
+// DefaultConfig returns the configuration used by the pipeline.
+func DefaultConfig() Config {
+	return Config{Dim: 24, Hidden: 32, Att: 24, MaxSrc: 24, MaxTgt: 3, Vocab: 1500, UseCopy: true, Seed: 7}
+}
+
+// Sample is one distant-supervision pair: segmented abstract tokens →
+// segmented concept tokens.
+type Sample struct {
+	Src []string
+	Tgt []string
+}
+
+// Model is the copy-mechanism encoder–decoder.
+type Model struct {
+	cfg   Config
+	vocab *Vocab
+	rng   *rand.Rand
+
+	eIn, eOut   *nn.Mat // V×d embedding tables
+	gEIn, gEOut *nn.Mat
+	wInit       *nn.Mat // h×d
+	gWInit      *nn.Mat
+	bInit       nn.Vec
+	gBInit      nn.Vec
+	gru         *nn.GRUCell
+	wa          *nn.Mat // a×d
+	gWa         *nn.Mat
+	ua          *nn.Mat // a×h
+	gUa         *nn.Mat
+	va          nn.Vec
+	gVa         nn.Vec
+	wo          *nn.Mat // V×(h+d)
+	gWo         *nn.Mat
+	bo          nn.Vec
+	gBo         nn.Vec
+	wg          nn.Vec // h+d
+	gWg         nn.Vec
+	bg          nn.Vec // length 1: gate bias (kept as a vector for Adam)
+	gBg         nn.Vec
+
+	opt *nn.Adam
+}
+
+// New builds an untrained model over the given vocabulary.
+func New(cfg Config, vocab *Vocab) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	v := vocab.Size()
+	m := &Model{
+		cfg: cfg, vocab: vocab, rng: rng,
+		eIn: nn.NewMatRand(v, cfg.Dim, rng), gEIn: nn.NewMat(v, cfg.Dim),
+		eOut: nn.NewMatRand(v, cfg.Dim, rng), gEOut: nn.NewMat(v, cfg.Dim),
+		wInit: nn.NewMatRand(cfg.Hidden, cfg.Dim, rng), gWInit: nn.NewMat(cfg.Hidden, cfg.Dim),
+		bInit: nn.NewVec(cfg.Hidden), gBInit: nn.NewVec(cfg.Hidden),
+		gru: nn.NewGRUCell(cfg.Dim, cfg.Hidden, rng),
+		wa:  nn.NewMatRand(cfg.Att, cfg.Dim, rng), gWa: nn.NewMat(cfg.Att, cfg.Dim),
+		ua: nn.NewMatRand(cfg.Att, cfg.Hidden, rng), gUa: nn.NewMat(cfg.Att, cfg.Hidden),
+		va: nn.NewVec(cfg.Att), gVa: nn.NewVec(cfg.Att),
+		wo: nn.NewMatRand(v, cfg.Hidden+cfg.Dim, rng), gWo: nn.NewMat(v, cfg.Hidden+cfg.Dim),
+		bo: nn.NewVec(v), gBo: nn.NewVec(v),
+		wg: nn.NewVec(cfg.Hidden + cfg.Dim), gWg: nn.NewVec(cfg.Hidden + cfg.Dim),
+		bg: nn.NewVec(1), gBg: nn.NewVec(1),
+	}
+	for i := range m.va {
+		m.va[i] = (rng.Float64()*2 - 1) * 0.3
+	}
+	for i := range m.wg {
+		m.wg[i] = (rng.Float64()*2 - 1) * 0.3
+	}
+	return m
+}
+
+// Vocab returns the model's vocabulary.
+func (m *Model) Vocab() *Vocab { return m.vocab }
+
+// encode embeds the (truncated) source and returns token IDs, the
+// embedding views and the initial decoder state with its pre-tanh
+// cache.
+func (m *Model) encode(src []string) (ids []int, emb []nn.Vec, mean, s0 nn.Vec) {
+	if len(src) > m.cfg.MaxSrc {
+		src = src[:m.cfg.MaxSrc]
+	}
+	ids = make([]int, len(src))
+	emb = make([]nn.Vec, len(src))
+	mean = nn.NewVec(m.cfg.Dim)
+	for i, w := range src {
+		ids[i] = m.vocab.ID(w)
+		emb[i] = m.eIn.Row(ids[i])
+		mean.Add(emb[i])
+	}
+	if len(src) > 0 {
+		for i := range mean {
+			mean[i] /= float64(len(src))
+		}
+	}
+	pre := nn.MatVec(m.wInit, mean)
+	pre.Add(m.bInit)
+	s0 = nn.Tanh(pre)
+	return ids, emb, mean, s0
+}
+
+// attention computes additive attention of state s over source
+// embeddings, returning the per-position tanh caches, scores and
+// softmax weights.
+func (m *Model) attention(emb []nn.Vec, s nn.Vec) (tanhs []nn.Vec, alpha nn.Vec) {
+	tanhs = make([]nn.Vec, len(emb))
+	scores := nn.NewVec(len(emb))
+	us := nn.MatVec(m.ua, s)
+	for i, e := range emb {
+		pre := nn.MatVec(m.wa, e)
+		pre.Add(us)
+		tanhs[i] = nn.Tanh(pre)
+		scores[i] = m.va.Dot(tanhs[i])
+	}
+	return tanhs, nn.Softmax(scores)
+}
+
+// mixture computes the final distribution pieces for one decode step:
+// generate softmax, copy weights and gate.
+type stepForward struct {
+	gruCache *nn.GRUCache
+	tanhs    []nn.Vec
+	alpha    nn.Vec
+	ctx      nn.Vec
+	cat      nn.Vec // [s; ctx]
+	pgen     nn.Vec
+	gate     float64
+	prevID   int
+}
+
+func (m *Model) step(prevID int, sPrev nn.Vec, emb []nn.Vec) *stepForward {
+	x := m.eOut.Row(prevID)
+	gc := m.gru.Forward(x, sPrev)
+	tanhs, alpha := m.attention(emb, gc.H)
+	ctx := nn.NewVec(m.cfg.Dim)
+	for i, e := range emb {
+		ctx.AddScaled(e, alpha[i])
+	}
+	cat := append(gc.H.Clone(), ctx...)
+	logits := nn.MatVec(m.wo, cat)
+	logits.Add(m.bo)
+	pgen := nn.Softmax(logits)
+	gate := 0.0
+	if m.cfg.UseCopy {
+		gate = nn.SigmoidScalar(m.wg.Dot(cat) + m.bg[0])
+	}
+	return &stepForward{gruCache: gc, tanhs: tanhs, alpha: alpha, ctx: ctx, cat: cat, pgen: pgen, gate: gate, prevID: prevID}
+}
+
+// probOf computes the mixed probability of a target surface token.
+// genID is the vocabulary slot the generate path flowed through (UNK
+// for out-of-vocabulary targets); matches are the source positions
+// whose surface equals the target (copy path).
+func (m *Model) probOf(sf *stepForward, src []string, target string) (p float64, genID int, matches []int) {
+	genID = m.vocab.ID(target) // UNK when OOV: keeps the no-copy loss finite
+	p = (1 - sf.gate) * sf.pgen[genID]
+	if m.cfg.UseCopy {
+		for i, w := range src {
+			if i >= len(sf.alpha) {
+				break
+			}
+			if w == target {
+				p += sf.gate * sf.alpha[i]
+				matches = append(matches, i)
+			}
+		}
+	}
+	return p, genID, matches
+}
+
+// targetSeq appends the EOS sentinel and applies the decode-length cap.
+func (m *Model) targetSeq(tgt []string) []string {
+	out := append(append([]string(nil), tgt...), "<eos>")
+	if len(out) > m.cfg.MaxTgt+1 {
+		out = out[:m.cfg.MaxTgt+1]
+		out[len(out)-1] = "<eos>"
+	}
+	return out
+}
+
+// Loss runs a forward pass and returns the per-token negative
+// log-likelihood of the sample (no gradient side effects).
+func (m *Model) Loss(s Sample) float64 {
+	_, emb, _, state := m.encode(s.Src)
+	loss := 0.0
+	prev := BOS
+	src := s.Src
+	if len(src) > m.cfg.MaxSrc {
+		src = src[:m.cfg.MaxSrc]
+	}
+	tgt := m.targetSeq(s.Tgt)
+	for _, w := range tgt {
+		sf := m.step(prev, state, emb)
+		p, _, _ := m.probOf(sf, src, w)
+		loss += -math.Log(p + 1e-12)
+		state = sf.gruCache.H
+		prev = m.vocab.ID(w)
+	}
+	return loss / float64(len(tgt))
+}

@@ -1,0 +1,102 @@
+// Package copynet implements the paper's neural generation substrate
+// (Section II): an encoder–decoder that generates an entity's concept
+// from its abstract, with a copy mechanism over source tokens (after Gu
+// et al. 2016) so out-of-vocabulary concepts can still be produced by
+// copying them from the abstract. Training data comes from distant
+// supervision: (abstract, bracket-derived hypernym) pairs.
+//
+// The architecture is intentionally compact — mean-pooled embedding
+// encoder, GRU decoder, additive attention over source embeddings, and
+// a learned generate/copy mixture gate — because it must train on a
+// laptop in pure Go; the copy mechanism and the distant supervision are
+// the properties the reproduction exercises.
+package copynet
+
+import "sort"
+
+// Reserved vocabulary slots.
+const (
+	// BOS starts every decoded sequence.
+	BOS = 0
+	// EOS terminates a decoded sequence.
+	EOS = 1
+	// UNK replaces out-of-vocabulary tokens on the generate path; the
+	// copy path can still produce their surface forms.
+	UNK         = 2
+	numReserved = 3
+)
+
+// Vocab maps tokens to dense IDs with reserved BOS/EOS/UNK slots.
+type Vocab struct {
+	words []string
+	index map[string]int
+}
+
+// BuildVocab collects the most frequent tokens across sequences, up to
+// max entries (not counting reserved slots). Ties break
+// lexicographically for determinism.
+func BuildVocab(sequences [][]string, max int) *Vocab {
+	freq := make(map[string]int)
+	for _, seq := range sequences {
+		for _, w := range seq {
+			if w != "" {
+				freq[w]++
+			}
+		}
+	}
+	type wf struct {
+		w string
+		f int
+	}
+	all := make([]wf, 0, len(freq))
+	for w, f := range freq {
+		all = append(all, wf{w, f})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].f != all[j].f {
+			return all[i].f > all[j].f
+		}
+		return all[i].w < all[j].w
+	})
+	if max > 0 && len(all) > max {
+		all = all[:max]
+	}
+	v := &Vocab{
+		words: make([]string, numReserved, numReserved+len(all)),
+		index: make(map[string]int, len(all)+numReserved),
+	}
+	v.words[BOS], v.words[EOS], v.words[UNK] = "<bos>", "<eos>", "<unk>"
+	for i, w := range v.words {
+		v.index[w] = i
+	}
+	for _, e := range all {
+		v.index[e.w] = len(v.words)
+		v.words = append(v.words, e.w)
+	}
+	return v
+}
+
+// ID returns the vocabulary ID of w, or UNK.
+func (v *Vocab) ID(w string) int {
+	if id, ok := v.index[w]; ok {
+		return id
+	}
+	return UNK
+}
+
+// Known reports whether w is in-vocabulary.
+func (v *Vocab) Known(w string) bool {
+	_, ok := v.index[w]
+	return ok
+}
+
+// Word returns the surface form of id.
+func (v *Vocab) Word(id int) string {
+	if id < 0 || id >= len(v.words) {
+		return "<bad>"
+	}
+	return v.words[id]
+}
+
+// Size returns the vocabulary size including reserved slots.
+func (v *Vocab) Size() int { return len(v.words) }

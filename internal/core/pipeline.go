@@ -1,0 +1,261 @@
+// Package core wires the generation and verification modules into the
+// CN-Probase construction pipeline (paper Figure 2): four extractors
+// produce candidate isA relations from the encyclopedia's brackets,
+// abstracts, infoboxes and tags; candidates merge; three verification
+// strategies filter noise; the survivors become the taxonomy, extended
+// with derived subconcept-concept edges.
+package core
+
+import (
+	"fmt"
+
+	"cnprobase/internal/copynet"
+	"cnprobase/internal/corpus"
+	"cnprobase/internal/encyclopedia"
+	"cnprobase/internal/extract"
+	"cnprobase/internal/lexicon"
+	"cnprobase/internal/ner"
+	"cnprobase/internal/segment"
+	"cnprobase/internal/taxonomy"
+	"cnprobase/internal/verify"
+)
+
+// Options configures a pipeline run. Zero value is not useful; start
+// from DefaultOptions.
+type Options struct {
+	// EnableBracket toggles the separation-algorithm extractor.
+	EnableBracket bool
+	// EnableNeural toggles the abstract extractor (the slowest stage:
+	// it trains a model).
+	EnableNeural bool
+	// EnableInfobox toggles predicate discovery + infobox extraction.
+	EnableInfobox bool
+	// EnableTags toggles direct tag extraction.
+	EnableTags bool
+
+	// Neural holds the copy-model configuration.
+	Neural copynet.Config
+	// NeuralEpochs / NeuralLR control distant-supervision training.
+	NeuralEpochs int
+	NeuralLR     float64
+	// NeuralMaxSamples caps the distant-supervision dataset (0 = all).
+	NeuralMaxSamples int
+
+	// Predicates configures infobox predicate discovery.
+	Predicates extract.PredicateDiscovery
+
+	// Verify holds the verification thresholds and per-strategy
+	// toggles; setting all three Enable* fields false reproduces the
+	// no-verification ablation.
+	Verify verify.Options
+
+	// DeriveSubconcepts toggles morphological-head and subsumption
+	// derivation of subconcept-concept edges.
+	DeriveSubconcepts bool
+	// SubsumeMinRatio / SubsumeMinSize control subsumption derivation.
+	SubsumeMinRatio float64
+	SubsumeMinSize  int
+
+	// ExtraDictionary supplies additional segmenter words.
+	ExtraDictionary []string
+}
+
+// DefaultOptions returns the full pipeline with calibrated settings.
+func DefaultOptions() Options {
+	return Options{
+		EnableBracket:     true,
+		EnableNeural:      true,
+		EnableInfobox:     true,
+		EnableTags:        true,
+		Neural:            copynet.DefaultConfig(),
+		NeuralEpochs:      3,
+		NeuralLR:          0.01,
+		NeuralMaxSamples:  4000,
+		Predicates:        extract.DefaultPredicateDiscovery(),
+		Verify:            verify.DefaultOptions(),
+		DeriveSubconcepts: true,
+		SubsumeMinRatio:   0.75,
+		SubsumeMinSize:    8,
+	}
+}
+
+// SourceReport counts candidates per generation source before and
+// after verification.
+type SourceReport struct {
+	Generated int
+	Kept      int
+}
+
+// Report describes one pipeline run.
+type Report struct {
+	Pages               int
+	PerSource           map[taxonomy.Source]*SourceReport
+	PredicateCandidates []extract.PredicateStat
+	SelectedPredicates  []string
+	NeuralSamples       int
+	NeuralLoss          []copynet.TrainReport
+	Verification        verify.Report
+	DerivedSubconcepts  int
+	Stats               taxonomy.Stats
+}
+
+// Result bundles the pipeline outputs.
+type Result struct {
+	Taxonomy *taxonomy.Taxonomy
+	Mentions *taxonomy.MentionIndex
+	Report   *Report
+	// Candidates holds the merged pre-verification candidates (kept
+	// for per-source precision experiments).
+	Candidates []extract.Candidate
+	// Kept holds the post-verification candidates.
+	Kept []extract.Candidate
+	// Segmenter and Stats expose the substrates for reuse (QA, APIs,
+	// experiments).
+	Segmenter *segment.Segmenter
+	Stats     *corpus.Stats
+	// Corpus is the input corpus; Update extends it with delta pages.
+	Corpus *encyclopedia.Corpus
+}
+
+// Pipeline executes the CN-Probase construction.
+type Pipeline struct {
+	opts Options
+}
+
+// New returns a pipeline with the given options.
+func New(opts Options) *Pipeline { return &Pipeline{opts: opts} }
+
+// Build runs the full pipeline over the corpus.
+func (p *Pipeline) Build(c *encyclopedia.Corpus) (*Result, error) {
+	if c == nil || len(c.Pages) == 0 {
+		return nil, fmt.Errorf("core: empty corpus")
+	}
+	rep := &Report{Pages: len(c.Pages), PerSource: make(map[taxonomy.Source]*SourceReport)}
+
+	// ---- substrate: segmenter + corpus statistics ----
+	dict := lexicon.BaseDictionary()
+	dict = append(dict, p.opts.ExtraDictionary...)
+	stats := corpus.NewStats()
+	boot := segment.New(dict)
+	for i := range c.Pages {
+		page := &c.Pages[i]
+		if page.Abstract != "" {
+			stats.AddSentence(boot.Cut(page.Abstract))
+		}
+		if page.Bracket != "" {
+			stats.AddSentence(boot.Cut(page.Bracket))
+		}
+	}
+	seg := segment.New(dict, segment.WithStats(stats))
+
+	// ---- generation module ----
+	var all []extract.Candidate
+	var bracketCands []extract.Candidate
+	if p.opts.EnableBracket {
+		sep := extract.NewSeparator(seg, stats)
+		for i := range c.Pages {
+			page := &c.Pages[i]
+			bracketCands = append(bracketCands, sep.Extract(page.Title, page.Bracket)...)
+		}
+		all = append(all, bracketCands...)
+	}
+	if p.opts.EnableInfobox {
+		prior := extract.NewPrior(bracketCands)
+		cands, selected := p.opts.Predicates.Discover(c, prior)
+		rep.PredicateCandidates = cands
+		rep.SelectedPredicates = selected
+		all = append(all, extract.ExtractInfobox(c, selected)...)
+	}
+	if p.opts.EnableTags {
+		for i := range c.Pages {
+			all = append(all, extract.Tags(&c.Pages[i])...)
+		}
+	}
+	if p.opts.EnableNeural {
+		samples := extract.BuildDistantDataset(c, bracketCands, seg)
+		if p.opts.NeuralMaxSamples > 0 && len(samples) > p.opts.NeuralMaxSamples {
+			samples = samples[:p.opts.NeuralMaxSamples]
+		}
+		rep.NeuralSamples = len(samples)
+		if len(samples) > 0 {
+			neural := extract.TrainNeural(p.opts.Neural, samples, p.opts.NeuralEpochs, p.opts.NeuralLR,
+				func(r copynet.TrainReport) { rep.NeuralLoss = append(rep.NeuralLoss, r) })
+			neural.SetSegmenter(seg)
+			for i := range c.Pages {
+				all = append(all, neural.Extract(&c.Pages[i])...)
+			}
+		}
+	}
+	merged := extract.Dedupe(all)
+	for _, cand := range merged {
+		for _, src := range []taxonomy.Source{taxonomy.SourceBracket, taxonomy.SourceAbstract, taxonomy.SourceInfobox, taxonomy.SourceTag} {
+			if cand.Source&src != 0 {
+				r := rep.PerSource[src]
+				if r == nil {
+					r = &SourceReport{}
+					rep.PerSource[src] = r
+				}
+				r.Generated++
+			}
+		}
+	}
+
+	// ---- verification module ----
+	rec := ner.New()
+	support := ner.NewSupport()
+	for i := range c.Pages {
+		page := &c.Pages[i]
+		if page.Abstract == "" {
+			continue
+		}
+		support.Observe(seg.Cut(page.Abstract), rec.Recognize(page.Abstract))
+	}
+	ctx := verify.NewContext(c, merged, support, rec)
+	kept, vrep := verify.Verify(merged, ctx, seg, p.opts.Verify)
+	rep.Verification = vrep
+	for _, cand := range kept {
+		for _, src := range []taxonomy.Source{taxonomy.SourceBracket, taxonomy.SourceAbstract, taxonomy.SourceInfobox, taxonomy.SourceTag} {
+			if cand.Source&src != 0 {
+				if r := rep.PerSource[src]; r != nil {
+					r.Kept++
+				}
+			}
+		}
+	}
+
+	// ---- taxonomy assembly ----
+	tax := taxonomy.New()
+	mentions := taxonomy.NewMentionIndex()
+	for i := range c.Pages {
+		page := &c.Pages[i]
+		id := page.ID()
+		tax.MarkEntity(id)
+		mentions.Add(page.Title, id)
+		mentions.Add(id, id)
+		for _, t := range page.Infobox {
+			if t.Predicate == "别名" && t.Object != "" {
+				mentions.Add(t.Object, id)
+			}
+		}
+	}
+	for _, cand := range kept {
+		if err := tax.AddIsA(cand.Hypo, cand.Hyper, cand.Source, cand.Score); err != nil {
+			return nil, fmt.Errorf("core: assembling taxonomy: %w", err)
+		}
+	}
+	if p.opts.DeriveSubconcepts {
+		rep.DerivedSubconcepts = deriveSubconcepts(tax, seg, p.opts)
+	}
+	rep.Stats = tax.ComputeStats()
+
+	return &Result{
+		Taxonomy:   tax,
+		Mentions:   mentions,
+		Report:     rep,
+		Candidates: merged,
+		Kept:       kept,
+		Segmenter:  seg,
+		Stats:      stats,
+		Corpus:     c,
+	}, nil
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"cnprobase/internal/runes"
+	"cnprobase/internal/segment"
+	"cnprobase/internal/taxonomy"
+)
+
+// deriveSubconcepts adds subconcept-concept isA edges (the paper's
+// 527k subconcept relations) through two data-driven rules:
+//
+//   - morphological head: a compound concept whose suffix is itself a
+//     well-supported concept specializes it (男演员 isA 演员,
+//     首席战略官 isA 战略官);
+//   - subsumption: concept c1 whose hyponym set is (nearly) contained
+//     in a much larger concept c2's set is its subconcept.
+//
+// Returns the number of derived edges added.
+func deriveSubconcepts(tax *taxonomy.Taxonomy, seg *segment.Segmenter, opts Options) int {
+	concepts := conceptNodes(tax)
+	added := 0
+	// ---- morphological heads ----
+	support := make(map[string]int, len(concepts))
+	for _, c := range concepts {
+		support[c] = tax.HyponymCount(c)
+	}
+	for _, c := range concepts {
+		rs := []rune(c)
+		if len(rs) < 3 {
+			continue
+		}
+		// Longest proper suffix that is itself a supported concept.
+		for cut := 1; cut <= len(rs)-2; cut++ {
+			sfx := string(rs[cut:])
+			if support[sfx] >= 2 && sfx != c {
+				if err := tax.AddIsA(c, sfx, taxonomy.SourceMorph, 1); err == nil {
+					tax.MarkConcept(c)
+					added++
+				}
+				break
+			}
+		}
+	}
+	// ---- subsumption ----
+	added += deriveSubsumption(tax, concepts, opts)
+	return added
+}
+
+// deriveSubsumption adds c1 isA c2 whenever hyponyms(c1) are almost all
+// inside hyponyms(c2) and c2 is substantially larger. The candidate
+// pairs are limited to concepts sharing at least one hyponym, found via
+// an inverted index, so the cost is proportional to co-occurrence.
+func deriveSubsumption(tax *taxonomy.Taxonomy, concepts []string, opts Options) int {
+	minRatio := opts.SubsumeMinRatio
+	if minRatio <= 0 {
+		minRatio = 0.75
+	}
+	minSize := opts.SubsumeMinSize
+	if minSize <= 0 {
+		minSize = 8
+	}
+	hypos := make(map[string]map[string]bool, len(concepts))
+	for _, c := range concepts {
+		set := make(map[string]bool)
+		for _, h := range tax.Hyponyms(c, 0) {
+			if tax.Kind(h) == taxonomy.KindEntity {
+				set[h] = true
+			}
+		}
+		hypos[c] = set
+	}
+	// Inverted index: entity → concepts.
+	byEntity := make(map[string][]string)
+	for c, set := range hypos {
+		if len(set) < minSize {
+			continue
+		}
+		for e := range set {
+			byEntity[e] = append(byEntity[e], c)
+		}
+	}
+	overlap := make(map[[2]string]int)
+	for _, cs := range byEntity {
+		sort.Strings(cs)
+		for i := 0; i < len(cs); i++ {
+			for j := 0; j < len(cs); j++ {
+				if i != j {
+					overlap[[2]string{cs[i], cs[j]}]++
+				}
+			}
+		}
+	}
+	added := 0
+	// Deterministic iteration over pairs.
+	keys := make([][2]string, 0, len(overlap))
+	for k := range overlap {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		c1, c2 := k[0], k[1]
+		n1, n2 := len(hypos[c1]), len(hypos[c2])
+		if n1 == 0 || n2 < 2*n1 {
+			continue // need a clear size gap: generalization, not synonymy
+		}
+		if float64(overlap[k])/float64(n1) < minRatio {
+			continue
+		}
+		if morphRelated(c1, c2) {
+			continue // already added by the head rule
+		}
+		if tax.HasIsA(c1, c2) || tax.IsAncestor(c2, c1) {
+			continue // avoid duplicates and 2-cycles
+		}
+		if err := tax.AddIsA(c1, c2, taxonomy.SourceSubsume, float64(overlap[k])/float64(n1)); err == nil {
+			tax.MarkConcept(c1)
+			added++
+		}
+	}
+	return added
+}
+
+// morphRelated reports whether c2 is a suffix of c1 (the head rule's
+// territory).
+func morphRelated(c1, c2 string) bool { return strings.HasSuffix(c1, c2) && c1 != c2 }
+
+// conceptNodes lists hypernym-position nodes that look like concepts.
+func conceptNodes(tax *taxonomy.Taxonomy) []string {
+	var out []string
+	for _, n := range tax.Nodes() {
+		if tax.Kind(n) == taxonomy.KindConcept && runes.AllHan(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"cnprobase/internal/encyclopedia"
+	"cnprobase/internal/extract"
+	"cnprobase/internal/ner"
+	"cnprobase/internal/verify"
+)
+
+// Update performs an incremental build: it extends an existing Result
+// with newly crawled pages, the never-ending-extraction mode of the
+// CN-DBpedia pipeline CN-Probase sits on. The existing taxonomy is
+// extended in place (and also returned).
+//
+// The delta pass reuses the original run's substrates — segmenter,
+// corpus statistics (updated with the new text) and curated predicate
+// list — and re-runs verification over the union candidate set so the
+// incompatibility statistics see both old and new evidence. The neural
+// extractor is skipped during updates; bracket, infobox and tag
+// extraction cover the delta.
+func (p *Pipeline) Update(prev *Result, delta *encyclopedia.Corpus) (*Result, error) {
+	if prev == nil || prev.Taxonomy == nil {
+		return nil, fmt.Errorf("core: Update needs a prior Result")
+	}
+	if delta == nil || len(delta.Pages) == 0 {
+		return prev, nil
+	}
+	if prev.Corpus == nil {
+		return nil, fmt.Errorf("core: prior Result lacks its corpus; rebuild with this version")
+	}
+
+	// Extend corpus statistics with the new text.
+	for i := range delta.Pages {
+		page := &delta.Pages[i]
+		if page.Abstract != "" {
+			prev.Stats.AddSentence(prev.Segmenter.Cut(page.Abstract))
+		}
+		if page.Bracket != "" {
+			prev.Stats.AddSentence(prev.Segmenter.Cut(page.Bracket))
+		}
+	}
+
+	// ---- generation over the delta ----
+	var fresh []extract.Candidate
+	if p.opts.EnableBracket {
+		sep := extract.NewSeparator(prev.Segmenter, prev.Stats)
+		for i := range delta.Pages {
+			page := &delta.Pages[i]
+			fresh = append(fresh, sep.Extract(page.Title, page.Bracket)...)
+		}
+	}
+	if p.opts.EnableInfobox {
+		// Reuse the predicates curated during the full build: the
+		// "manual selection" does not change per crawl batch.
+		fresh = append(fresh, extract.ExtractInfobox(delta, prev.Report.SelectedPredicates)...)
+	}
+	if p.opts.EnableTags {
+		for i := range delta.Pages {
+			fresh = append(fresh, extract.Tags(&delta.Pages[i])...)
+		}
+	}
+
+	// ---- verification over the union ----
+	union := &encyclopedia.Corpus{Pages: append(append([]encyclopedia.Page(nil), prev.Corpus.Pages...), delta.Pages...)}
+	merged := extract.Dedupe(append(append([]extract.Candidate(nil), prev.Kept...), fresh...))
+	rec := ner.New()
+	support := ner.NewSupport()
+	for i := range union.Pages {
+		page := &union.Pages[i]
+		if page.Abstract == "" {
+			continue
+		}
+		support.Observe(prev.Segmenter.Cut(page.Abstract), rec.Recognize(page.Abstract))
+	}
+	ctx := verify.NewContext(union, merged, support, rec)
+	kept, vrep := verify.Verify(merged, ctx, prev.Segmenter, p.opts.Verify)
+
+	// ---- taxonomy extension ----
+	for i := range delta.Pages {
+		page := &delta.Pages[i]
+		id := page.ID()
+		prev.Taxonomy.MarkEntity(id)
+		prev.Mentions.Add(page.Title, id)
+		prev.Mentions.Add(id, id)
+		for _, t := range page.Infobox {
+			if t.Predicate == "别名" && t.Object != "" {
+				prev.Mentions.Add(t.Object, id)
+			}
+		}
+	}
+	// Remove previously-kept edges that the union-wide verification now
+	// rejects, then add everything kept.
+	keptSet := make(map[[2]string]bool, len(kept))
+	for _, c := range kept {
+		keptSet[[2]string{c.Hypo, c.Hyper}] = true
+	}
+	for _, c := range prev.Kept {
+		if !keptSet[[2]string{c.Hypo, c.Hyper}] {
+			prev.Taxonomy.RemoveIsA(c.Hypo, c.Hyper)
+		}
+	}
+	for _, c := range kept {
+		if err := prev.Taxonomy.AddIsA(c.Hypo, c.Hyper, c.Source, c.Score); err != nil {
+			return nil, fmt.Errorf("core: updating taxonomy: %w", err)
+		}
+	}
+	if p.opts.DeriveSubconcepts {
+		prev.Report.DerivedSubconcepts += deriveSubconcepts(prev.Taxonomy, prev.Segmenter, p.opts)
+	}
+
+	prev.Corpus = union
+	prev.Candidates = merged
+	prev.Kept = kept
+	prev.Report.Pages = union.Len()
+	prev.Report.Verification = vrep
+	prev.Report.Stats = prev.Taxonomy.ComputeStats()
+	return prev, nil
+}

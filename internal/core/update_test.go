@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"cnprobase/internal/encyclopedia"
+	"cnprobase/internal/synth"
+)
+
+func TestUpdateExtendsTaxonomy(t *testing.T) {
+	// Build over the first half of a world, then update with the rest.
+	cfg := synth.DefaultConfig()
+	cfg.Entities = 900
+	w, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	corpus := w.Corpus()
+	half := corpus.Len() / 2
+	first := &encyclopedia.Corpus{}
+	first.Pages = append(first.Pages, corpus.Pages[:half]...)
+	delta := &encyclopedia.Corpus{}
+	delta.Pages = append(delta.Pages, corpus.Pages[half:]...)
+
+	p := New(fastOptions())
+	res, err := p.Build(first)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	before := res.Taxonomy.EdgeCount()
+	beforeEntities := res.Report.Stats.Entities
+
+	updated, err := p.Update(res, delta)
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if updated.Taxonomy.EdgeCount() <= before {
+		t.Errorf("edges %d → %d; update did not grow the taxonomy", before, updated.Taxonomy.EdgeCount())
+	}
+	if updated.Report.Stats.Entities <= beforeEntities {
+		t.Errorf("entities %d → %d", beforeEntities, updated.Report.Stats.Entities)
+	}
+	if updated.Report.Pages != corpus.Len() {
+		t.Errorf("pages = %d, want %d", updated.Report.Pages, corpus.Len())
+	}
+	// New pages must be queryable.
+	newPage := delta.Pages[0]
+	if len(updated.Mentions.Lookup(newPage.Title)) == 0 {
+		t.Errorf("mention %q not indexed after update", newPage.Title)
+	}
+
+	// Precision stays in band after the incremental pass.
+	oracle := w.Oracle()
+	if p := sampledPrecision(updated.Taxonomy, oracle); p < 0.85 {
+		t.Errorf("post-update precision = %.3f, want ≥0.85", p)
+	}
+}
+
+func TestUpdateIncrementalEqualsRebuildApproximately(t *testing.T) {
+	cfg := synth.DefaultConfig()
+	cfg.Entities = 600
+	w, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	corpus := w.Corpus()
+	half := corpus.Len() / 2
+	first := &encyclopedia.Corpus{}
+	first.Pages = append(first.Pages, corpus.Pages[:half]...)
+	delta := &encyclopedia.Corpus{}
+	delta.Pages = append(delta.Pages, corpus.Pages[half:]...)
+
+	p := New(fastOptions())
+	res, err := p.Build(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	updated, err := p.Update(res, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := New(fastOptions()).Build(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The incremental result should be within ~15% of a full rebuild
+	// (statistics differ slightly: PMI accumulates in a different
+	// order, predicate curation is frozen).
+	ratio := float64(updated.Taxonomy.EdgeCount()) / float64(full.Taxonomy.EdgeCount())
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("incremental/full edge ratio = %.3f (inc=%d full=%d)",
+			ratio, updated.Taxonomy.EdgeCount(), full.Taxonomy.EdgeCount())
+	}
+}
+
+func TestUpdateNilAndEmpty(t *testing.T) {
+	p := New(fastOptions())
+	if _, err := p.Update(nil, &encyclopedia.Corpus{}); err == nil {
+		t.Error("Update(nil, …) accepted")
+	}
+	w := buildSmallWorld(t, 300)
+	res, err := p.Build(w.Corpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := p.Update(res, &encyclopedia.Corpus{})
+	if err != nil || same != res {
+		t.Errorf("empty delta should be a no-op: %v", err)
+	}
+}

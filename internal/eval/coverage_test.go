@@ -1,0 +1,56 @@
+package eval
+
+import (
+	"testing"
+
+	"cnprobase/internal/taxonomy"
+)
+
+type truthMap map[string][]string
+
+func (m truthMap) TruthHypernyms(id string) []string { return m[id] }
+
+func TestCoverage(t *testing.T) {
+	tx := taxonomy.New()
+	add := func(a, b string) {
+		if err := tx.AddIsA(a, b, taxonomy.SourceTag, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("甲", "演员")
+	add("演员", "人物") // gives 甲 → 人物 transitively
+	add("乙", "错误概念")
+
+	truth := truthMap{
+		"甲": {"演员", "人物"},
+		"乙": {"歌手"},
+		"丙": {"城市"},
+	}
+	res := Coverage(tx, truth, []string{"甲", "乙", "丙"})
+	if res.Entities != 3 {
+		t.Fatalf("Entities = %d", res.Entities)
+	}
+	if res.EntitiesCovered != 1 {
+		t.Errorf("EntitiesCovered = %d, want 1 (only 甲)", res.EntitiesCovered)
+	}
+	if res.TruthPairs != 4 {
+		t.Errorf("TruthPairs = %d, want 4", res.TruthPairs)
+	}
+	// 甲→演员 direct, 甲→人物 via ancestors.
+	if res.PairsRecovered != 2 {
+		t.Errorf("PairsRecovered = %d, want 2", res.PairsRecovered)
+	}
+	if res.EntityCoverage() < 0.33 || res.EntityCoverage() > 0.34 {
+		t.Errorf("EntityCoverage = %v", res.EntityCoverage())
+	}
+	if res.PairRecall() != 0.5 {
+		t.Errorf("PairRecall = %v, want 0.5", res.PairRecall())
+	}
+}
+
+func TestCoverageEmpty(t *testing.T) {
+	res := Coverage(taxonomy.New(), truthMap{}, nil)
+	if res.EntityCoverage() != 0 || res.PairRecall() != 0 {
+		t.Errorf("empty coverage: %+v", res)
+	}
+}

@@ -1,0 +1,112 @@
+// Package eval measures taxonomies the way the paper's experiments
+// section does: size (entities, concepts, isA relations) and precision
+// estimated on a random sample of isA pairs — 2000 in the paper —
+// judged by an oracle (the synthetic world's ground truth substitutes
+// for the paper's human labelers).
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"cnprobase/internal/taxonomy"
+)
+
+// Judge decides whether an isA pair is correct. The synth.Oracle
+// satisfies it.
+type Judge interface {
+	Judge(hypo, hyper string) bool
+}
+
+// Pair is one isA relation under evaluation.
+type Pair struct {
+	Hypo, Hyper string
+}
+
+// PrecisionResult reports a sampled precision estimate.
+type PrecisionResult struct {
+	Population int
+	Sampled    int
+	Correct    int
+}
+
+// Precision returns the sampled precision (1.0 for an empty sample, as
+// "no errors found").
+func (r PrecisionResult) Precision() float64 {
+	if r.Sampled == 0 {
+		return 1
+	}
+	return float64(r.Correct) / float64(r.Sampled)
+}
+
+// SamplePrecision estimates precision over pairs by sampling `sample`
+// of them without replacement (paper: 2000) and asking the judge.
+// sample <= 0 or >= len(pairs) evaluates the whole population.
+func SamplePrecision(pairs []Pair, judge Judge, sample int, seed int64) PrecisionResult {
+	res := PrecisionResult{Population: len(pairs)}
+	if len(pairs) == 0 {
+		return res
+	}
+	idx := make([]int, len(pairs))
+	for i := range idx {
+		idx[i] = i
+	}
+	if sample > 0 && sample < len(pairs) {
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		idx = idx[:sample]
+	}
+	for _, i := range idx {
+		res.Sampled++
+		if judge.Judge(pairs[i].Hypo, pairs[i].Hyper) {
+			res.Correct++
+		}
+	}
+	return res
+}
+
+// EdgePairs converts taxonomy edges to evaluation pairs, optionally
+// restricted to a source bitmask (0 = all).
+func EdgePairs(edges []taxonomy.Edge, sources taxonomy.Source) []Pair {
+	var out []Pair
+	for _, e := range edges {
+		if sources != 0 && e.Sources&sources == 0 {
+			continue
+		}
+		out = append(out, Pair{Hypo: e.Hypo, Hyper: e.Hyper})
+	}
+	return out
+}
+
+// TableRow is one row of the paper's Table I.
+type TableRow struct {
+	Name      string
+	Entities  int
+	Concepts  int
+	IsA       int
+	Precision float64
+}
+
+// RowFor summarizes a taxonomy into a table row.
+func RowFor(name string, t *taxonomy.Taxonomy, judge Judge, sample int, seed int64) TableRow {
+	st := t.ComputeStats()
+	pr := SamplePrecision(EdgePairs(t.Edges(), 0), judge, sample, seed)
+	return TableRow{
+		Name:      name,
+		Entities:  st.Entities,
+		Concepts:  st.Concepts,
+		IsA:       st.IsARelations,
+		Precision: pr.Precision(),
+	}
+}
+
+// FormatTable1 renders rows in the layout of the paper's Table I.
+func FormatTable1(rows []TableRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %12s %12s %16s %10s\n", "Taxonomy", "# entities", "# concepts", "# isA relations", "precision")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %12d %12d %16d %9.1f%%\n", r.Name, r.Entities, r.Concepts, r.IsA, r.Precision*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,75 @@
+// Package extract implements the generation module (paper Section II):
+// four algorithms that produce candidate isA relations from the four
+// sources of a Chinese encyclopedia page — bracket (separation
+// algorithm), abstract (neural generation), infobox (predicate
+// discovery) and tag (direct extraction).
+package extract
+
+import (
+	"sort"
+
+	"cnprobase/internal/encyclopedia"
+	"cnprobase/internal/runes"
+	"cnprobase/internal/taxonomy"
+)
+
+// Candidate is one candidate isA relation with provenance.
+type Candidate struct {
+	// Hypo is the hyponym: a disambiguated entity ID or a concept.
+	Hypo string
+	// Hyper is the hypernym concept string.
+	Hyper string
+	// Source records the generating algorithm.
+	Source taxonomy.Source
+	// Score is a source-specific confidence in [0, 1].
+	Score float64
+}
+
+// validHypernym applies the shared sanity conditions every generator
+// enforces before emitting a candidate: hypernyms are multi-rune Han
+// content words.
+func validHypernym(h string) bool {
+	return runes.AllHan(h) && runes.Len(h) >= 2
+}
+
+// Tags implements direct extraction from tags: "a majority of tags are
+// the hypernyms of the entities" — every tag becomes a candidate, and
+// the verification module is responsible for the rest.
+func Tags(page *encyclopedia.Page) []Candidate {
+	id := page.ID()
+	var out []Candidate
+	for _, tag := range page.Tags {
+		if !validHypernym(tag) || tag == page.Title {
+			continue
+		}
+		out = append(out, Candidate{Hypo: id, Hyper: tag, Source: taxonomy.SourceTag, Score: 1})
+	}
+	return out
+}
+
+// Dedupe merges duplicate (hypo, hyper) candidates, OR-ing sources and
+// keeping the maximum score. Order is deterministic.
+func Dedupe(cands []Candidate) []Candidate {
+	type key struct{ hypo, hyper string }
+	idx := make(map[key]int)
+	var out []Candidate
+	for _, c := range cands {
+		k := key{c.Hypo, c.Hyper}
+		if i, ok := idx[k]; ok {
+			out[i].Source |= c.Source
+			if c.Score > out[i].Score {
+				out[i].Score = c.Score
+			}
+			continue
+		}
+		idx[k] = len(out)
+		out = append(out, c)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Hypo != out[j].Hypo {
+			return out[i].Hypo < out[j].Hypo
+		}
+		return out[i].Hyper < out[j].Hyper
+	})
+	return out
+}

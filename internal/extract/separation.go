@@ -1,0 +1,192 @@
+package extract
+
+import (
+	"strings"
+
+	"cnprobase/internal/corpus"
+	"cnprobase/internal/runes"
+	"cnprobase/internal/segment"
+	"cnprobase/internal/taxonomy"
+)
+
+// Separator implements the paper's separation algorithm (Section II,
+// Figure 3): given the noun compound inside an entity's disambiguation
+// bracket, segment it into words (x1 … xn), build a binary tree by
+// PMI-guided adjacent merging with a right-to-left sliding window, and
+// read the hypernyms off the leaves/constituents along the tree's
+// rightmost path.
+type Separator struct {
+	seg   *segment.Segmenter
+	stats *corpus.Stats
+}
+
+// NewSeparator builds a Separator from the segmenter and corpus
+// statistics that supply PMI.
+func NewSeparator(seg *segment.Segmenter, stats *corpus.Stats) *Separator {
+	return &Separator{seg: seg, stats: stats}
+}
+
+// node is a binary-tree node over the word sequence.
+type node struct {
+	text        string
+	first, last string // boundary words, for PMI between merged nodes
+	left, right *node  // nil for leaves
+}
+
+func leaf(w string) *node { return &node{text: w, first: w, last: w} }
+
+func merge(a, b *node) *node {
+	return &node{text: a.text + b.text, first: a.first, last: b.last, left: a, right: b}
+}
+
+// pmi scores adjacency between two (possibly merged) nodes by the PMI
+// of the boundary words across the join, the standard reduction for
+// compound bracketing.
+func (s *Separator) pmi(a, b *node) float64 { return s.stats.PMI(a.last, b.first) }
+
+// Tree exposes the separation result for one compound: the word
+// sequence and the hypernym strings read off the rightmost path.
+type Tree struct {
+	Words     []string
+	Hypernyms []string
+}
+
+// Separate runs the algorithm on one 、-free noun compound and returns
+// its tree summary. Compounds of fewer than two words trivially yield
+// the word itself.
+func (s *Separator) Separate(compound string) Tree {
+	var words []string
+	for _, w := range s.seg.Cut(compound) {
+		if segment.IsContentToken(w) {
+			words = append(words, w)
+		}
+	}
+	t := Tree{Words: append([]string(nil), words...)}
+	if len(words) == 0 {
+		return t
+	}
+	root := s.buildTree(words)
+	t.Hypernyms = rightSpine(root)
+	return t
+}
+
+// buildTree performs the PMI-guided merging. Each pass slides a
+// three-element window right-to-left (steps 1–3 of the paper); the
+// boundary rule (step 4) merges the leftmost pair when its cohesion
+// beats its right neighbor. If a full pass merges nothing (flat PMI
+// landscape), the globally best-PMI adjacent pair merges, which
+// guarantees termination in n−1 merges.
+func (s *Separator) buildTree(words []string) *node {
+	nodes := make([]*node, len(words))
+	for i, w := range words {
+		nodes[i] = leaf(w)
+	}
+	for len(nodes) > 1 {
+		merged := false
+		// Right-to-left window (x_{i-1}, x_i, x_{i+1}).
+		for i := len(nodes) - 2; i >= 1; i-- {
+			if i+1 >= len(nodes) {
+				continue // slice shrank behind the window
+			}
+			if s.pmi(nodes[i-1], nodes[i]) < s.pmi(nodes[i], nodes[i+1]) {
+				nodes[i] = merge(nodes[i], nodes[i+1])
+				nodes = append(nodes[:i+1], nodes[i+2:]...)
+				merged = true
+			}
+		}
+		if len(nodes) == 1 {
+			break
+		}
+		// Step 4 boundary rule at the leftmost window.
+		if len(nodes) >= 3 && s.pmi(nodes[0], nodes[1]) > s.pmi(nodes[1], nodes[2]) {
+			nodes[0] = merge(nodes[0], nodes[1])
+			nodes = append(nodes[:1], nodes[2:]...)
+			merged = true
+		} else if len(nodes) == 2 {
+			nodes[0] = merge(nodes[0], nodes[1])
+			nodes = nodes[:1]
+			merged = true
+		}
+		if !merged {
+			// Flat landscape: merge the most cohesive adjacent pair.
+			best, bestPMI := 0, s.pmi(nodes[0], nodes[1])
+			for i := 1; i+1 < len(nodes); i++ {
+				if p := s.pmi(nodes[i], nodes[i+1]); p > bestPMI {
+					best, bestPMI = i, p
+				}
+			}
+			nodes[best] = merge(nodes[best], nodes[best+1])
+			nodes = append(nodes[:best+1], nodes[best+2:]...)
+		}
+	}
+	return nodes[0]
+}
+
+// rightSpine collects the hypernym strings along the rightmost path of
+// the tree, excluding the root (the full compound including modifiers):
+// for ((蚂蚁金服)((首席)(战略官))) it yields 首席战略官 and 战略官.
+// A single-leaf tree yields the leaf itself.
+func rightSpine(root *node) []string {
+	if root.right == nil {
+		if validHypernym(root.text) {
+			return []string{root.text}
+		}
+		return nil
+	}
+	var out []string
+	for cur := root.right; cur != nil; cur = cur.right {
+		if validHypernym(cur.text) {
+			out = append(out, cur.text)
+		}
+		if cur.right == nil {
+			break
+		}
+	}
+	return out
+}
+
+// splitCompounds cuts a bracket on enumeration separators (、/，/,/;),
+// since brackets routinely enumerate several roles
+// (中国香港男演员、歌手、词作人).
+func splitCompounds(bracket string) []string {
+	f := func(r rune) bool {
+		switch r {
+		case '、', '，', ',', '；', ';', '/', ' ':
+			return true
+		}
+		return false
+	}
+	var out []string
+	for _, p := range strings.FieldsFunc(bracket, f) {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Extract runs the separation algorithm on a page's bracket and returns
+// the candidate isA relations for the page's disambiguated entity.
+func (s *Separator) Extract(title, bracket string) []Candidate {
+	if bracket == "" {
+		return nil
+	}
+	id := title
+	if bracket != "" {
+		id = title + "（" + bracket + "）"
+	}
+	var out []Candidate
+	seen := make(map[string]bool)
+	for _, part := range splitCompounds(bracket) {
+		t := s.Separate(part)
+		for _, h := range t.Hypernyms {
+			if h == title || seen[h] || !runes.AllHan(h) {
+				continue
+			}
+			seen[h] = true
+			out = append(out, Candidate{Hypo: id, Hyper: h, Source: taxonomy.SourceBracket, Score: 1})
+		}
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package lexicon
+
+import (
+	"strings"
+	"testing"
+
+	"cnprobase/internal/runes"
+)
+
+func TestThematicLexiconSize(t *testing.T) {
+	// The paper uses a 184-entry non-taxonomic lexicon (Li et al.).
+	if got := ThematicCount(); got != 184 {
+		t.Errorf("ThematicCount = %d, want 184", got)
+	}
+}
+
+func TestThematicLookup(t *testing.T) {
+	for _, w := range []string{"政治", "军事", "音乐"} {
+		if !IsThematic(w) {
+			t.Errorf("IsThematic(%q) = false, want true", w)
+		}
+	}
+	for _, w := range []string{"演员", "城市", "不存在的词"} {
+		if IsThematic(w) {
+			t.Errorf("IsThematic(%q) = true, want false", w)
+		}
+	}
+}
+
+func TestThematicDisjointFromOntology(t *testing.T) {
+	// A word cannot be both a real concept and a thematic filter
+	// target, or the syntax rule would wrongly kill true relations.
+	for _, c := range ConceptNames() {
+		if IsThematic(c) {
+			t.Errorf("concept %q is also thematic", c)
+		}
+	}
+}
+
+func TestOntologyWellFormed(t *testing.T) {
+	seen := make(map[string]bool)
+	en := make(map[string]string)
+	for _, e := range Ontology() {
+		if e.Zh == "" || e.En == "" {
+			t.Fatalf("ontology entry with empty field: %+v", e)
+		}
+		if seen[e.Zh] {
+			t.Errorf("duplicate concept %q", e.Zh)
+		}
+		seen[e.Zh] = true
+		if prev, dup := en[e.En]; dup {
+			t.Errorf("English gloss %q used by both %q and %q", e.En, prev, e.Zh)
+		}
+		en[e.En] = e.Zh
+		if !runes.AllHan(e.Zh) {
+			t.Errorf("concept %q is not pure Han", e.Zh)
+		}
+	}
+	// Every parent must exist.
+	for _, e := range Ontology() {
+		if e.Parent == "" {
+			continue
+		}
+		if !seen[e.Parent] {
+			t.Errorf("concept %q has unknown parent %q", e.Zh, e.Parent)
+		}
+	}
+}
+
+func TestOntologyAcyclic(t *testing.T) {
+	parent := make(map[string]string)
+	for _, e := range Ontology() {
+		parent[e.Zh] = e.Parent
+	}
+	for _, e := range Ontology() {
+		steps := 0
+		for cur := e.Zh; cur != ""; cur = parent[cur] {
+			steps++
+			if steps > len(parent) {
+				t.Fatalf("cycle through %q", e.Zh)
+			}
+		}
+	}
+}
+
+func TestConceptLookups(t *testing.T) {
+	p, ok := ConceptParent("男演员")
+	if !ok || p != "演员" {
+		t.Errorf("ConceptParent(男演员) = %q,%v, want 演员,true", p, ok)
+	}
+	if _, ok := ConceptParent("不存在"); ok {
+		t.Error("ConceptParent(不存在) should not be found")
+	}
+	g, ok := EnglishGloss("歌手")
+	if !ok || g != "singer" {
+		t.Errorf("EnglishGloss(歌手) = %q,%v", g, ok)
+	}
+	zh, ok := FromEnglish("singer")
+	if !ok || zh != "歌手" {
+		t.Errorf("FromEnglish(singer) = %q,%v", zh, ok)
+	}
+}
+
+func TestBaseDictionaryCoversCriticalWords(t *testing.T) {
+	dict := make(map[string]bool)
+	for _, w := range BaseDictionary() {
+		dict[w] = true
+	}
+	// The Figure 3 walkthrough depends on these being separate words.
+	for _, w := range []string{"首席", "战略官", "金服", "蚂蚁", "中国香港", "男演员", "出生于"} {
+		if !dict[w] {
+			t.Errorf("BaseDictionary missing %q", w)
+		}
+	}
+	// Full compound titles must NOT be dictionary words, or the
+	// separation algorithm has nothing to do.
+	for _, w := range []string{"首席战略官", "蚂蚁金服"} {
+		if dict[w] {
+			t.Errorf("BaseDictionary should not contain compound %q", w)
+		}
+	}
+}
+
+func TestAccessorsReturnCopies(t *testing.T) {
+	a := Surnames()
+	a[0] = "XX"
+	b := Surnames()
+	if b[0] == "XX" {
+		t.Error("Surnames returns shared slice; mutation leaked")
+	}
+}
+
+func TestPinyinTables(t *testing.T) {
+	// Every surname and given char must romanize.
+	for _, s := range Surnames() {
+		if _, ok := CharPinyin(s); !ok {
+			t.Errorf("surname %q missing pinyin", s)
+		}
+	}
+	for _, g := range GivenChars() {
+		if _, ok := CharPinyin(g); !ok {
+			t.Errorf("given char %q missing pinyin", g)
+		}
+	}
+	// Canonical inversion must return a char with that pinyin.
+	for _, syl := range []string{"wang", "li", "wei", "ming"} {
+		c, ok := PinyinToChar(syl)
+		if !ok {
+			t.Errorf("PinyinToChar(%q) not found", syl)
+			continue
+		}
+		if p, _ := CharPinyin(c); p != syl {
+			t.Errorf("PinyinToChar(%q) = %q whose pinyin is %q", syl, c, p)
+		}
+		g, ok := PinyinToGivenChar(syl)
+		if !ok {
+			t.Errorf("PinyinToGivenChar(%q) not found", syl)
+			continue
+		}
+		if p, _ := CharPinyin(g); p != syl {
+			t.Errorf("PinyinToGivenChar(%q) = %q whose pinyin is %q", syl, g, p)
+		}
+	}
+	// Position preference: wei → 韦 as surname, 伟 as given char.
+	if c, _ := PinyinToChar("wei"); c != "韦" && c != "魏" {
+		t.Errorf("PinyinToChar(wei) = %q, want a surname", c)
+	}
+	if c, _ := PinyinToGivenChar("wei"); c != "伟" {
+		t.Errorf("PinyinToGivenChar(wei) = %q, want 伟", c)
+	}
+}
+
+func TestWordListsArePureHan(t *testing.T) {
+	check := func(name string, xs []string) {
+		for _, w := range xs {
+			if strings.TrimSpace(w) == "" || !runes.AllHan(w) {
+				t.Errorf("%s contains non-Han or empty entry %q", name, w)
+			}
+		}
+	}
+	check("Surnames", Surnames())
+	check("Regions", Regions())
+	check("Modifiers", Modifiers())
+	check("JobTitles", JobTitles())
+	check("ThematicWords", ThematicWords())
+	check("OrgSuffixes", OrgSuffixes())
+	check("PlaceStems", PlaceStems())
+}

@@ -1,0 +1,245 @@
+package lexicon
+
+// ConceptEntry is one node of the embedded ground-truth concept
+// ontology. Parent is the Chinese name of the parent concept, or empty
+// for a root (top-level) concept. En is the English gloss consumed by
+// the Probase-Tran translation baseline.
+type ConceptEntry struct {
+	Zh     string
+	En     string
+	Parent string
+}
+
+// ontology is the embedded concept tree. It intentionally covers the
+// domains the paper's examples draw from (people, places, organizations,
+// creative works, organisms, products, events) with two to three levels
+// of subconcepts, so that subconcept-concept edges, incompatible concept
+// pairs (e.g. 人物 vs 图书) and composed hypernyms (男演员) all arise.
+var ontology = []ConceptEntry{
+	// ------- 人物 person -------
+	{Zh: "人物", En: "person"},
+	{Zh: "演员", En: "actor", Parent: "人物"},
+	{Zh: "男演员", En: "male actor", Parent: "演员"},
+	{Zh: "女演员", En: "actress", Parent: "演员"},
+	{Zh: "电影演员", En: "film actor", Parent: "演员"},
+	{Zh: "喜剧演员", En: "comedian", Parent: "演员"},
+	{Zh: "歌手", En: "singer", Parent: "人物"},
+	{Zh: "男歌手", En: "male singer", Parent: "歌手"},
+	{Zh: "女歌手", En: "female singer", Parent: "歌手"},
+	{Zh: "流行歌手", En: "pop singer", Parent: "歌手"},
+	{Zh: "民谣歌手", En: "folk singer", Parent: "歌手"},
+	{Zh: "作家", En: "writer", Parent: "人物"},
+	{Zh: "小说家", En: "novelist", Parent: "作家"},
+	{Zh: "散文家", En: "essayist", Parent: "作家"},
+	{Zh: "科幻作家", En: "science fiction writer", Parent: "作家"},
+	{Zh: "诗人", En: "poet", Parent: "人物"},
+	{Zh: "科学家", En: "scientist", Parent: "人物"},
+	{Zh: "物理学家", En: "physicist", Parent: "科学家"},
+	{Zh: "化学家", En: "chemist", Parent: "科学家"},
+	{Zh: "数学家", En: "mathematician", Parent: "科学家"},
+	{Zh: "生物学家", En: "biologist", Parent: "科学家"},
+	{Zh: "天文学家", En: "astronomer", Parent: "科学家"},
+	{Zh: "计算机科学家", En: "computer scientist", Parent: "科学家"},
+	{Zh: "运动员", En: "athlete", Parent: "人物"},
+	{Zh: "足球运动员", En: "football player", Parent: "运动员"},
+	{Zh: "篮球运动员", En: "basketball player", Parent: "运动员"},
+	{Zh: "乒乓球运动员", En: "table tennis player", Parent: "运动员"},
+	{Zh: "游泳运动员", En: "swimmer", Parent: "运动员"},
+	{Zh: "政治家", En: "politician", Parent: "人物"},
+	{Zh: "外交家", En: "diplomat", Parent: "政治家"},
+	{Zh: "企业家", En: "entrepreneur", Parent: "人物"},
+	{Zh: "投资人", En: "investor", Parent: "企业家"},
+	{Zh: "医生", En: "doctor", Parent: "人物"},
+	{Zh: "教师", En: "teacher", Parent: "人物"},
+	{Zh: "导演", En: "director", Parent: "人物"},
+	{Zh: "画家", En: "painter", Parent: "人物"},
+	{Zh: "音乐家", En: "musician", Parent: "人物"},
+	{Zh: "作曲家", En: "composer", Parent: "音乐家"},
+	{Zh: "记者", En: "journalist", Parent: "人物"},
+	{Zh: "律师", En: "lawyer", Parent: "人物"},
+	{Zh: "工程师", En: "engineer", Parent: "人物"},
+	{Zh: "学者", En: "scholar", Parent: "人物"},
+	{Zh: "主持人", En: "host", Parent: "人物"},
+	{Zh: "模特", En: "model", Parent: "人物"},
+	{Zh: "歌唱家", En: "vocalist", Parent: "音乐家"},
+	{Zh: "舞蹈家", En: "dancer", Parent: "人物"},
+	{Zh: "词作人", En: "lyricist", Parent: "音乐家"},
+	{Zh: "娱乐人物", En: "entertainer", Parent: "人物"},
+
+	// ------- 地点 place -------
+	{Zh: "地点", En: "place"},
+	{Zh: "城市", En: "city", Parent: "地点"},
+	{Zh: "省会城市", En: "provincial capital", Parent: "城市"},
+	{Zh: "沿海城市", En: "coastal city", Parent: "城市"},
+	{Zh: "历史文化名城", En: "historic city", Parent: "城市"},
+	{Zh: "国家", En: "country", Parent: "地点"},
+	{Zh: "乡镇", En: "town", Parent: "地点"},
+	{Zh: "村庄", En: "village", Parent: "地点"},
+	{Zh: "山脉", En: "mountain", Parent: "地点"},
+	{Zh: "河流", En: "river", Parent: "地点"},
+	{Zh: "湖泊", En: "lake", Parent: "地点"},
+	{Zh: "岛屿", En: "island", Parent: "地点"},
+	{Zh: "景点", En: "scenic spot", Parent: "地点"},
+	{Zh: "古镇", En: "ancient town", Parent: "景点"},
+	{Zh: "自然保护区", En: "nature reserve", Parent: "景点"},
+	{Zh: "地区", En: "region", Parent: "地点"},
+	{Zh: "省份", En: "province", Parent: "地点"},
+
+	// ------- 组织 organization -------
+	{Zh: "组织", En: "organization"},
+	{Zh: "大学", En: "university", Parent: "组织"},
+	{Zh: "综合性大学", En: "comprehensive university", Parent: "大学"},
+	{Zh: "师范大学", En: "normal university", Parent: "大学"},
+	{Zh: "医科大学", En: "medical university", Parent: "大学"},
+	{Zh: "公司", En: "company", Parent: "组织"},
+	{Zh: "科技公司", En: "technology company", Parent: "公司"},
+	{Zh: "互联网公司", En: "internet company", Parent: "公司"},
+	{Zh: "电影公司", En: "film company", Parent: "公司"},
+	{Zh: "金融公司", En: "financial company", Parent: "公司"},
+	{Zh: "游戏公司", En: "game company", Parent: "公司"},
+	{Zh: "银行", En: "bank", Parent: "组织"},
+	{Zh: "医院", En: "hospital", Parent: "组织"},
+	{Zh: "中学", En: "middle school", Parent: "组织"},
+	{Zh: "小学", En: "primary school", Parent: "组织"},
+	{Zh: "研究所", En: "research institute", Parent: "组织"},
+	{Zh: "乐队", En: "band", Parent: "组织"},
+	{Zh: "球队", En: "sports team", Parent: "组织"},
+	{Zh: "足球俱乐部", En: "football club", Parent: "球队"},
+	{Zh: "篮球俱乐部", En: "basketball club", Parent: "球队"},
+	{Zh: "出版社", En: "publisher", Parent: "组织"},
+	{Zh: "电视台", En: "television station", Parent: "组织"},
+	{Zh: "报社", En: "newspaper office", Parent: "组织"},
+	{Zh: "协会", En: "association", Parent: "组织"},
+	{Zh: "基金会", En: "foundation", Parent: "组织"},
+
+	// ------- 作品 work -------
+	{Zh: "作品", En: "work"},
+	{Zh: "图书", En: "book", Parent: "作品"},
+	{Zh: "电影", En: "film", Parent: "作品"},
+	{Zh: "动作电影", En: "action film", Parent: "电影"},
+	{Zh: "爱情电影", En: "romance film", Parent: "电影"},
+	{Zh: "喜剧电影", En: "comedy film", Parent: "电影"},
+	{Zh: "科幻电影", En: "science fiction film", Parent: "电影"},
+	{Zh: "警匪片", En: "crime film", Parent: "电影"},
+	{Zh: "传记片", En: "biographical film", Parent: "电影"},
+	{Zh: "电视剧", En: "television drama", Parent: "作品"},
+	{Zh: "武侠剧", En: "wuxia drama", Parent: "电视剧"},
+	{Zh: "剧情片", En: "drama film", Parent: "电影"},
+	{Zh: "小说", En: "novel", Parent: "图书"},
+	{Zh: "武侠小说", En: "wuxia novel", Parent: "小说"},
+	{Zh: "言情小说", En: "romance novel", Parent: "小说"},
+	{Zh: "科幻小说", En: "science fiction novel", Parent: "小说"},
+	{Zh: "历史小说", En: "historical novel", Parent: "小说"},
+	{Zh: "推理小说", En: "mystery novel", Parent: "小说"},
+	{Zh: "歌曲", En: "song", Parent: "作品"},
+	{Zh: "流行歌曲", En: "pop song", Parent: "歌曲"},
+	{Zh: "专辑", En: "album", Parent: "作品"},
+	{Zh: "游戏", En: "game", Parent: "作品"},
+	{Zh: "纪录片", En: "documentary", Parent: "电影"},
+	{Zh: "诗集", En: "poetry collection", Parent: "图书"},
+	{Zh: "杂志", En: "magazine", Parent: "作品"},
+	{Zh: "动画片", En: "animated film", Parent: "电影"},
+
+	// ------- 生物 organism -------
+	{Zh: "生物", En: "organism"},
+	{Zh: "动物", En: "animal", Parent: "生物"},
+	{Zh: "鸟类", En: "bird", Parent: "动物"},
+	{Zh: "鱼类", En: "fish", Parent: "动物"},
+	{Zh: "昆虫", En: "insect", Parent: "动物"},
+	{Zh: "哺乳动物", En: "mammal", Parent: "动物"},
+	{Zh: "爬行动物", En: "reptile", Parent: "动物"},
+	{Zh: "植物", En: "plant", Parent: "生物"},
+	{Zh: "乔木", En: "tree", Parent: "植物"},
+	{Zh: "灌木", En: "shrub", Parent: "植物"},
+	{Zh: "草本植物", En: "herb", Parent: "植物"},
+	{Zh: "花卉", En: "flower", Parent: "植物"},
+	{Zh: "药用植物", En: "medicinal plant", Parent: "植物"},
+
+	// ------- 产品 product -------
+	{Zh: "产品", En: "product"},
+	{Zh: "手机", En: "mobile phone", Parent: "产品"},
+	{Zh: "智能手机", En: "smartphone", Parent: "手机"},
+	{Zh: "汽车", En: "car", Parent: "产品"},
+	{Zh: "轿车", En: "sedan", Parent: "汽车"},
+	{Zh: "越野车", En: "off-road vehicle", Parent: "汽车"},
+	{Zh: "电动汽车", En: "electric car", Parent: "汽车"},
+	{Zh: "软件", En: "software", Parent: "产品"},
+	{Zh: "相机", En: "camera", Parent: "产品"},
+	{Zh: "电脑", En: "computer", Parent: "产品"},
+	{Zh: "饮料", En: "beverage", Parent: "产品"},
+	{Zh: "食品", En: "food", Parent: "产品"},
+	{Zh: "药品", En: "medicine", Parent: "产品"},
+
+	// ------- 事件 event -------
+	{Zh: "事件", En: "event"},
+	{Zh: "战争", En: "war", Parent: "事件"},
+	{Zh: "比赛", En: "competition", Parent: "事件"},
+	{Zh: "节日", En: "festival", Parent: "事件"},
+	{Zh: "会议", En: "conference", Parent: "事件"},
+	{Zh: "演唱会", En: "concert", Parent: "事件"},
+}
+
+// Ontology returns the embedded concept ontology as a copy.
+func Ontology() []ConceptEntry {
+	out := make([]ConceptEntry, len(ontology))
+	copy(out, ontology)
+	return out
+}
+
+// ConceptNames returns the Chinese names of all ontology concepts.
+func ConceptNames() []string {
+	out := make([]string, len(ontology))
+	for i, c := range ontology {
+		out[i] = c.Zh
+	}
+	return out
+}
+
+// ConceptParent returns the parent concept of zh and whether zh is in
+// the ontology.
+func ConceptParent(zh string) (string, bool) {
+	for _, c := range ontology {
+		if c.Zh == zh {
+			return c.Parent, true
+		}
+	}
+	return "", false
+}
+
+// EnglishGloss returns the English gloss of a Chinese concept, if any.
+func EnglishGloss(zh string) (string, bool) {
+	for _, c := range ontology {
+		if c.Zh == zh {
+			return c.En, true
+		}
+	}
+	return "", false
+}
+
+// FromEnglish returns the Chinese concept for an English gloss, if any.
+func FromEnglish(en string) (string, bool) {
+	for _, c := range ontology {
+		if c.En == en {
+			return c.Zh, true
+		}
+	}
+	return "", false
+}
+
+// BaseDictionary returns the union of all embedded word lists: the
+// segmenter seeds its dictionary from this, and the synthetic corpus
+// renders text using only these words plus generated entity names.
+func BaseDictionary() []string {
+	var out []string
+	out = append(out, ConceptNames()...)
+	out = append(out, modifiers...)
+	out = append(out, regions...)
+	out = append(out, titleComponents...)
+	out = append(out, orgIndustry...)
+	out = append(out, thematicWords...)
+	out = append(out, functionWords...)
+	out = append(out, orgSuffixes...)
+	out = append(out, placeStems...)
+	out = append(out, orgStems...)
+	return out
+}

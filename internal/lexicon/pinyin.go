@@ -1,0 +1,87 @@
+package lexicon
+
+// charPinyin romanizes the characters used in generated person names.
+// Several characters deliberately share a syllable (伟/韦/薇 → wei),
+// because that ambiguity is exactly what breaks the Probase-Tran
+// baseline's back-transliteration — the same failure mode the paper
+// attributes to cross-language translation.
+var charPinyin = map[string]string{
+	// surnames
+	"王": "wang", "李": "li", "张": "zhang", "刘": "liu", "陈": "chen",
+	"杨": "yang", "黄": "huang", "赵": "zhao", "吴": "wu", "周": "zhou",
+	"徐": "xu", "孙": "sun", "马": "ma", "朱": "zhu", "胡": "hu",
+	"郭": "guo", "何": "he", "林": "lin", "罗": "luo", "高": "gao",
+	"郑": "zheng", "梁": "liang", "谢": "xie", "宋": "song", "唐": "tang",
+	"许": "xu", "韩": "han", "冯": "feng", "邓": "deng", "曹": "cao",
+	"彭": "peng", "曾": "zeng", "肖": "xiao", "田": "tian", "董": "dong",
+	"袁": "yuan", "潘": "pan", "蒋": "jiang", "蔡": "cai", "余": "yu",
+	"杜": "du", "叶": "ye", "程": "cheng", "苏": "su", "魏": "wei",
+	"吕": "lv", "丁": "ding", "任": "ren", "沈": "shen", "姚": "yao",
+	"卢": "lu", "姜": "jiang", "崔": "cui", "钟": "zhong", "谭": "tan",
+	"陆": "lu", "汪": "wang", "范": "fan", "金": "jin", "石": "shi",
+	"廖": "liao", "贾": "jia", "夏": "xia", "韦": "wei", "付": "fu",
+	"方": "fang", "白": "bai", "邹": "zou", "孟": "meng", "熊": "xiong",
+	"秦": "qin", "邱": "qiu", "江": "jiang", "尹": "yin", "薛": "xue",
+	"闫": "yan", "段": "duan", "雷": "lei", "侯": "hou", "龙": "long",
+	"史": "shi", "陶": "tao", "黎": "li", "贺": "he", "顾": "gu",
+	"毛": "mao", "郝": "hao", "龚": "gong", "邵": "shao", "万": "wan",
+	"钱": "qian", "严": "yan", "覃": "qin", "武": "wu", "戴": "dai",
+	"莫": "mo", "孔": "kong", "向": "xiang", "汤": "tang", "欧阳": "ouyang",
+	// given-name characters
+	"伟": "wei", "芳": "fang", "娜": "na", "敏": "min", "静": "jing",
+	"丽": "li", "强": "qiang", "磊": "lei", "军": "jun", "洋": "yang",
+	"勇": "yong", "艳": "yan", "杰": "jie", "娟": "juan", "涛": "tao",
+	"明": "ming", "超": "chao", "秀": "xiu", "霞": "xia", "平": "ping",
+	"刚": "gang", "英": "ying", "华": "hua", "玉": "yu", "萍": "ping",
+	"红": "hong", "玲": "ling", "丹": "dan", "峰": "feng", "凤": "feng",
+	"雪": "xue", "琳": "lin", "晨": "chen", "宇": "yu", "浩": "hao",
+	"轩": "xuan", "欣": "xin", "怡": "yi", "佳": "jia", "俊": "jun",
+	"鹏": "peng", "飞": "fei", "鑫": "xin", "波": "bo", "斌": "bin",
+	"莉": "li", "桂": "gui", "婷": "ting", "云": "yun", "健": "jian",
+	"倩": "qian", "薇": "wei", "晶": "jing", "悦": "yue", "然": "ran",
+	"博": "bo", "文": "wen", "天": "tian", "一": "yi",
+}
+
+// CharPinyin returns the romanization of a single character, if known.
+func CharPinyin(ch string) (string, bool) {
+	p, ok := charPinyin[ch]
+	return p, ok
+}
+
+// canonical maps are deterministic, lossy inverses of charPinyin, as a
+// machine transliterator would pick: one preferring surnames (for the
+// family-name position) and one preferring given-name characters.
+func buildCanonical(first, second []string) map[string]string {
+	m := make(map[string]string)
+	claim := func(chars []string) {
+		for _, c := range chars {
+			if p, ok := charPinyin[c]; ok {
+				if _, taken := m[p]; !taken {
+					m[p] = c
+				}
+			}
+		}
+	}
+	claim(first)
+	claim(second)
+	return m
+}
+
+var (
+	canonicalSurname = buildCanonical(surnames, givenChars)
+	canonicalGiven   = buildCanonical(givenChars, surnames)
+)
+
+// PinyinToChar returns the canonical character for a syllable in
+// surname position, if any.
+func PinyinToChar(syllable string) (string, bool) {
+	c, ok := canonicalSurname[syllable]
+	return c, ok
+}
+
+// PinyinToGivenChar returns the canonical character for a syllable in
+// given-name position, if any.
+func PinyinToGivenChar(syllable string) (string, bool) {
+	c, ok := canonicalGiven[syllable]
+	return c, ok
+}

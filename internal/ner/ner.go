@@ -1,0 +1,301 @@
+// Package ner implements the named-entity recognition substrate the
+// verification module needs (paper Section III-B). The paper's NE
+// filter only requires an occurrence statistic — how often a word
+// appears as a named entity versus in total across a text corpus — so
+// the recognizer is a deterministic lexicon + rule system over the same
+// vocabulary the synthetic corpus is rendered from:
+//
+//   - person names: known surname followed by 1–2 given-name runes;
+//   - place names: region lexicon hits, or stem + place suffix;
+//   - organization names: stem + org suffix/industry word;
+//   - work titles: 《…》 book-quoted spans.
+//
+// Support(w) aggregates recognition decisions over a corpus into the
+// s1 statistic of Equation (2).
+package ner
+
+import (
+	"strings"
+
+	"cnprobase/internal/lexicon"
+	"cnprobase/internal/runes"
+	"cnprobase/internal/trie"
+)
+
+// Kind classifies a recognized named entity.
+type Kind int
+
+const (
+	// None marks a non-entity.
+	None Kind = iota
+	// Person is a personal name.
+	Person
+	// Place is a location name.
+	Place
+	// Org is an organization name.
+	Org
+	// Work is a creative-work title.
+	Work
+)
+
+// String returns a short label for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Person:
+		return "person"
+	case Place:
+		return "place"
+	case Org:
+		return "org"
+	case Work:
+		return "work"
+	default:
+		return "none"
+	}
+}
+
+// Span is one recognized entity occurrence inside a text.
+type Span struct {
+	Text  string
+	Kind  Kind
+	Start int // rune offset
+	End   int // rune offset, exclusive
+}
+
+// Recognizer is a deterministic lexicon + rule NE recognizer. It is
+// immutable after construction and safe for concurrent use.
+type Recognizer struct {
+	surnames    map[string]bool
+	regions     map[string]bool
+	placeSuffix map[string]bool
+	orgSuffix   *trie.Trie
+	givenChars  map[rune]bool
+	// stems is the gazetteer of name stems that compose with suffixes
+	// (清河+市, 蚂蚁+金服); requiring a known stem keeps the suffix
+	// rules from swallowing preceding function words (于清+河).
+	stems map[string]bool
+	// knownEntities are exact entity titles (e.g. from page titles);
+	// matching them is the strongest evidence.
+	knownEntities *trie.Trie
+}
+
+// New builds a Recognizer from the embedded lexicons.
+func New() *Recognizer {
+	r := &Recognizer{
+		surnames:      make(map[string]bool),
+		regions:       make(map[string]bool),
+		placeSuffix:   make(map[string]bool),
+		orgSuffix:     trie.New(),
+		givenChars:    make(map[rune]bool),
+		knownEntities: trie.New(),
+	}
+	for _, s := range lexicon.Surnames() {
+		r.surnames[s] = true
+	}
+	for _, s := range lexicon.Regions() {
+		r.regions[s] = true
+	}
+	for _, s := range lexicon.PlaceSuffixes() {
+		r.placeSuffix[s] = true
+	}
+	for _, s := range lexicon.OrgSuffixes() {
+		r.orgSuffix.Insert(s)
+	}
+	for _, s := range lexicon.OrgIndustry() {
+		r.orgSuffix.Insert(s)
+	}
+	r.stems = make(map[string]bool)
+	for _, s := range lexicon.PlaceStems() {
+		r.stems[s] = true
+	}
+	for _, s := range lexicon.OrgStems() {
+		r.stems[s] = true
+	}
+	for _, g := range lexicon.GivenChars() {
+		for _, c := range g {
+			r.givenChars[c] = true
+		}
+	}
+	return r
+}
+
+// AddKnownEntity registers an exact entity title (typically a page
+// title) so occurrences of it are recognized directly.
+func (r *Recognizer) AddKnownEntity(title string, kind Kind) {
+	if title == "" {
+		return
+	}
+	r.knownEntities.InsertWeighted(title, float64(kind))
+}
+
+// Classify reports whether the word w, taken in isolation, looks like a
+// named entity and of which kind. This is the primitive the NE-hypernym
+// filter uses.
+func (r *Recognizer) Classify(w string) Kind {
+	if w == "" {
+		return None
+	}
+	if wgt, ok := r.knownEntities.Weight(w); ok {
+		return Kind(int(wgt))
+	}
+	if r.regions[w] {
+		return Place
+	}
+	rs := []rune(w)
+	// 《…》 quoted span.
+	if len(rs) >= 3 && rs[0] == '《' && rs[len(rs)-1] == '》' {
+		return Work
+	}
+	if !runes.AllHan(w) {
+		return None
+	}
+	// gazetteer stem + place suffix (清河+市).
+	if len(rs) == 3 && r.placeSuffix[string(rs[2:])] && r.stems[string(rs[:2])] {
+		return Place
+	}
+	// gazetteer stem + org suffix (蚂蚁+金服, 清河+研究所).
+	for sl := 2; sl <= 3 && sl < len(rs); sl++ {
+		if len(rs)-sl == 2 && r.orgSuffix.Contains(string(rs[2:])) && r.stems[string(rs[:2])] {
+			return Org
+		}
+	}
+	// surname + given-name runes.
+	if k := r.personLike(rs); k != None {
+		return k
+	}
+	return None
+}
+
+// personLike reports whether rs looks like surname + 1-2 given chars.
+func (r *Recognizer) personLike(rs []rune) Kind {
+	try := func(surLen int) bool {
+		if len(rs) < surLen+1 || len(rs) > surLen+2 {
+			return false
+		}
+		if !r.surnames[string(rs[:surLen])] {
+			return false
+		}
+		for _, c := range rs[surLen:] {
+			if !r.givenChars[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if try(1) || try(2) {
+		return Person
+	}
+	return None
+}
+
+// Recognize scans text and returns all recognized entity spans, longest
+// match first at each position, non-overlapping.
+func (r *Recognizer) Recognize(text string) []Span {
+	rs := []rune(text)
+	var out []Span
+	for i := 0; i < len(rs); {
+		// Book-quoted works.
+		if rs[i] == '《' {
+			if j := indexRune(rs, i+1, '》'); j > i {
+				out = append(out, Span{Text: string(rs[i : j+1]), Kind: Work, Start: i, End: j + 1})
+				i = j + 1
+				continue
+			}
+		}
+		// Known entity exact hits.
+		if l := r.knownEntities.LongestFrom(rs, i); l > 0 {
+			w := string(rs[i : i+l])
+			wgt, _ := r.knownEntities.Weight(w)
+			out = append(out, Span{Text: w, Kind: Kind(int(wgt)), Start: i, End: i + l})
+			i += l
+			continue
+		}
+		// Window classification: try longest window first (6 runes is
+		// the longest lexicon-composed entity form).
+		matched := false
+		for l := min(6, len(rs)-i); l >= 2; l-- {
+			w := string(rs[i : i+l])
+			if k := r.Classify(w); k != None {
+				out = append(out, Span{Text: w, Kind: k, Start: i, End: i + l})
+				i += l
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			i++
+		}
+	}
+	return out
+}
+
+func indexRune(rs []rune, from int, want rune) int {
+	for i := from; i < len(rs); i++ {
+		if rs[i] == want {
+			return i
+		}
+	}
+	return -1
+}
+
+// Support accumulates, per word, how often it occurred as a named
+// entity versus in total: the s1(H)=NE(H)/total(H) statistic of the
+// paper's Equation (2) context.
+type Support struct {
+	ne    map[string]int
+	total map[string]int
+}
+
+// NewSupport returns an empty support accumulator.
+func NewSupport() *Support {
+	return &Support{ne: make(map[string]int), total: make(map[string]int)}
+}
+
+// Observe records the tokens of one segmented sentence together with
+// the recognizer's spans over the raw sentence: every token counts
+// toward total, and tokens covered by an NE span count toward ne.
+func (s *Support) Observe(tokens []string, spans []Span) {
+	neText := make(map[string]bool, len(spans))
+	for _, sp := range spans {
+		neText[strings.Trim(sp.Text, "《》")] = true
+		neText[sp.Text] = true
+	}
+	for _, t := range tokens {
+		if !runes.AllHan(t) {
+			continue
+		}
+		s.total[t]++
+		if neText[t] {
+			s.ne[t]++
+		}
+	}
+}
+
+// ObserveWord directly records one occurrence of w, as NE or not. Used
+// when the caller already knows the role (e.g. page titles are NEs by
+// construction).
+func (s *Support) ObserveWord(w string, asNE bool) {
+	s.total[w]++
+	if asNE {
+		s.ne[w]++
+	}
+}
+
+// S1 returns NE(w)/total(w), or 0 when w was never observed.
+func (s *Support) S1(w string) float64 {
+	t := s.total[w]
+	if t == 0 {
+		return 0
+	}
+	return float64(s.ne[w]) / float64(t)
+}
+
+// Observed reports whether w was seen at all.
+func (s *Support) Observed(w string) bool { return s.total[w] > 0 }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,72 @@
+package nn
+
+import "math"
+
+// ParamPair couples a flat parameter slice with its gradient slice.
+type ParamPair struct {
+	W []float64
+	G []float64
+}
+
+// Adam is the Adam optimizer over registered parameter pairs.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	// ClipNorm, when positive, rescales the global gradient to this L2
+	// norm before each step.
+	ClipNorm float64
+
+	t     int
+	pairs []ParamPair
+	m, v  [][]float64
+}
+
+// NewAdam returns an optimizer with the conventional defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, ClipNorm: 5}
+}
+
+// Register adds parameter pairs to be updated on Step.
+func (a *Adam) Register(pairs ...ParamPair) {
+	for _, p := range pairs {
+		a.pairs = append(a.pairs, p)
+		a.m = append(a.m, make([]float64, len(p.W)))
+		a.v = append(a.v, make([]float64, len(p.W)))
+	}
+}
+
+// Step applies one Adam update from the accumulated gradients, then
+// zeroes them.
+func (a *Adam) Step() {
+	a.t++
+	if a.ClipNorm > 0 {
+		total := 0.0
+		for _, p := range a.pairs {
+			for _, g := range p.G {
+				total += g * g
+			}
+		}
+		total = math.Sqrt(total)
+		if total > a.ClipNorm && total > 0 {
+			s := a.ClipNorm / total
+			for _, p := range a.pairs {
+				for i := range p.G {
+					p.G[i] *= s
+				}
+			}
+		}
+	}
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for k, p := range a.pairs {
+		m, v := a.m[k], a.v[k]
+		for i := range p.W {
+			g := p.G[i]
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mh := m[i] / bc1
+			vh := v[i] / bc2
+			p.W[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+			p.G[i] = 0
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package nn
+
+import "math/rand"
+
+// GRUCell is a gated recurrent unit:
+//
+//	z  = σ(Wz·x + Uz·h + bz)
+//	r  = σ(Wr·x + Ur·h + br)
+//	ĥ  = tanh(Wh·x + Uh·(r⊙h) + bh)
+//	h' = (1−z)⊙h + z⊙ĥ
+//
+// Forward returns a cache the matching Backward consumes; gradients
+// accumulate into the cell's G* fields until the optimizer consumes
+// them.
+type GRUCell struct {
+	In, Hidden int
+
+	Wz, Uz     *Mat
+	Wr, Ur     *Mat
+	Wh, Uh     *Mat
+	Bz, Br, Bh Vec
+
+	GWz, GUz      *Mat
+	GWr, GUr      *Mat
+	GWh, GUh      *Mat
+	GBz, GBr, GBh Vec
+}
+
+// NewGRUCell builds a randomly initialized cell.
+func NewGRUCell(in, hidden int, rng *rand.Rand) *GRUCell {
+	return &GRUCell{
+		In: in, Hidden: hidden,
+		Wz: NewMatRand(hidden, in, rng), Uz: NewMatRand(hidden, hidden, rng),
+		Wr: NewMatRand(hidden, in, rng), Ur: NewMatRand(hidden, hidden, rng),
+		Wh: NewMatRand(hidden, in, rng), Uh: NewMatRand(hidden, hidden, rng),
+		Bz: NewVec(hidden), Br: NewVec(hidden), Bh: NewVec(hidden),
+		GWz: NewMat(hidden, in), GUz: NewMat(hidden, hidden),
+		GWr: NewMat(hidden, in), GUr: NewMat(hidden, hidden),
+		GWh: NewMat(hidden, in), GUh: NewMat(hidden, hidden),
+		GBz: NewVec(hidden), GBr: NewVec(hidden), GBh: NewVec(hidden),
+	}
+}
+
+// GRUCache stores the forward intermediates of one step.
+type GRUCache struct {
+	X, HPrev     Vec
+	Z, R, HTilde Vec
+	RH           Vec // r ⊙ hPrev
+	H            Vec // output state
+}
+
+// Forward computes one step from input x and previous state hPrev.
+func (c *GRUCell) Forward(x, hPrev Vec) *GRUCache {
+	az := MatVec(c.Wz, x)
+	MatVecAddInto(az, c.Uz, hPrev)
+	az.Add(c.Bz)
+	z := Sigmoid(az)
+
+	ar := MatVec(c.Wr, x)
+	MatVecAddInto(ar, c.Ur, hPrev)
+	ar.Add(c.Br)
+	r := Sigmoid(ar)
+
+	rh := NewVec(c.Hidden)
+	for i := range rh {
+		rh[i] = r[i] * hPrev[i]
+	}
+	ah := MatVec(c.Wh, x)
+	MatVecAddInto(ah, c.Uh, rh)
+	ah.Add(c.Bh)
+	ht := Tanh(ah)
+
+	h := NewVec(c.Hidden)
+	for i := range h {
+		h[i] = (1-z[i])*hPrev[i] + z[i]*ht[i]
+	}
+	return &GRUCache{X: x, HPrev: hPrev, Z: z, R: r, HTilde: ht, RH: rh, H: h}
+}
+
+// Backward consumes dH (gradient wrt the step's output state) and the
+// step cache; it accumulates parameter gradients and returns (dX,
+// dHPrev).
+func (c *GRUCell) Backward(dH Vec, k *GRUCache) (dX, dHPrev Vec) {
+	h := c.Hidden
+	dht := NewVec(h)
+	dz := NewVec(h)
+	dHPrev = NewVec(h)
+	for i := 0; i < h; i++ {
+		dht[i] = dH[i] * k.Z[i]
+		dz[i] = dH[i] * (k.HTilde[i] - k.HPrev[i])
+		dHPrev[i] = dH[i] * (1 - k.Z[i])
+	}
+	// Pre-activation grads.
+	dah := NewVec(h)
+	for i := 0; i < h; i++ {
+		dah[i] = dht[i] * (1 - k.HTilde[i]*k.HTilde[i])
+	}
+	daz := NewVec(h)
+	for i := 0; i < h; i++ {
+		daz[i] = dz[i] * k.Z[i] * (1 - k.Z[i])
+	}
+	// d(r⊙h) comes through Uh.
+	drh := NewVec(h)
+	MatTVecAdd(drh, c.Uh, dah)
+	dar := NewVec(h)
+	for i := 0; i < h; i++ {
+		dr := drh[i] * k.HPrev[i]
+		dar[i] = dr * k.R[i] * (1 - k.R[i])
+		dHPrev[i] += drh[i] * k.R[i]
+	}
+	// Parameter grads.
+	AddOuter(c.GWz, daz, k.X)
+	AddOuter(c.GUz, daz, k.HPrev)
+	c.GBz.Add(daz)
+	AddOuter(c.GWr, dar, k.X)
+	AddOuter(c.GUr, dar, k.HPrev)
+	c.GBr.Add(dar)
+	AddOuter(c.GWh, dah, k.X)
+	AddOuter(c.GUh, dah, k.RH)
+	c.GBh.Add(dah)
+	// Input and recurrent grads.
+	dX = NewVec(c.In)
+	MatTVecAdd(dX, c.Wz, daz)
+	MatTVecAdd(dX, c.Wr, dar)
+	MatTVecAdd(dX, c.Wh, dah)
+	MatTVecAdd(dHPrev, c.Uz, daz)
+	MatTVecAdd(dHPrev, c.Ur, dar)
+	return dX, dHPrev
+}
+
+// Params returns the cell's parameter/gradient pairs for optimizer
+// registration.
+func (c *GRUCell) Params() []ParamPair {
+	return []ParamPair{
+		{c.Wz.Data, c.GWz.Data}, {c.Uz.Data, c.GUz.Data}, {c.Bz, c.GBz},
+		{c.Wr.Data, c.GWr.Data}, {c.Ur.Data, c.GUr.Data}, {c.Br, c.GBr},
+		{c.Wh.Data, c.GWh.Data}, {c.Uh.Data, c.GUh.Data}, {c.Bh, c.GBh},
+	}
+}
+
+// MatVecAddInto computes y += M·x in place.
+func MatVecAddInto(y Vec, m *Mat, x Vec) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, xv := range x {
+			s += row[j] * xv
+		}
+		y[i] += s
+	}
+}

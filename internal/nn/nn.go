@@ -1,0 +1,205 @@
+// Package nn is a deliberately small neural-network substrate: flat
+// float64 matrices, the activation functions, a GRU cell with explicit
+// forward/backward passes, and an Adam optimizer. It exists so the
+// reproduction can train the paper's copy-mechanism encoder–decoder
+// (neural generation, Section II) without any dependency beyond the
+// standard library.
+//
+// The package trades generality for auditability: there is no autograd;
+// each layer exposes a Forward that returns the cached intermediates a
+// matching Backward consumes.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Vec is a dense vector.
+type Vec []float64
+
+// NewVec returns a zero vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Clone copies v.
+func (v Vec) Clone() Vec { out := make(Vec, len(v)); copy(out, v); return out }
+
+// Zero resets v in place.
+func (v Vec) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Add accumulates o into v (v += o).
+func (v Vec) Add(o Vec) {
+	for i := range v {
+		v[i] += o[i]
+	}
+}
+
+// AddScaled accumulates s*o into v.
+func (v Vec) AddScaled(o Vec, s float64) {
+	for i := range v {
+		v[i] += s * o[i]
+	}
+}
+
+// Dot returns the inner product of v and o.
+func (v Vec) Dot(o Vec) float64 {
+	s := 0.0
+	for i := range v {
+		s += v[i] * o[i]
+	}
+	return s
+}
+
+// Mat is a row-major dense matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMat returns a zero matrix.
+func NewMat(rows, cols int) *Mat {
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewMatRand returns a matrix with Xavier-style uniform init.
+func NewMatRand(rows, cols int, rng *rand.Rand) *Mat {
+	m := NewMat(rows, cols)
+	scale := math.Sqrt(6.0 / float64(rows+cols))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return m
+}
+
+// At returns m[i,j].
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns m[i,j].
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Mat) Row(i int) Vec { return Vec(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// Zero resets all elements.
+func (m *Mat) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MatVec computes y = M·x.
+func MatVec(m *Mat, x Vec) Vec {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("nn: MatVec dim mismatch %d×%d · %d", m.Rows, m.Cols, len(x)))
+	}
+	y := NewVec(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, xv := range x {
+			s += row[j] * xv
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// MatTVecAdd accumulates y += Mᵀ·x.
+func MatTVecAdd(y Vec, m *Mat, x Vec) {
+	if len(x) != m.Rows || len(y) != m.Cols {
+		panic(fmt.Sprintf("nn: MatTVecAdd dim mismatch %d×%d, x=%d y=%d", m.Rows, m.Cols, len(x), len(y)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		xv := x[i]
+		if xv == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j := range y {
+			y[j] += row[j] * xv
+		}
+	}
+}
+
+// AddOuter accumulates g += a·bᵀ (gradient of y=M·x wrt M with a=dy,
+// b=x).
+func AddOuter(g *Mat, a, b Vec) {
+	if len(a) != g.Rows || len(b) != g.Cols {
+		panic(fmt.Sprintf("nn: AddOuter dim mismatch %d×%d, a=%d b=%d", g.Rows, g.Cols, len(a), len(b)))
+	}
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		row := g.Data[i*g.Cols : (i+1)*g.Cols]
+		for j, bv := range b {
+			row[j] += av * bv
+		}
+	}
+}
+
+// Sigmoid applies the logistic function elementwise, returning a new
+// vector.
+func Sigmoid(x Vec) Vec {
+	y := NewVec(len(x))
+	for i, v := range x {
+		y[i] = 1 / (1 + math.Exp(-v))
+	}
+	return y
+}
+
+// SigmoidScalar is the scalar logistic function.
+func SigmoidScalar(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Tanh applies tanh elementwise, returning a new vector.
+func Tanh(x Vec) Vec {
+	y := NewVec(len(x))
+	for i, v := range x {
+		y[i] = math.Tanh(v)
+	}
+	return y
+}
+
+// Softmax returns the softmax of x (numerically stabilized).
+func Softmax(x Vec) Vec {
+	if len(x) == 0 {
+		return nil
+	}
+	max := x[0]
+	for _, v := range x[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	y := NewVec(len(x))
+	sum := 0.0
+	for i, v := range x {
+		y[i] = math.Exp(v - max)
+		sum += y[i]
+	}
+	for i := range y {
+		y[i] /= sum
+	}
+	return y
+}
+
+// ClipInPlace rescales g so its L2 norm is at most maxNorm.
+func ClipInPlace(g []float64, maxNorm float64) {
+	n := 0.0
+	for _, v := range g {
+		n += v * v
+	}
+	n = math.Sqrt(n)
+	if n <= maxNorm || n == 0 {
+		return
+	}
+	s := maxNorm / n
+	for i := range g {
+		g[i] *= s
+	}
+}

@@ -1,0 +1,204 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMatVec(t *testing.T) {
+	m := NewMat(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	y := MatVec(m, Vec{1, 0, -1})
+	if y[0] != -2 || y[1] != -2 {
+		t.Errorf("MatVec = %v, want [-2 -2]", y)
+	}
+}
+
+func TestMatVecDimPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MatVec with wrong dims did not panic")
+		}
+	}()
+	MatVec(NewMat(2, 3), Vec{1, 2})
+}
+
+func TestMatTVecAdd(t *testing.T) {
+	m := NewMat(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	y := NewVec(3)
+	MatTVecAdd(y, m, Vec{1, 1})
+	want := Vec{5, 7, 9}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("MatTVecAdd = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestAddOuter(t *testing.T) {
+	g := NewMat(2, 2)
+	AddOuter(g, Vec{1, 2}, Vec{3, 4})
+	want := []float64{3, 4, 6, 8}
+	for i := range want {
+		if g.Data[i] != want[i] {
+			t.Fatalf("AddOuter = %v, want %v", g.Data, want)
+		}
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	y := Softmax(Vec{1, 2, 3})
+	sum := 0.0
+	for _, v := range y {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("softmax sums to %v", sum)
+	}
+	if !(y[2] > y[1] && y[1] > y[0]) {
+		t.Errorf("softmax not monotone: %v", y)
+	}
+	// Large values must not overflow.
+	y = Softmax(Vec{1000, 1000})
+	if math.IsNaN(y[0]) || math.Abs(y[0]-0.5) > 1e-9 {
+		t.Errorf("softmax unstable: %v", y)
+	}
+}
+
+func TestSigmoidTanh(t *testing.T) {
+	if v := SigmoidScalar(0); math.Abs(v-0.5) > 1e-12 {
+		t.Errorf("sigmoid(0) = %v", v)
+	}
+	y := Tanh(Vec{0})
+	if y[0] != 0 {
+		t.Errorf("tanh(0) = %v", y[0])
+	}
+}
+
+func TestClipInPlace(t *testing.T) {
+	g := []float64{3, 4} // norm 5
+	ClipInPlace(g, 1)
+	norm := math.Hypot(g[0], g[1])
+	if math.Abs(norm-1) > 1e-12 {
+		t.Errorf("clipped norm = %v, want 1", norm)
+	}
+	h := []float64{0.3, 0.4}
+	ClipInPlace(h, 1)
+	if h[0] != 0.3 || h[1] != 0.4 {
+		t.Error("clip modified in-budget gradient")
+	}
+}
+
+// TestGRUGradientCheck verifies the analytic GRU backward pass against
+// central finite differences on a scalar loss L = Σ h'ᵢ·tᵢ.
+func TestGRUGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const in, hid = 3, 4
+	cell := NewGRUCell(in, hid, rng)
+	x := randVec(rng, in)
+	h0 := randVec(rng, hid)
+	target := randVec(rng, hid)
+
+	loss := func() float64 {
+		k := cell.Forward(x, h0)
+		return k.H.Dot(target)
+	}
+
+	// Analytic gradients.
+	k := cell.Forward(x, h0)
+	dX, dH := cell.Backward(target.Clone(), k)
+
+	const eps = 1e-6
+	checkVec := func(name string, v Vec, analytic Vec) {
+		for i := range v {
+			orig := v[i]
+			v[i] = orig + eps
+			lp := loss()
+			v[i] = orig - eps
+			lm := loss()
+			v[i] = orig
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-analytic[i]) > 1e-4*(1+math.Abs(num)) {
+				t.Errorf("%s[%d]: analytic %.8f vs numeric %.8f", name, i, analytic[i], num)
+			}
+		}
+	}
+	checkVec("dX", x, dX)
+	checkVec("dH0", h0, dH)
+
+	checkMat := func(name string, w, g *Mat) {
+		for i := range w.Data {
+			orig := w.Data[i]
+			w.Data[i] = orig + eps
+			lp := loss()
+			w.Data[i] = orig - eps
+			lm := loss()
+			w.Data[i] = orig
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-g.Data[i]) > 1e-4*(1+math.Abs(num)) {
+				t.Errorf("%s[%d]: analytic %.8f vs numeric %.8f", name, i, g.Data[i], num)
+			}
+		}
+	}
+	checkMat("Wz", cell.Wz, cell.GWz)
+	checkMat("Uz", cell.Uz, cell.GUz)
+	checkMat("Wr", cell.Wr, cell.GWr)
+	checkMat("Ur", cell.Ur, cell.GUr)
+	checkMat("Wh", cell.Wh, cell.GWh)
+	checkMat("Uh", cell.Uh, cell.GUh)
+	checkVec("Bz", cell.Bz, cell.GBz)
+	checkVec("Br", cell.Br, cell.GBr)
+	checkVec("Bh", cell.Bh, cell.GBh)
+}
+
+// TestAdamConvergesOnQuadratic drives Adam on f(w) = Σ(w-3)² and
+// expects convergence to 3.
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	w := []float64{-2, 8, 0.5}
+	g := make([]float64, len(w))
+	opt := NewAdam(0.1)
+	opt.Register(ParamPair{W: w, G: g})
+	for step := 0; step < 600; step++ {
+		for i := range w {
+			g[i] = 2 * (w[i] - 3)
+		}
+		opt.Step()
+	}
+	for i, v := range w {
+		if math.Abs(v-3) > 0.05 {
+			t.Errorf("w[%d] = %v, want ≈3", i, v)
+		}
+	}
+}
+
+func TestAdamZeroesGradients(t *testing.T) {
+	w := []float64{1}
+	g := []float64{5}
+	opt := NewAdam(0.01)
+	opt.Register(ParamPair{W: w, G: g})
+	opt.Step()
+	if g[0] != 0 {
+		t.Errorf("gradient not zeroed after Step: %v", g[0])
+	}
+}
+
+func TestNewMatRandInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMatRand(10, 10, rng)
+	bound := math.Sqrt(6.0 / 20)
+	for _, v := range m.Data {
+		if v < -bound || v > bound {
+			t.Fatalf("init value %v outside ±%v", v, bound)
+		}
+	}
+}
+
+func randVec(rng *rand.Rand, n int) Vec {
+	v := NewVec(n)
+	for i := range v {
+		v[i] = rng.NormFloat64() * 0.5
+	}
+	return v
+}

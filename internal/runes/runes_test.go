@@ -1,0 +1,112 @@
+package runes
+
+import "testing"
+
+func TestIsHan(t *testing.T) {
+	for _, tc := range []struct {
+		r    rune
+		want bool
+	}{
+		{'中', true}, {'国', true}, {'人', true}, {'A', false},
+		{'1', false}, {'，', false}, {' ', false}, {'ñ', false},
+	} {
+		if got := IsHan(tc.r); got != tc.want {
+			t.Errorf("IsHan(%q) = %v, want %v", tc.r, got, tc.want)
+		}
+	}
+}
+
+func TestIsCJKPunct(t *testing.T) {
+	for _, r := range []rune{'，', '。', '、', '《', '》', '（', '）'} {
+		if !IsCJKPunct(r) {
+			t.Errorf("IsCJKPunct(%q) = false, want true", r)
+		}
+	}
+	for _, r := range []rune{'中', 'a', '1'} {
+		if IsCJKPunct(r) {
+			t.Errorf("IsCJKPunct(%q) = true, want false", r)
+		}
+	}
+}
+
+func TestIsPunct(t *testing.T) {
+	for _, r := range []rune{'，', '.', '!', '-', '+'} {
+		if !IsPunct(r) {
+			t.Errorf("IsPunct(%q) = false, want true", r)
+		}
+	}
+	if IsPunct('汉') {
+		t.Error("IsPunct(汉) = true, want false")
+	}
+}
+
+func TestIsDigit(t *testing.T) {
+	for _, tc := range []struct {
+		r    rune
+		want bool
+	}{{'0', true}, {'9', true}, {'０', true}, {'９', true}, {'a', false}, {'十', false}} {
+		if got := IsDigit(tc.r); got != tc.want {
+			t.Errorf("IsDigit(%q) = %v, want %v", tc.r, got, tc.want)
+		}
+	}
+}
+
+func TestHanCountAndAllHan(t *testing.T) {
+	if got := HanCount("中abc国12"); got != 2 {
+		t.Errorf("HanCount = %d, want 2", got)
+	}
+	if !AllHan("中国人") {
+		t.Error("AllHan(中国人) = false, want true")
+	}
+	if AllHan("中国a") {
+		t.Error("AllHan(中国a) = true, want false")
+	}
+	if AllHan("") {
+		t.Error("AllHan(\"\") = true, want false")
+	}
+}
+
+func TestLen(t *testing.T) {
+	for _, tc := range []struct {
+		s    string
+		want int
+	}{{"", 0}, {"abc", 3}, {"中国", 2}, {"a中1", 3}} {
+		if got := Len(tc.s); got != tc.want {
+			t.Errorf("Len(%q) = %d, want %d", tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestHasSuffix(t *testing.T) {
+	rs := []rune("教育机构")
+	if !HasSuffix(rs, "机构") {
+		t.Error("HasSuffix(教育机构, 机构) = false, want true")
+	}
+	if HasSuffix(rs, "教育") {
+		t.Error("HasSuffix(教育机构, 教育) = true, want false")
+	}
+	if HasSuffix(rs, "很长很长很长的后缀") {
+		t.Error("HasSuffix with over-long suffix = true, want false")
+	}
+	if !HasSuffix(rs, "") {
+		t.Error("HasSuffix with empty suffix = false, want true")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	got := string(Reverse([]rune("中国人")))
+	if got != "人国中" {
+		t.Errorf("Reverse = %q, want 人国中", got)
+	}
+	if len(Reverse(nil)) != 0 {
+		t.Error("Reverse(nil) should be empty")
+	}
+}
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "abc", "中文mixed123", "《忘情水》"} {
+		if got := Join(Split(s)); got != s {
+			t.Errorf("Join(Split(%q)) = %q", s, got)
+		}
+	}
+}

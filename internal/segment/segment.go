@@ -1,0 +1,244 @@
+// Package segment implements Chinese word segmentation on top of a
+// dictionary trie. Chinese text has no word spaces, so the separation
+// algorithm (paper Section II) depends on this substrate to turn a
+// bracket noun compound into the word sequence (x1 … xn).
+//
+// Two algorithms are provided:
+//
+//   - Viterbi (default): dynamic programming over all dictionary
+//     matches, maximizing the product of unigram word probabilities
+//     (equivalently, minimizing summed negative log probabilities).
+//     Unknown runes fall back to single-character "words" with a high
+//     cost, so dictionary words are strongly preferred.
+//   - Forward maximum matching (FMM): the classic greedy longest-match
+//     baseline, exposed for comparison and used in tests as an oracle
+//     cross-check.
+//
+// A Segmenter is immutable after construction and safe for concurrent
+// use.
+package segment
+
+import (
+	"math"
+	"strings"
+
+	"cnprobase/internal/corpus"
+	"cnprobase/internal/runes"
+	"cnprobase/internal/trie"
+)
+
+// Segmenter cuts Chinese text into words using a dictionary and
+// optional corpus statistics.
+type Segmenter struct {
+	dict  *trie.Trie
+	stats *corpus.Stats // may be nil: uniform word costs
+	// unknownPenalty is the additional negative-log cost of emitting a
+	// single unknown rune; it keeps the Viterbi path on dictionary words
+	// whenever one covers the span.
+	unknownPenalty float64
+}
+
+// Option configures a Segmenter.
+type Option func(*Segmenter)
+
+// WithStats supplies corpus statistics; word costs become smoothed
+// unigram surprisals instead of uniform costs.
+func WithStats(s *corpus.Stats) Option {
+	return func(sg *Segmenter) { sg.stats = s }
+}
+
+// WithUnknownPenalty overrides the cost of unknown single runes.
+func WithUnknownPenalty(p float64) Option {
+	return func(sg *Segmenter) { sg.unknownPenalty = p }
+}
+
+// New builds a Segmenter over the given dictionary words.
+func New(words []string, opts ...Option) *Segmenter {
+	t := trie.New()
+	for _, w := range words {
+		if w != "" {
+			t.Insert(w)
+		}
+	}
+	sg := &Segmenter{dict: t, unknownPenalty: 14.0}
+	for _, o := range opts {
+		o(sg)
+	}
+	return sg
+}
+
+// AddWord inserts an extra dictionary word (e.g. an entity title learned
+// from page titles). Not safe to call concurrently with Cut.
+func (sg *Segmenter) AddWord(w string) {
+	if w != "" {
+		sg.dict.Insert(w)
+	}
+}
+
+// DictSize returns the number of dictionary words.
+func (sg *Segmenter) DictSize() int { return sg.dict.Size() }
+
+// HasWord reports whether w is a dictionary word.
+func (sg *Segmenter) HasWord(w string) bool { return sg.dict.Contains(w) }
+
+// Cut segments text into words using Viterbi decoding. Punctuation and
+// non-Han runs are emitted as their own tokens.
+func (sg *Segmenter) Cut(text string) []string {
+	var out []string
+	for _, span := range splitSpans(text) {
+		if span.kind == spanHan {
+			out = append(out, sg.cutHan([]rune(span.text))...)
+		} else {
+			out = append(out, span.text)
+		}
+	}
+	return out
+}
+
+// CutAll is like Cut applied to each input string, flattening the
+// results with sentence boundaries preserved per input.
+func (sg *Segmenter) CutAll(texts []string) [][]string {
+	out := make([][]string, len(texts))
+	for i, t := range texts {
+		out[i] = sg.Cut(t)
+	}
+	return out
+}
+
+// wordCost returns the negative log probability of w as one token.
+func (sg *Segmenter) wordCost(w string, known bool) float64 {
+	if !known {
+		return sg.unknownPenalty * float64(runes.Len(w))
+	}
+	if sg.stats == nil {
+		// Uniform cost with a mild preference for longer words.
+		return 6.0 - 0.5*float64(runes.Len(w))
+	}
+	return -math.Log(sg.stats.Probability(w))
+}
+
+// cutHan Viterbi-decodes a pure-Han rune span.
+func (sg *Segmenter) cutHan(rs []rune) []string {
+	n := len(rs)
+	if n == 0 {
+		return nil
+	}
+	const inf = math.MaxFloat64
+	// best[i] = minimal cost to segment rs[:i]; back[i] = start of the
+	// last word in that segmentation.
+	best := make([]float64, n+1)
+	back := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		best[i] = inf
+	}
+	for i := 0; i < n; i++ {
+		if best[i] == inf {
+			continue
+		}
+		// Unknown single rune fallback keeps the lattice connected.
+		if c := best[i] + sg.wordCost(string(rs[i]), sg.dict.Contains(string(rs[i]))); c < best[i+1] {
+			best[i+1] = c
+			back[i+1] = i
+		}
+		for _, m := range sg.dict.MatchesFrom(rs, i) {
+			if m.Len < 2 {
+				continue // single-rune matches handled above
+			}
+			end := i + m.Len
+			w := string(rs[i:end])
+			if c := best[i] + sg.wordCost(w, true); c < best[end] {
+				best[end] = c
+				back[end] = i
+			}
+		}
+	}
+	// Reconstruct.
+	var rev []string
+	for i := n; i > 0; {
+		j := back[i]
+		rev = append(rev, string(rs[j:i]))
+		i = j
+	}
+	out := make([]string, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// CutFMM segments a pure-Han string with forward maximum matching, the
+// greedy baseline.
+func (sg *Segmenter) CutFMM(text string) []string {
+	var out []string
+	for _, span := range splitSpans(text) {
+		if span.kind != spanHan {
+			out = append(out, span.text)
+			continue
+		}
+		rs := []rune(span.text)
+		for i := 0; i < len(rs); {
+			l := sg.dict.LongestFrom(rs, i)
+			if l == 0 {
+				l = 1
+			}
+			out = append(out, string(rs[i:i+l]))
+			i += l
+		}
+	}
+	return out
+}
+
+type spanKind int
+
+const (
+	spanHan spanKind = iota
+	spanOther
+	spanPunct
+)
+
+type span struct {
+	text string
+	kind spanKind
+}
+
+// splitSpans partitions text into maximal runs of Han runes,
+// punctuation (one token per punct rune) and everything else (kept as
+// whole runs: latin words, numbers).
+func splitSpans(text string) []span {
+	var spans []span
+	var cur strings.Builder
+	curKind := spanOther
+	flush := func() {
+		if cur.Len() > 0 {
+			spans = append(spans, span{text: cur.String(), kind: curKind})
+			cur.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case runes.IsPunct(r) || r == ' ' || r == '\t' || r == '\n':
+			flush()
+			if r != ' ' && r != '\t' && r != '\n' {
+				spans = append(spans, span{text: string(r), kind: spanPunct})
+			}
+		case runes.IsHan(r):
+			if curKind != spanHan {
+				flush()
+				curKind = spanHan
+			}
+			cur.WriteRune(r)
+		default:
+			if curKind != spanOther {
+				flush()
+				curKind = spanOther
+			}
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return spans
+}
+
+// IsContentToken reports whether a token produced by Cut is a content
+// word (Han text) rather than punctuation, digits or latin runs.
+func IsContentToken(tok string) bool { return runes.AllHan(tok) }

@@ -1,0 +1,141 @@
+package segment
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cnprobase/internal/corpus"
+)
+
+var dict = []string{
+	"中国", "中国香港", "男演员", "演员", "歌手", "词作人",
+	"蚂蚁", "金服", "首席", "战略官", "出生", "出生于", "香港",
+}
+
+func TestCutBasic(t *testing.T) {
+	sg := New(dict)
+	got := sg.Cut("蚂蚁金服首席战略官")
+	want := []string{"蚂蚁", "金服", "首席", "战略官"}
+	assertTokens(t, got, want)
+}
+
+func TestCutPrefersLongerDictionaryWords(t *testing.T) {
+	sg := New(dict)
+	// 中国香港 must win over 中国+香港, and 男演员 over unknown 男 + 演员
+	// needs stats-free preference for longer words.
+	got := sg.Cut("中国香港男演员")
+	want := []string{"中国香港", "男演员"}
+	assertTokens(t, got, want)
+}
+
+func TestCutUnknownRunesFallback(t *testing.T) {
+	sg := New(dict)
+	got := sg.Cut("犇演员")
+	want := []string{"犇", "演员"}
+	assertTokens(t, got, want)
+}
+
+func TestCutMixedScripts(t *testing.T) {
+	sg := New(dict)
+	got := sg.Cut("演员Andy123，歌手。")
+	want := []string{"演员", "Andy123", "，", "歌手", "。"}
+	assertTokens(t, got, want)
+}
+
+func TestCutEmpty(t *testing.T) {
+	sg := New(dict)
+	if got := sg.Cut(""); len(got) != 0 {
+		t.Errorf("Cut(\"\") = %v, want empty", got)
+	}
+}
+
+func TestCutWithStatsDisambiguates(t *testing.T) {
+	// Stats make 出生于 (observed often) beat 出生+于 splits and vice
+	// versa when the corpus says otherwise.
+	st := corpus.NewStats()
+	for i := 0; i < 50; i++ {
+		st.AddSentence([]string{"出生于", "中国"})
+	}
+	sg := New(dict, WithStats(st))
+	got := sg.Cut("出生于中国")
+	assertTokens(t, got, []string{"出生于", "中国"})
+}
+
+func TestCutFMMGreedy(t *testing.T) {
+	sg := New(dict)
+	got := sg.CutFMM("中国香港男演员")
+	assertTokens(t, got, []string{"中国香港", "男演员"})
+	got = sg.CutFMM("犇犇")
+	assertTokens(t, got, []string{"犇", "犇"})
+}
+
+func TestAddWord(t *testing.T) {
+	sg := New(dict)
+	before := sg.Cut("忘情水")
+	if len(before) != 3 {
+		t.Fatalf("before AddWord: %v", before)
+	}
+	sg.AddWord("忘情水")
+	assertTokens(t, sg.Cut("忘情水"), []string{"忘情水"})
+	if !sg.HasWord("忘情水") {
+		t.Error("HasWord after AddWord = false")
+	}
+}
+
+func TestIsContentToken(t *testing.T) {
+	for tok, want := range map[string]bool{
+		"演员": true, "，": false, "Andy": false, "123": false, "": false,
+	} {
+		if got := IsContentToken(tok); got != want {
+			t.Errorf("IsContentToken(%q) = %v, want %v", tok, got, want)
+		}
+	}
+}
+
+// Property: segmentation never loses or reorders non-whitespace
+// content — concatenating the tokens reproduces the input minus spaces.
+func TestQuickCutLossless(t *testing.T) {
+	sg := New(dict)
+	pieces := []string{"中国", "香港", "男演员", "犇", "Andy", "，", "123", "出生于"}
+	f := func(idxs []uint8) bool {
+		var in strings.Builder
+		for _, i := range idxs {
+			in.WriteString(pieces[int(i)%len(pieces)])
+		}
+		s := in.String()
+		joined := strings.Join(sg.Cut(s), "")
+		return joined == strings.ReplaceAll(s, " ", "")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every token is non-empty.
+func TestQuickNoEmptyTokens(t *testing.T) {
+	sg := New(dict)
+	f := func(s string) bool {
+		for _, tok := range sg.Cut(s) {
+			if tok == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func assertTokens(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tokens = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,427 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cnprobase/internal/encyclopedia"
+	"cnprobase/internal/lexicon"
+)
+
+// domainShare fixes the entity mix. Persons dominate, matching the
+// encyclopedia the paper crawls (Figure 1 is a person page).
+var domainShare = []struct {
+	d Domain
+	w float64
+}{
+	{DomainPerson, 0.40},
+	{DomainWork, 0.20},
+	{DomainPlace, 0.12},
+	{DomainOrg, 0.12},
+	{DomainOrganism, 0.08},
+	{DomainProduct, 0.06},
+	{DomainEvent, 0.02},
+}
+
+// generateEntities mints entity identities for every domain. Rendering
+// into pages happens afterwards so cross-references resolve.
+func (w *World) generateEntities() error {
+	counts := make(map[Domain]int)
+	for _, ds := range domainShare {
+		counts[ds.d] = int(float64(w.Cfg.Entities) * ds.w)
+	}
+	// Round remainder into persons.
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	counts[DomainPerson] += w.Cfg.Entities - total
+
+	for _, ds := range domainShare {
+		for i := 0; i < counts[ds.d]; i++ {
+			e := w.mintEntity(ds.d)
+			w.Entities = append(w.Entities, e)
+		}
+	}
+	// Deliberate title collisions: clone some person titles onto new
+	// entities with different concepts, forcing bracket disambiguation.
+	persons := w.entitiesOf(DomainPerson)
+	nCollide := int(float64(len(persons)) * w.Cfg.CollisionRate)
+	for i := 0; i < nCollide && i < len(persons); i++ {
+		src := persons[w.rng.Intn(len(persons))]
+		e := w.mintEntity(DomainPerson)
+		e.Title = src.Title
+		w.Entities = append(w.Entities, e)
+	}
+	// Assign brackets + IDs, then index.
+	w.assignBrackets()
+	for _, e := range w.Entities {
+		e.ID = encyclopedia.EntityID(e.Title, e.Bracket)
+		if _, dup := w.byID[e.ID]; dup {
+			// Same title, same bracket: disambiguate by region.
+			if e.Region != "" && !strings.HasPrefix(e.Bracket, e.Region) {
+				e.Bracket = e.Region + e.Bracket
+				e.ID = encyclopedia.EntityID(e.Title, e.Bracket)
+			}
+		}
+		if _, dup := w.byID[e.ID]; dup {
+			continue // drop exact duplicates silently
+		}
+		w.byID[e.ID] = e
+		w.byTitle[e.Title] = append(w.byTitle[e.Title], e)
+	}
+	// Rebuild the entity list from the index to exclude dropped ones.
+	w.Entities = w.Entities[:0]
+	for _, title := range sortedKeys(w.byTitle) {
+		w.Entities = append(w.Entities, w.byTitle[title]...)
+	}
+	if len(w.Entities) == 0 {
+		return fmt.Errorf("synth: no entities generated")
+	}
+	return nil
+}
+
+func (w *World) entitiesOf(d Domain) []*Entity {
+	var out []*Entity
+	for _, e := range w.Entities {
+		if e.Domain == d {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// pickConcepts draws 1–3 compatible concepts for a domain.
+func (w *World) pickConcepts(d Domain) []string {
+	pool := w.conceptsByDomain[d]
+	if len(pool) == 0 {
+		return []string{string(d)}
+	}
+	first := pool[w.rng.Intn(len(pool))]
+	out := []string{first}
+	// Persons frequently hold several roles (演员、歌手) — same domain,
+	// so compatible by construction.
+	extra := 0
+	if d == DomainPerson {
+		extra = w.rng.Intn(3) // 0..2 extra roles
+	} else if w.rng.Float64() < 0.2 {
+		extra = 1
+	}
+	for i := 0; i < extra; i++ {
+		c := pool[w.rng.Intn(len(pool))]
+		if !contains(out, c) && !w.related(c, out) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// related reports whether c is an ancestor or descendant of any chosen
+// concept (avoid typing an entity with both 演员 and 男演员).
+func (w *World) related(c string, chosen []string) bool {
+	for _, o := range chosen {
+		if w.ancestors[c][o] || w.ancestors[o][c] {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *World) mintEntity(d Domain) *Entity {
+	e := &Entity{
+		Domain:    d,
+		Concepts:  w.pickConcepts(d),
+		Region:    pick(w.rng, regionsPool),
+		BirthYear: 1900 + w.rng.Intn(110),
+	}
+	switch d {
+	case DomainPerson:
+		e.Title = w.personName()
+		e.English = romanizeName(e.Title)
+		if e.English == "" {
+			e.English = w.englishName(2)
+		}
+		if w.rng.Float64() < w.Cfg.AliasRate {
+			rs := []rune(e.Title)
+			if len(rs) == 3 {
+				e.Aliases = append(e.Aliases, string(rs[1:])) // given-name alias
+			}
+		}
+	case DomainPlace:
+		e.Title, e.Concepts = w.placeName()
+		e.English = w.englishName(1)
+	case DomainOrg:
+		e.Title, e.Concepts = w.orgName()
+		e.English = strings.ToUpper(w.englishName(1))
+	case DomainWork:
+		e.Title = w.workTitle()
+		e.English = w.englishName(2)
+	case DomainOrganism:
+		e.Title = w.organismName()
+		e.English = w.englishName(1)
+	case DomainProduct:
+		e.Title = w.productName()
+		e.English = strings.ToUpper(w.englishName(1))
+	case DomainEvent:
+		e.Title = w.eventName()
+		e.English = w.englishName(2)
+	}
+	return e
+}
+
+func (w *World) personName() string {
+	sur := pick(w.rng, surnamePool)
+	n := 1 + w.rng.Intn(2)
+	var b strings.Builder
+	b.WriteString(sur)
+	for i := 0; i < n; i++ {
+		b.WriteString(pick(w.rng, givenPool))
+	}
+	return b.String()
+}
+
+// placeName mints a stem+suffix place and types it consistently with
+// the suffix.
+func (w *World) placeName() (string, []string) {
+	type form struct {
+		suffix  string
+		concept string
+	}
+	forms := []form{
+		{"市", "城市"}, {"县", "地区"}, {"镇", "乡镇"}, {"村", "村庄"},
+		{"山", "山脉"}, {"河", "河流"}, {"湖", "湖泊"}, {"岛", "岛屿"},
+	}
+	f := forms[w.rng.Intn(len(forms))]
+	stem := pick(w.rng, placeStemPool)
+	concepts := []string{f.concept}
+	if f.concept == "城市" && w.rng.Float64() < 0.4 {
+		pool := []string{"省会城市", "沿海城市", "历史文化名城"}
+		concepts = []string{pool[w.rng.Intn(len(pool))]}
+	}
+	return stem + f.suffix, concepts
+}
+
+// orgName mints organization names; companies use stem+industry
+// (蚂蚁金服), schools use placeStem+大学.
+func (w *World) orgName() (string, []string) {
+	switch w.rng.Intn(5) {
+	case 0: // university
+		pool := []string{"综合性大学", "师范大学", "医科大学"}
+		return pick(w.rng, placeStemPool) + "大学", []string{pool[w.rng.Intn(len(pool))]}
+	case 1: // bank / hospital / institute
+		type form struct{ sfx, c string }
+		forms := []form{{"银行", "银行"}, {"医院", "医院"}, {"研究所", "研究所"}, {"出版社", "出版社"}, {"中学", "中学"}}
+		f := forms[w.rng.Intn(len(forms))]
+		return pick(w.rng, placeStemPool) + f.sfx, []string{f.c}
+	default: // company: stem + industry word
+		ind := pick(w.rng, industryPool)
+		c := industryConcept[ind]
+		if c == "" {
+			c = "公司"
+		}
+		return pick(w.rng, orgStemPool) + ind, []string{c}
+	}
+}
+
+func (w *World) workTitle() string {
+	n := 2 + w.rng.Intn(2)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString(pick(w.rng, workCharPool))
+	}
+	return b.String()
+}
+
+func (w *World) organismName() string {
+	heads := []string{"红", "白", "黑", "金", "银", "青", "紫", "斑", "大", "小"}
+	bodies := []string{"尾雀", "头鹰", "纹鱼", "翅蝶", "角鹿", "叶兰", "花藤", "果树", "鳞蛇", "须虾"}
+	return pick(w.rng, heads) + pick(w.rng, bodies)
+}
+
+func (w *World) productName() string {
+	brands := []string{"星驰", "云景", "蓝湾", "极光", "飞鸿", "天行", "墨白", "锐界"}
+	return pick(w.rng, brands) + fmt.Sprintf("%d", 1+w.rng.Intn(30))
+}
+
+func (w *World) eventName() string {
+	stems := []string{"春城", "东海", "金陵", "长安", "两江", "南山"}
+	kinds := []string{"之战", "运动会", "艺术节", "峰会", "音乐节"}
+	return pick(w.rng, stems) + pick(w.rng, kinds)
+}
+
+// romanizeName converts a Chinese person name to pinyin in
+// "Surname Givenname" form (刘德华 → "Liu Dehua"); it returns "" when a
+// character has no known romanization.
+func romanizeName(name string) string {
+	rs := []rune(name)
+	if len(rs) < 2 {
+		return ""
+	}
+	// Try the two-rune surname first (欧阳).
+	surLen := 1
+	if len(rs) >= 3 {
+		if _, ok := lexicon.CharPinyin(string(rs[:2])); ok {
+			surLen = 2
+		}
+	}
+	sur, ok := lexicon.CharPinyin(string(rs[:surLen]))
+	if !ok {
+		return ""
+	}
+	given := ""
+	for _, r := range rs[surLen:] {
+		p, ok := lexicon.CharPinyin(string(r))
+		if !ok {
+			return ""
+		}
+		given += p
+	}
+	return title(sur) + " " + title(given)
+}
+
+func title(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+func (w *World) englishName(parts int) string {
+	var b strings.Builder
+	for i := 0; i < parts; i++ {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		s := pick(w.rng, pinyinPool)
+		b.WriteString(strings.ToUpper(s[:1]) + s[1:])
+	}
+	return b.String()
+}
+
+// assignBrackets decides which entities carry a disambiguation bracket
+// and renders the bracket compound.
+func (w *World) assignBrackets() {
+	// Count title usage to force brackets on collisions.
+	titleUses := make(map[string]int)
+	for _, e := range w.Entities {
+		titleUses[e.Title]++
+	}
+	for _, e := range w.Entities {
+		forced := titleUses[e.Title] > 1
+		if !forced && w.rng.Float64() >= w.Cfg.BracketRate {
+			continue
+		}
+		e.Bracket = w.renderBracket(e)
+	}
+}
+
+// renderBracket builds the noun compound inside the bracket. Person
+// brackets occasionally take the org+title form of the paper's Figure 3
+// running example (蚂蚁金服首席战略官).
+func (w *World) renderBracket(e *Entity) string {
+	if e.Domain == DomainPerson && w.rng.Float64() < w.Cfg.OrgTitleBracketRate {
+		org := w.randomOrgEmployer()
+		if org != nil {
+			title := pick(w.rng, jobTitlePool)
+			e.Employer = org
+			e.JobTitle = title
+			e.ExtraHypernyms = append(e.ExtraHypernyms, titleHypernyms(title)...)
+			// A labeler also accepts org-type + title compounds
+			// (清河大学教授 → 大学教授): generic institutional roles.
+			for _, sfx := range orgSuffixPool {
+				if strings.HasSuffix(org.Title, sfx) {
+					for _, th := range titleHypernyms(title) {
+						e.ExtraHypernyms = append(e.ExtraHypernyms, sfx+th)
+					}
+					break
+				}
+			}
+			return org.Title + title
+		}
+	}
+	var parts []string
+	for i, c := range e.Concepts {
+		p := c
+		if i == 0 {
+			// Leading concept may take region and/or modifier prefixes.
+			if w.rng.Float64() < 0.5 {
+				p = e.Region + p
+			}
+			if e.Domain == DomainPerson && w.rng.Float64() < 0.3 {
+				p = "著名" + p
+			}
+		}
+		parts = append(parts, p)
+	}
+	return strings.Join(parts, "、")
+}
+
+// titleHypernyms expands a compound job title into the hypernym strings
+// the oracle accepts: the full title and its head suffix (首席战略官 →
+// also 战略官).
+func titleHypernyms(title string) []string {
+	out := []string{title}
+	if strings.HasPrefix(title, "首席") {
+		out = append(out, strings.TrimPrefix(title, "首席"))
+	}
+	if strings.HasPrefix(title, "联合") {
+		out = append(out, strings.TrimPrefix(title, "联合"))
+	}
+	if strings.HasPrefix(title, "副") {
+		out = append(out, strings.TrimPrefix(title, "副"))
+	}
+	return out
+}
+
+func (w *World) randomOrgEmployer() *Entity {
+	orgs := w.entitiesOf(DomainOrg)
+	if len(orgs) == 0 {
+		return nil
+	}
+	return orgs[w.rng.Intn(len(orgs))]
+}
+
+// ---- deterministic pools (loaded once from the lexicon) ----
+
+var (
+	surnamePool   = lexicon.Surnames()
+	givenPool     = lexicon.GivenChars()
+	regionsPool   = lexicon.Regions()
+	placeStemPool = lexicon.PlaceStems()
+	orgStemPool   = lexicon.OrgStems()
+	industryPool  = lexicon.OrgIndustry()
+	workCharPool  = lexicon.WorkChars()
+	jobTitlePool  = lexicon.JobTitles()
+	pinyinPool    = lexicon.PinyinSyllables()
+	orgSuffixPool = lexicon.OrgSuffixes()
+)
+
+// industryConcept maps a company industry word to its typed concept.
+var industryConcept = map[string]string{
+	"金服": "金融公司", "科技": "科技公司", "网络": "互联网公司",
+	"传媒": "电影公司", "资本": "金融公司", "控股": "金融公司",
+	"证券": "金融公司", "软件": "科技公司",
+}
+
+func pick(r interface{ Intn(int) int }, xs []string) string {
+	return xs[r.Intn(len(xs))]
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedKeys(m map[string][]*Entity) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

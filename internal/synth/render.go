@@ -1,0 +1,295 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"cnprobase/internal/encyclopedia"
+	"cnprobase/internal/lexicon"
+)
+
+// Infobox predicate names used by the renderer. Extraction must NOT
+// assume this list — predicate discovery has to find the isA-bearing
+// ones from data (paper Section II, predicate discovery).
+const (
+	PredName       = "中文名"
+	PredForeign    = "外文名"
+	PredNation     = "国籍"
+	PredBirthPlace = "出生地"
+	PredBirthDate  = "出生日期"
+	PredOccupation = "职业"
+	PredPosition   = "职务"
+	PredAlmaMater  = "毕业院校"
+	PredWorks      = "代表作品"
+	PredGenre      = "类型"
+	PredCategory   = "类别"
+	PredDirector   = "导演"
+	PredRelease    = "发行时间"
+	PredProducer   = "出品公司"
+	PredRegionOf   = "所属地区"
+	PredArea       = "面积"
+	PredPopulation = "人口"
+	PredHQ         = "总部地点"
+	PredFounded    = "成立时间"
+	PredFounder    = "创始人"
+	PredKingdom    = "界"
+	PredDistribute = "分布区域"
+	PredMaker      = "制造商"
+	PredLaunch     = "发布时间"
+	PredField      = "领域"
+	PredHeight     = "身高"
+	PredWeight     = "体重"
+	PredAlias      = "别名"
+)
+
+// leakPredicates are non-isA predicates that InfoboxLeakNoise may attach
+// a concept object to, creating the chance alignments predicate
+// discovery must survive.
+var leakPredicates = []string{
+	PredField, PredWorks, PredForeign, "相关条目", "主要成就", "标签",
+	"出处", "登场作品", "相关人物", "所属行业",
+}
+
+// renderCorpus renders every entity into an encyclopedia page.
+func (w *World) renderCorpus() {
+	w.corpus = &encyclopedia.Corpus{Pages: make([]encyclopedia.Page, 0, len(w.Entities))}
+	for _, e := range w.Entities {
+		p := encyclopedia.Page{
+			Title:   e.Title,
+			Bracket: e.Bracket,
+		}
+		if w.rng.Float64() < w.Cfg.AbstractRate {
+			p.Abstract = w.renderAbstract(e)
+		}
+		p.Infobox = w.renderInfobox(e)
+		p.Tags = w.renderTags(e)
+		w.corpus.Pages = append(w.corpus.Pages, p)
+	}
+}
+
+// conceptPhrase joins the entity's concepts with 、 optionally prefixed
+// by its region: the defining phrase of the first abstract sentence.
+func (w *World) conceptPhrase(e *Entity) string {
+	var b strings.Builder
+	b.WriteString(e.Region)
+	for i, c := range e.Concepts {
+		if i > 0 {
+			b.WriteString("、")
+		}
+		b.WriteString(c)
+	}
+	return b.String()
+}
+
+func (w *World) renderAbstract(e *Entity) string {
+	var b strings.Builder
+	switch e.Domain {
+	case DomainPerson:
+		fmt.Fprintf(&b, "%s（%s），%d年出生于%s，%s。", e.Title, e.English, e.BirthYear, w.randomPlaceMention(), w.conceptPhrase(e))
+		if e.JobTitle != "" && e.Employer != nil {
+			fmt.Fprintf(&b, "现任%s%s。", e.Employer.Title, e.JobTitle)
+		}
+		if wk := w.randomTitleOf(DomainWork); wk != "" {
+			fmt.Fprintf(&b, "代表作品有《%s》。", wk)
+		}
+		if org := w.randomTitleOf(DomainOrg); org != "" && w.rng.Float64() < 0.4 {
+			fmt.Fprintf(&b, "毕业于%s。", org)
+		}
+	case DomainWork:
+		author := w.randomTitleOf(DomainPerson)
+		verb := "创作"
+		if contains(e.Concepts, "电影") || w.isDescendantOfAny(e.Concepts, "电影") {
+			verb = "执导"
+		} else if w.isDescendantOfAny(e.Concepts, "歌曲") {
+			verb = "演唱"
+		}
+		fmt.Fprintf(&b, "《%s》是%s%s的%s，于%d年发行。", e.Title, author, verb, w.conceptPhrase(e), e.BirthYear)
+	case DomainPlace:
+		fmt.Fprintf(&b, "%s位于%s，是%s著名的%s。", e.Title, e.Region, e.Region, strings.Join(e.Concepts, "、"))
+		fmt.Fprintf(&b, "%s有%s等景点。", e.Title, w.randomTitleOf(DomainPlace))
+	case DomainOrg:
+		fmt.Fprintf(&b, "%s成立于%d年，是一家%s。", e.Title, e.BirthYear, w.conceptPhrase(e))
+		if p := w.randomTitleOf(DomainPerson); p != "" && w.rng.Float64() < 0.5 {
+			fmt.Fprintf(&b, "创始人为%s。", p)
+		}
+	case DomainOrganism:
+		fmt.Fprintf(&b, "%s是一种%s，分布于%s等地。", e.Title, strings.Join(e.Concepts, "、"), e.Region)
+	case DomainProduct:
+		maker := w.randomTitleOf(DomainOrg)
+		fmt.Fprintf(&b, "%s是%s于%d年发布的%s。", e.Title, maker, e.BirthYear, strings.Join(e.Concepts, "、"))
+	case DomainEvent:
+		fmt.Fprintf(&b, "%s于%d年在%s举行，是%s重要的%s。", e.Title, e.BirthYear, w.randomPlaceMention(), e.Region, strings.Join(e.Concepts, "、"))
+	}
+	return b.String()
+}
+
+// isDescendantOfAny reports whether any concept in cs equals anc or
+// descends from it.
+func (w *World) isDescendantOfAny(cs []string, anc string) bool {
+	for _, c := range cs {
+		if c == anc || w.ancestors[c][anc] {
+			return true
+		}
+	}
+	return false
+}
+
+// randomPlaceMention returns a region word or a generated place title.
+func (w *World) randomPlaceMention() string {
+	if w.rng.Float64() < 0.5 {
+		if t := w.randomTitleOf(DomainPlace); t != "" {
+			return t
+		}
+	}
+	return pick(w.rng, regionsPool)
+}
+
+// randomTitleOf returns the title of a random entity of domain d, or "".
+func (w *World) randomTitleOf(d Domain) string {
+	// The entity list is grouped by sorted title; random probing keeps
+	// this O(1) without a per-domain index.
+	for try := 0; try < 16; try++ {
+		e := w.Entities[w.rng.Intn(len(w.Entities))]
+		if e.Domain == d {
+			return e.Title
+		}
+	}
+	return ""
+}
+
+func (w *World) renderInfobox(e *Entity) []encyclopedia.Triple {
+	id := encyclopedia.EntityID(e.Title, e.Bracket)
+	var ts []encyclopedia.Triple
+	add := func(p, o string) {
+		if o != "" {
+			ts = append(ts, encyclopedia.Triple{Subject: id, Predicate: p, Object: o})
+		}
+	}
+	add(PredName, e.Title)
+	switch e.Domain {
+	case DomainPerson:
+		add(PredForeign, e.English)
+		add(PredNation, e.Region)
+		add(PredBirthPlace, w.randomPlaceMention())
+		add(PredBirthDate, fmt.Sprintf("%d年", e.BirthYear))
+		for _, c := range e.Concepts {
+			obj := c
+			if w.rng.Float64() < w.Cfg.OccupationCorruption {
+				obj = pick(w.rng, thematicPool) // noisy occupation value
+			}
+			add(PredOccupation, obj)
+		}
+		if e.JobTitle != "" {
+			add(PredPosition, e.JobTitle)
+		}
+		for _, a := range e.Aliases {
+			add(PredAlias, a)
+		}
+		add(PredAlmaMater, w.randomTitleOf(DomainOrg))
+		add(PredWorks, w.randomTitleOf(DomainWork))
+		if w.rng.Float64() < 0.3 {
+			add(PredHeight, fmt.Sprintf("%dcm", 150+w.rng.Intn(50)))
+			add(PredWeight, fmt.Sprintf("%dKG", 45+w.rng.Intn(50)))
+		}
+	case DomainWork:
+		for _, c := range e.Concepts {
+			add(w.pickPredicate(PredGenre, "体裁"), c)
+		}
+		add(PredDirector, w.randomTitleOf(DomainPerson))
+		add(PredRelease, fmt.Sprintf("%d年", e.BirthYear))
+		add(PredProducer, w.randomTitleOf(DomainOrg))
+	case DomainPlace:
+		add(PredRegionOf, e.Region)
+		add(PredArea, fmt.Sprintf("%d平方公里", 10+w.rng.Intn(5000)))
+		add(PredPopulation, fmt.Sprintf("%d万", 1+w.rng.Intn(800)))
+		for _, c := range e.Concepts {
+			add(w.pickPredicate(PredCategory, "地理类型"), c)
+		}
+	case DomainOrg:
+		add(PredHQ, w.randomPlaceMention())
+		add(PredFounded, fmt.Sprintf("%d年", e.BirthYear))
+		for _, c := range e.Concepts {
+			add(w.pickPredicate(PredGenre, "性质"), c)
+		}
+		add(PredFounder, w.randomTitleOf(DomainPerson))
+	case DomainOrganism:
+		add(PredKingdom, string(DomainOrganism))
+		for _, c := range e.Concepts {
+			add(w.pickPredicate(PredCategory, "分类"), c)
+		}
+		add(PredDistribute, e.Region)
+	case DomainProduct:
+		for _, c := range e.Concepts {
+			add(w.pickPredicate(PredGenre, PredCategory), c)
+		}
+		add(PredMaker, w.randomTitleOf(DomainOrg))
+		add(PredLaunch, fmt.Sprintf("%d年", e.BirthYear))
+	case DomainEvent:
+		for _, c := range e.Concepts {
+			add(w.pickPredicate(PredCategory, "性质"), c)
+		}
+		add(PredRegionOf, e.Region)
+	}
+	// Leak noise: a same-domain *other* entity's concept under a
+	// non-isA predicate (相关人物 of an actor is another person, whose
+	// occupation sometimes coincides). Such objects align with the
+	// bracket prior only occasionally — the long tail behind the
+	// paper's 341 candidate predicates that manual curation discards.
+	if w.rng.Float64() < w.Cfg.InfoboxLeakNoise {
+		for try := 0; try < 8; try++ {
+			other := w.Entities[w.rng.Intn(len(w.Entities))]
+			if other.Domain == e.Domain && len(other.Concepts) > 0 {
+				add(leakPredicates[w.rng.Intn(len(leakPredicates))], other.Concepts[0])
+				break
+			}
+		}
+	}
+	return ts
+}
+
+// pickPredicate selects among predicate synonyms so the curated isA
+// predicate list has realistic breadth (the paper curates 12).
+func (w *World) pickPredicate(options ...string) string {
+	return options[w.rng.Intn(len(options))]
+}
+
+func (w *World) renderTags(e *Entity) []string {
+	var tags []string
+	seen := make(map[string]bool)
+	addTag := func(t string) {
+		if t != "" && !seen[t] {
+			seen[t] = true
+			tags = append(tags, t)
+		}
+	}
+	for _, c := range e.Concepts {
+		addTag(c)
+		// One ancestor tag (e.g. 娱乐人物 style mid-level tag).
+		if p := w.Concepts[c].Parent; p != "" && w.rng.Float64() < 0.7 {
+			addTag(p)
+		}
+	}
+	addTag(string(e.Domain))
+	if w.rng.Float64() < w.Cfg.TagThematicNoise {
+		addTag(pick(w.rng, thematicPool))
+	}
+	if w.rng.Float64() < w.Cfg.TagNERNoise {
+		addTag(pick(w.rng, regionsPool))
+	}
+	if w.rng.Float64() < w.Cfg.TagEntityNoise {
+		addTag(w.randomTitleOf(DomainWork))
+	}
+	if w.rng.Float64() < w.Cfg.TagCrossDomainNoise {
+		// A concept from another domain: related, frequent, wrong.
+		for try := 0; try < 8; try++ {
+			other := w.Entities[w.rng.Intn(len(w.Entities))]
+			if other.Domain != e.Domain && len(other.Concepts) > 0 {
+				addTag(other.Concepts[0])
+				break
+			}
+		}
+	}
+	return tags
+}
+
+var thematicPool = lexicon.ThematicWords()

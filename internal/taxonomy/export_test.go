@@ -1,0 +1,52 @@
+package taxonomy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteTSV(t *testing.T) {
+	tx := New()
+	tx.MarkEntity("刘德华")
+	mustAdd(t, tx, "刘德华", "演员", SourceBracket)
+	mustAdd(t, tx, "男演员", "演员", SourceMorph)
+	var buf bytes.Buffer
+	if err := tx.WriteTSV(&buf); err != nil {
+		t.Fatalf("WriteTSV: %v", err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 edges
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "hyponym\thypernym") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(out, "刘德华\t演员\tbracket\t1") {
+		t.Errorf("edge line missing:\n%s", out)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	tx := New()
+	tx.MarkEntity("刘德华")
+	mustAdd(t, tx, "刘德华", "演员", SourceBracket)
+	mustAdd(t, tx, "男演员", "演员", SourceMorph)
+	tx.MarkConcept("男演员")
+	var buf bytes.Buffer
+	if err := tx.WriteDOT(&buf); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph taxonomy {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatalf("not a digraph:\n%s", out)
+	}
+	// Concept-concept edge present; entity edge absent.
+	if !strings.Contains(out, `"男演员" -> "演员"`) {
+		t.Errorf("missing concept edge:\n%s", out)
+	}
+	if strings.Contains(out, "刘德华") {
+		t.Errorf("entity leaked into concept graph:\n%s", out)
+	}
+}

@@ -1,0 +1,82 @@
+package taxonomy
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"cnprobase/internal/trie"
+)
+
+// MentionIndex maps surface mentions (titles, aliases) to disambiguated
+// entity IDs: the men2ent API of the paper's Table II. It also answers
+// "which mentions occur inside this text", which the QA-coverage
+// experiment needs.
+type MentionIndex struct {
+	mu       sync.RWMutex
+	mentions map[string][]string // mention → entity IDs
+	dict     *trie.Trie
+}
+
+// NewMentionIndex returns an empty index.
+func NewMentionIndex() *MentionIndex {
+	return &MentionIndex{mentions: make(map[string][]string), dict: trie.New()}
+}
+
+// Add registers a mention for an entity ID. Duplicate (mention, id)
+// pairs are ignored.
+func (m *MentionIndex) Add(mention, entityID string) {
+	mention = strings.TrimSpace(mention)
+	if mention == "" || entityID == "" {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, id := range m.mentions[mention] {
+		if id == entityID {
+			return
+		}
+	}
+	m.mentions[mention] = append(m.mentions[mention], entityID)
+	m.dict.Insert(mention)
+}
+
+// Lookup returns the entity IDs a mention may refer to, sorted.
+func (m *MentionIndex) Lookup(mention string) []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := append([]string(nil), m.mentions[strings.TrimSpace(mention)]...)
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the number of distinct mentions.
+func (m *MentionIndex) Size() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.mentions)
+}
+
+// FindAll scans text and returns the distinct mentions found, using
+// greedy longest-match from each position.
+func (m *MentionIndex) FindAll(text string) []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	rs := []rune(text)
+	seen := make(map[string]bool)
+	var out []string
+	for i := 0; i < len(rs); {
+		l := m.dict.LongestFrom(rs, i)
+		if l == 0 {
+			i++
+			continue
+		}
+		w := string(rs[i : i+l])
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+		i += l
+	}
+	return out
+}

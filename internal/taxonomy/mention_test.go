@@ -1,0 +1,64 @@
+package taxonomy
+
+import "testing"
+
+func TestMentionIndexLookup(t *testing.T) {
+	m := NewMentionIndex()
+	m.Add("刘德华", "刘德华（演员）")
+	m.Add("刘德华", "刘德华（作家）")
+	m.Add("刘德华", "刘德华（演员）") // duplicate ignored
+	m.Add("德华", "刘德华（演员）")
+	got := m.Lookup("刘德华")
+	if len(got) != 2 {
+		t.Fatalf("Lookup = %v", got)
+	}
+	if got[0] > got[1] {
+		t.Error("Lookup result not sorted")
+	}
+	if got := m.Lookup("  刘德华  "); len(got) != 2 {
+		t.Errorf("Lookup should trim spaces, got %v", got)
+	}
+	if got := m.Lookup("无人"); got != nil {
+		t.Errorf("Lookup unknown = %v", got)
+	}
+	if m.Size() != 2 {
+		t.Errorf("Size = %d, want 2", m.Size())
+	}
+}
+
+func TestMentionIndexIgnoresEmpty(t *testing.T) {
+	m := NewMentionIndex()
+	m.Add("", "id")
+	m.Add("  ", "id")
+	m.Add("mention", "")
+	if m.Size() != 0 {
+		t.Errorf("Size = %d, want 0", m.Size())
+	}
+}
+
+func TestFindAll(t *testing.T) {
+	m := NewMentionIndex()
+	m.Add("刘德华", "刘德华（演员）")
+	m.Add("忘情水", "忘情水")
+	found := m.FindAll("刘德华演唱了《忘情水》，刘德华很出名。")
+	if len(found) != 2 {
+		t.Fatalf("FindAll = %v", found)
+	}
+	seen := map[string]bool{}
+	for _, f := range found {
+		seen[f] = true
+	}
+	if !seen["刘德华"] || !seen["忘情水"] {
+		t.Errorf("FindAll = %v", found)
+	}
+}
+
+func TestFindAllLongestMatch(t *testing.T) {
+	m := NewMentionIndex()
+	m.Add("刘德", "刘德")
+	m.Add("刘德华", "刘德华（演员）")
+	found := m.FindAll("刘德华")
+	if len(found) != 1 || found[0] != "刘德华" {
+		t.Errorf("FindAll = %v, want longest match 刘德华", found)
+	}
+}

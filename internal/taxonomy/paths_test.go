@@ -1,0 +1,69 @@
+package taxonomy
+
+import "testing"
+
+func pathFixture(t *testing.T) *Taxonomy {
+	t.Helper()
+	tx := New()
+	mustAdd(t, tx, "刘德华", "男演员", SourceBracket)
+	mustAdd(t, tx, "男演员", "演员", SourceMorph)
+	mustAdd(t, tx, "演员", "人物", SourceTag)
+	mustAdd(t, tx, "刘德华", "歌手", SourceTag)
+	mustAdd(t, tx, "歌手", "人物", SourceTag)
+	mustAdd(t, tx, "张学友", "歌手", SourceTag)
+	return tx
+}
+
+func TestPathToAncestor(t *testing.T) {
+	tx := pathFixture(t)
+	got := tx.PathToAncestor("刘德华", "人物")
+	if len(got) != 3 { // 刘德华 → 歌手 → 人物 is the shortest
+		t.Fatalf("path = %v, want length 3", got)
+	}
+	if got[0] != "刘德华" || got[len(got)-1] != "人物" {
+		t.Errorf("path endpoints wrong: %v", got)
+	}
+	long := tx.PathToAncestor("刘德华", "演员")
+	want := []string{"刘德华", "男演员", "演员"}
+	if len(long) != len(want) {
+		t.Fatalf("path = %v, want %v", long, want)
+	}
+	for i := range want {
+		if long[i] != want[i] {
+			t.Fatalf("path = %v, want %v", long, want)
+		}
+	}
+}
+
+func TestPathToAncestorUnreachable(t *testing.T) {
+	tx := pathFixture(t)
+	if got := tx.PathToAncestor("人物", "刘德华"); got != nil {
+		t.Errorf("inverted path = %v, want nil", got)
+	}
+	if got := tx.PathToAncestor("无名", "人物"); got != nil {
+		t.Errorf("unknown node path = %v", got)
+	}
+}
+
+func TestPathToSelf(t *testing.T) {
+	tx := pathFixture(t)
+	got := tx.PathToAncestor("演员", "演员")
+	if len(got) != 1 || got[0] != "演员" {
+		t.Errorf("self path = %v", got)
+	}
+}
+
+func TestCommonAncestors(t *testing.T) {
+	tx := pathFixture(t)
+	got := tx.CommonAncestors("刘德华", "张学友")
+	found := map[string]bool{}
+	for _, c := range got {
+		found[c] = true
+	}
+	if !found["歌手"] || !found["人物"] {
+		t.Errorf("CommonAncestors = %v, want 歌手 and 人物", got)
+	}
+	if found["演员"] {
+		t.Errorf("演员 is not an ancestor of 张学友: %v", got)
+	}
+}

@@ -1,0 +1,404 @@
+// Package taxonomy implements the conceptual taxonomy store: the data
+// structure CN-Probase ultimately is. It holds entities, concepts and
+// provenance-tagged isA edges, maintains hypernym/hyponym indexes,
+// answers closure queries (with cycle guards) and serializes to JSON.
+//
+// A Taxonomy is safe for concurrent readers once construction finishes;
+// writes take an exclusive lock, so interleaved read/write is also
+// safe, just not lock-free.
+package taxonomy
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Source identifies where an isA relation was generated from (paper
+// Figure 2: the four encyclopedia sources) plus derivation modes.
+type Source uint8
+
+// Source values.
+const (
+	// SourceBracket marks pairs from the separation algorithm.
+	SourceBracket Source = 1 << iota
+	// SourceAbstract marks pairs from neural generation.
+	SourceAbstract
+	// SourceInfobox marks pairs from predicate discovery.
+	SourceInfobox
+	// SourceTag marks pairs from direct tag extraction.
+	SourceTag
+	// SourceMorph marks subconcept edges derived from compound heads.
+	SourceMorph
+	// SourceSubsume marks subconcept edges derived by set inclusion.
+	SourceSubsume
+	// SourceTranslation marks pairs from the Probase-Tran baseline.
+	SourceTranslation
+)
+
+// String names a single source bit or a combination.
+func (s Source) String() string {
+	names := []struct {
+		bit  Source
+		name string
+	}{
+		{SourceBracket, "bracket"},
+		{SourceAbstract, "abstract"},
+		{SourceInfobox, "infobox"},
+		{SourceTag, "tag"},
+		{SourceMorph, "morph"},
+		{SourceSubsume, "subsume"},
+		{SourceTranslation, "translation"},
+	}
+	out := ""
+	for _, n := range names {
+		if s&n.bit != 0 {
+			if out != "" {
+				out += "+"
+			}
+			out += n.name
+		}
+	}
+	if out == "" {
+		return "none"
+	}
+	return out
+}
+
+// NodeKind classifies a taxonomy node.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	// KindUnknown is a node seen only inside edges.
+	KindUnknown NodeKind = iota
+	// KindEntity is a disambiguated instance (a page).
+	KindEntity
+	// KindConcept is a class.
+	KindConcept
+)
+
+// Edge is one isA relation: Hypo isA Hyper.
+type Edge struct {
+	Hypo    string  `json:"hypo"`
+	Hyper   string  `json:"hyper"`
+	Sources Source  `json:"sources"`
+	Score   float64 `json:"score"`
+	// Count is how many times the pair was generated across sources.
+	Count int `json:"count"`
+}
+
+type edgeKey struct{ hypo, hyper string }
+
+// Taxonomy is the isA graph.
+type Taxonomy struct {
+	mu        sync.RWMutex
+	edges     map[edgeKey]*Edge
+	hypers    map[string][]string // hypo → hypernyms (insertion order)
+	hypos     map[string][]string // hyper → hyponyms
+	kinds     map[string]NodeKind
+	nameIndex map[string][]string // bare mention → node names (entity IDs)
+}
+
+// New returns an empty taxonomy.
+func New() *Taxonomy {
+	return &Taxonomy{
+		edges:     make(map[edgeKey]*Edge),
+		hypers:    make(map[string][]string),
+		hypos:     make(map[string][]string),
+		kinds:     make(map[string]NodeKind),
+		nameIndex: make(map[string][]string),
+	}
+}
+
+// MarkEntity declares node as an entity.
+func (t *Taxonomy) MarkEntity(id string) { t.mark(id, KindEntity) }
+
+// MarkConcept declares node as a concept.
+func (t *Taxonomy) MarkConcept(name string) { t.mark(name, KindConcept) }
+
+func (t *Taxonomy) mark(name string, k NodeKind) {
+	if name == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.kinds[name] == KindUnknown {
+		t.kinds[name] = k
+	}
+}
+
+// Kind returns the node kind of name.
+func (t *Taxonomy) Kind(name string) NodeKind {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.kinds[name]
+}
+
+// AddIsA inserts or reinforces the isA(hypo, hyper) edge. Self-loops
+// are rejected. Hypernyms are implicitly marked as concepts; hyponyms
+// keep their current kind (entities are marked via MarkEntity by the
+// pipeline; hyponyms that are concepts form subconcept edges).
+func (t *Taxonomy) AddIsA(hypo, hyper string, src Source, score float64) error {
+	if hypo == "" || hyper == "" {
+		return fmt.Errorf("taxonomy: empty node in isA(%q, %q)", hypo, hyper)
+	}
+	if hypo == hyper {
+		return fmt.Errorf("taxonomy: self-loop isA(%q, %q)", hypo, hyper)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := edgeKey{hypo, hyper}
+	if e, ok := t.edges[k]; ok {
+		e.Sources |= src
+		e.Count++
+		if score > e.Score {
+			e.Score = score
+		}
+		return nil
+	}
+	t.edges[k] = &Edge{Hypo: hypo, Hyper: hyper, Sources: src, Score: score, Count: 1}
+	t.hypers[hypo] = append(t.hypers[hypo], hyper)
+	t.hypos[hyper] = append(t.hypos[hyper], hypo)
+	if t.kinds[hyper] == KindUnknown {
+		t.kinds[hyper] = KindConcept
+	}
+	return nil
+}
+
+// RemoveIsA deletes the edge if present and reports whether it existed.
+func (t *Taxonomy) RemoveIsA(hypo, hyper string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := edgeKey{hypo, hyper}
+	if _, ok := t.edges[k]; !ok {
+		return false
+	}
+	delete(t.edges, k)
+	t.hypers[hypo] = removeString(t.hypers[hypo], hyper)
+	t.hypos[hyper] = removeString(t.hypos[hyper], hypo)
+	return true
+}
+
+func removeString(xs []string, x string) []string {
+	for i, v := range xs {
+		if v == x {
+			return append(xs[:i], xs[i+1:]...)
+		}
+	}
+	return xs
+}
+
+// HasIsA reports whether the direct edge exists.
+func (t *Taxonomy) HasIsA(hypo, hyper string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.edges[edgeKey{hypo, hyper}]
+	return ok
+}
+
+// EdgeOf returns a copy of the edge, if present.
+func (t *Taxonomy) EdgeOf(hypo, hyper string) (Edge, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	e, ok := t.edges[edgeKey{hypo, hyper}]
+	if !ok {
+		return Edge{}, false
+	}
+	return *e, true
+}
+
+// Hypernyms returns the direct hypernyms of node (getConcept in the
+// paper's API table).
+func (t *Taxonomy) Hypernyms(node string) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]string(nil), t.hypers[node]...)
+}
+
+// Hyponyms returns up to limit direct hyponyms of a concept (getEntity
+// in the paper's API table); limit <= 0 means all.
+func (t *Taxonomy) Hyponyms(concept string, limit int) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	hs := t.hypos[concept]
+	if limit <= 0 || limit > len(hs) {
+		limit = len(hs)
+	}
+	return append([]string(nil), hs[:limit]...)
+}
+
+// HyponymCount returns the number of direct hyponyms of a concept.
+func (t *Taxonomy) HyponymCount(concept string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.hypos[concept])
+}
+
+// Ancestors returns all transitive hypernyms of node, breadth-first,
+// excluding node itself. Cycles are tolerated.
+func (t *Taxonomy) Ancestors(node string) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	seen := map[string]bool{node: true}
+	var out []string
+	queue := append([]string(nil), t.hypers[node]...)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		out = append(out, cur)
+		queue = append(queue, t.hypers[cur]...)
+	}
+	return out
+}
+
+// IsAncestor reports whether hyper is reachable from hypo.
+func (t *Taxonomy) IsAncestor(hypo, hyper string) bool {
+	for _, a := range t.Ancestors(hypo) {
+		if a == hyper {
+			return true
+		}
+	}
+	return false
+}
+
+// Nodes returns all node names, sorted.
+func (t *Taxonomy) Nodes() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	seen := make(map[string]bool)
+	for k := range t.edges {
+		seen[k.hypo] = true
+		seen[k.hyper] = true
+	}
+	for n := range t.kinds {
+		seen[n] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Edges returns copies of all edges, sorted for determinism.
+func (t *Taxonomy) Edges() []Edge {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Edge, 0, len(t.edges))
+	for _, e := range t.edges {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hypo != out[j].Hypo {
+			return out[i].Hypo < out[j].Hypo
+		}
+		return out[i].Hyper < out[j].Hyper
+	})
+	return out
+}
+
+// EdgeCount returns the number of isA edges.
+func (t *Taxonomy) EdgeCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.edges)
+}
+
+// Stats summarizes the taxonomy in the shape of the paper's Table I
+// row: entities, concepts, and the entity-concept / subconcept-concept
+// split of isA edges.
+type Stats struct {
+	Entities          int `json:"entities"`
+	Concepts          int `json:"concepts"`
+	IsARelations      int `json:"isa_relations"`
+	EntityConceptIsA  int `json:"entity_concept_isa"`
+	SubConceptIsA     int `json:"subconcept_isa"`
+	NodesWithHypernym int `json:"nodes_with_hypernym"`
+}
+
+// ComputeStats walks the graph once and classifies edges by hyponym
+// kind.
+func (t *Taxonomy) ComputeStats() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var s Stats
+	seenEnt := make(map[string]bool)
+	seenCon := make(map[string]bool)
+	for n, k := range t.kinds {
+		switch k {
+		case KindEntity:
+			seenEnt[n] = true
+		case KindConcept:
+			seenCon[n] = true
+		}
+	}
+	for k := range t.edges {
+		if t.kinds[k.hyper] == KindConcept {
+			seenCon[k.hyper] = true
+		}
+		switch t.kinds[k.hypo] {
+		case KindEntity:
+			s.EntityConceptIsA++
+		case KindConcept:
+			s.SubConceptIsA++
+		default:
+			s.EntityConceptIsA++ // unmarked hyponyms behave as instances
+		}
+	}
+	s.Entities = len(seenEnt)
+	s.Concepts = len(seenCon)
+	s.IsARelations = len(t.edges)
+	s.NodesWithHypernym = len(t.hypers)
+	return s
+}
+
+// ---- serialization ----
+
+type taxJSON struct {
+	Kinds map[string]NodeKind `json:"kinds"`
+	Edges []Edge              `json:"edges"`
+}
+
+// WriteJSON serializes the taxonomy.
+func (t *Taxonomy) WriteJSON(w io.Writer) error {
+	t.mu.RLock()
+	out := taxJSON{Kinds: make(map[string]NodeKind, len(t.kinds))}
+	for n, k := range t.kinds {
+		out.Kinds[n] = k
+	}
+	t.mu.RUnlock()
+	out.Edges = t.Edges()
+	bw := bufio.NewWriter(w)
+	if err := json.NewEncoder(bw).Encode(out); err != nil {
+		return fmt.Errorf("taxonomy: encode: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadJSON loads a taxonomy written by WriteJSON.
+func ReadJSON(r io.Reader) (*Taxonomy, error) {
+	var in taxJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("taxonomy: decode: %w", err)
+	}
+	t := New()
+	for n, k := range in.Kinds {
+		t.kinds[n] = k
+	}
+	for _, e := range in.Edges {
+		if err := t.AddIsA(e.Hypo, e.Hyper, e.Sources, e.Score); err != nil {
+			return nil, err
+		}
+		t.edges[edgeKey{e.Hypo, e.Hyper}].Count = e.Count
+	}
+	return t, nil
+}

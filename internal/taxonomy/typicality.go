@@ -1,0 +1,98 @@
+package taxonomy
+
+import "sort"
+
+// Probase-style typicality scores. CN-Probase inherits Probase's
+// probabilistic reading of the isA graph: evidence counts on edges
+// induce P(concept | entity) and P(entity | concept), which downstream
+// applications (conceptualization, short-text understanding) rank by.
+// The evidence for an edge is its Count — how many independent
+// generation events produced it — Laplace-smoothed across siblings.
+
+// Scored couples a node with a typicality score.
+type Scored struct {
+	Node  string  `json:"node"`
+	Score float64 `json:"score"`
+}
+
+// TypicalityOfConcept returns P(hyper | hypo): how typical the concept
+// is for the entity, from the edge evidence counts. Zero when the edge
+// is absent.
+func (t *Taxonomy) TypicalityOfConcept(hypo, hyper string) float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	e, ok := t.edges[edgeKey{hypo, hyper}]
+	if !ok {
+		return 0
+	}
+	total := 0
+	for _, h := range t.hypers[hypo] {
+		if sib, ok := t.edges[edgeKey{hypo, h}]; ok {
+			total += sib.Count
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(e.Count) / float64(total)
+}
+
+// TypicalityOfInstance returns P(hypo | hyper): how representative the
+// instance is of the concept.
+func (t *Taxonomy) TypicalityOfInstance(hyper, hypo string) float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	e, ok := t.edges[edgeKey{hypo, hyper}]
+	if !ok {
+		return 0
+	}
+	total := 0
+	for _, h := range t.hypos[hyper] {
+		if sib, ok := t.edges[edgeKey{h, hyper}]; ok {
+			total += sib.Count
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(e.Count) / float64(total)
+}
+
+// RankedHypernyms returns the node's hypernyms sorted by descending
+// typicality (ties broken lexicographically); limit <= 0 returns all.
+func (t *Taxonomy) RankedHypernyms(node string, limit int) []Scored {
+	hypers := t.Hypernyms(node)
+	out := make([]Scored, 0, len(hypers))
+	for _, h := range hypers {
+		out = append(out, Scored{Node: h, Score: t.TypicalityOfConcept(node, h)})
+	}
+	sortScored(out)
+	if limit > 0 && limit < len(out) {
+		out = out[:limit]
+	}
+	return out
+}
+
+// RankedHyponyms returns the concept's hyponyms sorted by descending
+// typicality; limit <= 0 returns all.
+func (t *Taxonomy) RankedHyponyms(concept string, limit int) []Scored {
+	hypos := t.Hyponyms(concept, 0)
+	out := make([]Scored, 0, len(hypos))
+	for _, h := range hypos {
+		out = append(out, Scored{Node: h, Score: t.TypicalityOfInstance(concept, h)})
+	}
+	sortScored(out)
+	if limit > 0 && limit < len(out) {
+		out = out[:limit]
+	}
+	return out
+}
+
+func sortScored(xs []Scored) {
+	sort.Slice(xs, func(i, j int) bool {
+		if xs[i].Score != xs[j].Score {
+			return xs[i].Score > xs[j].Score
+		}
+		return xs[i].Node < xs[j].Node
+	})
+}

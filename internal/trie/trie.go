@@ -1,0 +1,162 @@
+// Package trie implements a rune-keyed prefix tree used as the
+// dictionary backbone of the word segmenter and the mention index.
+//
+// The trie stores words as sequences of runes, which matches the unit of
+// Chinese text processing (one Han character per rune). It supports exact
+// membership tests, prefix tests, and the "all matches from position i"
+// query the Viterbi segmenter needs.
+package trie
+
+type node struct {
+	children map[rune]*node
+	// terminal marks the end of an inserted word; weight carries an
+	// optional caller-supplied value (e.g. corpus frequency).
+	terminal bool
+	weight   float64
+}
+
+// Trie is a rune-keyed prefix tree. The zero value is not usable; call
+// New.
+type Trie struct {
+	root *node
+	size int
+}
+
+// New returns an empty trie.
+func New() *Trie {
+	return &Trie{root: &node{}}
+}
+
+// Size returns the number of distinct words stored.
+func (t *Trie) Size() int { return t.size }
+
+// Insert adds word to the trie with weight 1. Inserting an existing word
+// is a no-op for size but keeps the larger weight.
+func (t *Trie) Insert(word string) { t.InsertWeighted(word, 1) }
+
+// InsertWeighted adds word with the given weight. If word exists, the
+// maximum of the old and new weight is kept.
+func (t *Trie) InsertWeighted(word string, weight float64) {
+	if word == "" {
+		return
+	}
+	n := t.root
+	for _, r := range word {
+		child, ok := n.children[r]
+		if !ok {
+			if n.children == nil {
+				n.children = make(map[rune]*node)
+			}
+			child = &node{}
+			n.children[r] = child
+		}
+		n = child
+	}
+	if !n.terminal {
+		n.terminal = true
+		t.size++
+		n.weight = weight
+		return
+	}
+	if weight > n.weight {
+		n.weight = weight
+	}
+}
+
+// Contains reports whether word was inserted.
+func (t *Trie) Contains(word string) bool {
+	n := t.find(word)
+	return n != nil && n.terminal
+}
+
+// Weight returns the weight of word and whether it is present.
+func (t *Trie) Weight(word string) (float64, bool) {
+	n := t.find(word)
+	if n == nil || !n.terminal {
+		return 0, false
+	}
+	return n.weight, true
+}
+
+// HasPrefix reports whether any inserted word starts with prefix.
+func (t *Trie) HasPrefix(prefix string) bool {
+	return t.find(prefix) != nil
+}
+
+func (t *Trie) find(word string) *node {
+	n := t.root
+	for _, r := range word {
+		child, ok := n.children[r]
+		if !ok {
+			return nil
+		}
+		n = child
+	}
+	return n
+}
+
+// Match is a dictionary hit returned by MatchesFrom.
+type Match struct {
+	// Len is the number of runes matched.
+	Len int
+	// Weight is the stored word weight.
+	Weight float64
+}
+
+// MatchesFrom returns every dictionary word that starts at rs[start],
+// reported as rune lengths in increasing order. The scan stops as soon
+// as no stored word continues with the next rune, so the cost is bounded
+// by the longest dictionary word.
+func (t *Trie) MatchesFrom(rs []rune, start int) []Match {
+	var out []Match
+	n := t.root
+	for i := start; i < len(rs); i++ {
+		child, ok := n.children[rs[i]]
+		if !ok {
+			break
+		}
+		n = child
+		if n.terminal {
+			out = append(out, Match{Len: i - start + 1, Weight: n.weight})
+		}
+	}
+	return out
+}
+
+// LongestFrom returns the rune length of the longest dictionary word
+// starting at rs[start], or 0 if none matches.
+func (t *Trie) LongestFrom(rs []rune, start int) int {
+	best := 0
+	n := t.root
+	for i := start; i < len(rs); i++ {
+		child, ok := n.children[rs[i]]
+		if !ok {
+			break
+		}
+		n = child
+		if n.terminal {
+			best = i - start + 1
+		}
+	}
+	return best
+}
+
+// Walk visits every stored word in unspecified order. The callback
+// receives the word and its weight; returning false stops the walk.
+func (t *Trie) Walk(fn func(word string, weight float64) bool) {
+	var rec func(n *node, prefix []rune) bool
+	rec = func(n *node, prefix []rune) bool {
+		if n.terminal {
+			if !fn(string(prefix), n.weight) {
+				return false
+			}
+		}
+		for r, child := range n.children {
+			if !rec(child, append(prefix, r)) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(t.root, nil)
+}

@@ -1,0 +1,198 @@
+package trie
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertContains(t *testing.T) {
+	tr := New()
+	words := []string{"演员", "男演员", "演", "歌手", "首席战略官"}
+	for _, w := range words {
+		tr.Insert(w)
+	}
+	if tr.Size() != len(words) {
+		t.Fatalf("Size = %d, want %d", tr.Size(), len(words))
+	}
+	for _, w := range words {
+		if !tr.Contains(w) {
+			t.Errorf("Contains(%q) = false, want true", w)
+		}
+	}
+	for _, w := range []string{"", "演员们", "男", "战略官"} {
+		if tr.Contains(w) {
+			t.Errorf("Contains(%q) = true, want false", w)
+		}
+	}
+}
+
+func TestInsertEmptyIsNoop(t *testing.T) {
+	tr := New()
+	tr.Insert("")
+	if tr.Size() != 0 {
+		t.Errorf("Size after inserting empty = %d, want 0", tr.Size())
+	}
+}
+
+func TestDuplicateInsertKeepsMaxWeight(t *testing.T) {
+	tr := New()
+	tr.InsertWeighted("词", 2)
+	tr.InsertWeighted("词", 5)
+	tr.InsertWeighted("词", 1)
+	if tr.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", tr.Size())
+	}
+	w, ok := tr.Weight("词")
+	if !ok || w != 5 {
+		t.Errorf("Weight = %v,%v, want 5,true", w, ok)
+	}
+}
+
+func TestHasPrefix(t *testing.T) {
+	tr := New()
+	tr.Insert("男演员")
+	for _, p := range []string{"男", "男演", "男演员", ""} {
+		if !tr.HasPrefix(p) {
+			t.Errorf("HasPrefix(%q) = false, want true", p)
+		}
+	}
+	if tr.HasPrefix("女") {
+		t.Error("HasPrefix(女) = true, want false")
+	}
+}
+
+func TestMatchesFrom(t *testing.T) {
+	tr := New()
+	for _, w := range []string{"中", "中国", "中国人", "国人"} {
+		tr.Insert(w)
+	}
+	rs := []rune("大中国人民")
+	ms := tr.MatchesFrom(rs, 1)
+	var lens []int
+	for _, m := range ms {
+		lens = append(lens, m.Len)
+	}
+	want := []int{1, 2, 3} // 中, 中国, 中国人
+	if len(lens) != len(want) {
+		t.Fatalf("MatchesFrom lens = %v, want %v", lens, want)
+	}
+	for i := range want {
+		if lens[i] != want[i] {
+			t.Fatalf("MatchesFrom lens = %v, want %v", lens, want)
+		}
+	}
+	if got := tr.MatchesFrom(rs, 0); got != nil {
+		t.Errorf("MatchesFrom at 大 = %v, want nil", got)
+	}
+}
+
+func TestLongestFrom(t *testing.T) {
+	tr := New()
+	tr.Insert("中国")
+	tr.Insert("中国人")
+	rs := []rune("中国人民")
+	if got := tr.LongestFrom(rs, 0); got != 3 {
+		t.Errorf("LongestFrom = %d, want 3", got)
+	}
+	if got := tr.LongestFrom(rs, 3); got != 0 {
+		t.Errorf("LongestFrom(民) = %d, want 0", got)
+	}
+}
+
+func TestWalkVisitsAll(t *testing.T) {
+	tr := New()
+	words := []string{"a", "ab", "abc", "b", "中文"}
+	for _, w := range words {
+		tr.Insert(w)
+	}
+	var got []string
+	tr.Walk(func(w string, _ float64) bool {
+		got = append(got, w)
+		return true
+	})
+	sort.Strings(got)
+	sort.Strings(words)
+	if len(got) != len(words) {
+		t.Fatalf("Walk visited %v, want %v", got, words)
+	}
+	for i := range words {
+		if got[i] != words[i] {
+			t.Fatalf("Walk visited %v, want %v", got, words)
+		}
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	tr := New()
+	for _, w := range []string{"a", "b", "c"} {
+		tr.Insert(w)
+	}
+	n := 0
+	tr.Walk(func(string, float64) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Errorf("Walk early stop visited %d, want 1", n)
+	}
+}
+
+// TestQuickInsertedAlwaysContained is a property test: anything
+// inserted must be contained, and membership implies a prefix.
+func TestQuickInsertedAlwaysContained(t *testing.T) {
+	f := func(words []string) bool {
+		tr := New()
+		for _, w := range words {
+			tr.Insert(w)
+		}
+		for _, w := range words {
+			if w == "" {
+				continue
+			}
+			if !tr.Contains(w) || !tr.HasPrefix(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLongestConsistent checks LongestFrom agrees with Contains on
+// random Han-ish strings.
+func TestQuickLongestConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alphabet := []rune("天地人你我他")
+	randWord := func() string {
+		n := 1 + rng.Intn(4)
+		rs := make([]rune, n)
+		for i := range rs {
+			rs[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return string(rs)
+	}
+	tr := New()
+	var words []string
+	for i := 0; i < 50; i++ {
+		w := randWord()
+		words = append(words, w)
+		tr.Insert(w)
+	}
+	for i := 0; i < 200; i++ {
+		s := []rune(randWord() + randWord())
+		l := tr.LongestFrom(s, 0)
+		if l > 0 && !tr.Contains(string(s[:l])) {
+			t.Fatalf("LongestFrom returned %d but %q not contained", l, string(s[:l]))
+		}
+		// No longer match may exist.
+		for k := l + 1; k <= len(s); k++ {
+			if tr.Contains(string(s[:k])) {
+				t.Fatalf("LongestFrom=%d missed longer match %q", l, string(s[:k]))
+			}
+		}
+	}
+}

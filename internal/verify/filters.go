@@ -1,0 +1,192 @@
+package verify
+
+import (
+	"sort"
+	"strings"
+
+	"cnprobase/internal/encyclopedia"
+	"cnprobase/internal/extract"
+	"cnprobase/internal/lexicon"
+	"cnprobase/internal/runes"
+	"cnprobase/internal/segment"
+)
+
+// Reason identifies which strategy rejected a candidate.
+type Reason string
+
+// Rejection reasons.
+const (
+	ReasonIncompatible Reason = "incompatible-concept"
+	ReasonNE           Reason = "named-entity-hypernym"
+	ReasonThematic     Reason = "thematic-word"
+	ReasonHeadPosition Reason = "head-in-nonhead-position"
+)
+
+// Report summarizes a verification run.
+type Report struct {
+	Input    int
+	Kept     int
+	Rejected map[Reason]int
+	// IncompatiblePairs is the number of incompatible concept pairs
+	// detected in step one of strategy III-A.
+	IncompatiblePairs int
+}
+
+// Verify applies the enabled strategies to the candidate set and
+// returns the surviving candidates plus a report. A candidate is
+// dropped as soon as any strategy rejects it.
+func Verify(cands []extract.Candidate, ctx *Context, seg *segment.Segmenter, opts Options) ([]extract.Candidate, Report) {
+	rep := Report{Input: len(cands), Rejected: make(map[Reason]int)}
+
+	var incompatible map[pairKey]bool
+	var killed map[edgeKey]bool
+	if opts.EnableIncompatible {
+		incompatible = findIncompatiblePairs(ctx, opts)
+		rep.IncompatiblePairs = len(incompatible)
+		killed = resolveIncompatible(cands, ctx, incompatible)
+	}
+
+	var kept []extract.Candidate
+	for _, c := range cands {
+		switch {
+		case opts.EnableSyntax && lexicon.IsThematic(c.Hyper):
+			rep.Rejected[ReasonThematic]++
+		case opts.EnableSyntax && headInNonHeadPosition(c, seg):
+			rep.Rejected[ReasonHeadPosition]++
+		case opts.EnableNE && ctx.NESupport(c.Hyper) > opts.NEThreshold:
+			rep.Rejected[ReasonNE]++
+		case opts.EnableIncompatible && killed[edgeKey{c.Hypo, c.Hyper}]:
+			rep.Rejected[ReasonIncompatible]++
+		default:
+			kept = append(kept, c)
+		}
+	}
+	rep.Kept = len(kept)
+	return kept, rep
+}
+
+type pairKey struct{ a, b string } // a < b
+type edgeKey struct{ hypo, hyper string }
+
+func orderedPair(a, b string) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+// findIncompatiblePairs implements step one of strategy III-A: two
+// concepts are incompatible when their hyponym sets are (near-)disjoint
+// AND their attribute distributions are dissimilar. Only concept pairs
+// that co-occur on at least one entity matter — others never produce a
+// conflict to resolve.
+func findIncompatiblePairs(ctx *Context, opts Options) map[pairKey]bool {
+	// Concepts per entity, restricted to sufficiently supported
+	// concepts.
+	byEntity := make(map[string][]string)
+	for concept, hypos := range ctx.Hyponyms {
+		if len(hypos) < opts.MinConceptSupport {
+			continue
+		}
+		for e := range hypos {
+			byEntity[e] = append(byEntity[e], concept)
+		}
+	}
+	out := make(map[pairKey]bool)
+	seen := make(map[pairKey]bool)
+	for _, concepts := range byEntity {
+		sort.Strings(concepts)
+		for i := 0; i < len(concepts); i++ {
+			for j := i + 1; j < len(concepts); j++ {
+				pk := orderedPair(concepts[i], concepts[j])
+				if seen[pk] {
+					continue
+				}
+				seen[pk] = true
+				j1 := jaccard(ctx.Hyponyms[pk.a], ctx.Hyponyms[pk.b])
+				if j1 >= opts.JaccardMax {
+					continue
+				}
+				cs := cosine(ctx.ConceptAttrs[pk.a], ctx.ConceptAttrs[pk.b])
+				if cs >= opts.CosineMax {
+					continue
+				}
+				out[pk] = true
+			}
+		}
+	}
+	return out
+}
+
+// resolveIncompatible implements step two of strategy III-A: for every
+// entity claimed under an incompatible concept pair, the concept with
+// the larger KL divergence to the entity's attribute distribution is
+// rejected.
+func resolveIncompatible(cands []extract.Candidate, ctx *Context, incompatible map[pairKey]bool) map[edgeKey]bool {
+	byEntity := make(map[string][]string)
+	for _, c := range cands {
+		byEntity[c.Hypo] = append(byEntity[c.Hypo], c.Hyper)
+	}
+	killed := make(map[edgeKey]bool)
+	for e, concepts := range byEntity {
+		attr, ok := ctx.EntityAttrs[e]
+		if !ok {
+			continue
+		}
+		sort.Strings(concepts)
+		for i := 0; i < len(concepts); i++ {
+			for j := i + 1; j < len(concepts); j++ {
+				c1, c2 := concepts[i], concepts[j]
+				if !incompatible[orderedPair(c1, c2)] {
+					continue
+				}
+				k1 := KL(attr, ctx.ConceptAttrs[c1])
+				k2 := KL(attr, ctx.ConceptAttrs[c2])
+				if k1 > k2 {
+					killed[edgeKey{e, c1}] = true
+				} else {
+					killed[edgeKey{e, c2}] = true
+				}
+			}
+		}
+	}
+	return killed
+}
+
+// headInNonHeadPosition implements syntax rule (2): the stem of the
+// hypernym's lexical head must not occur in a non-head position of the
+// hyponym. isA(教育机构, 教育) dies here: the hypernym (教育) appears as
+// a prefix — not the head — of the hyponym.
+func headInNonHeadPosition(c extract.Candidate, seg *segment.Segmenter) bool {
+	hypoSurface, _ := encyclopedia.ParseEntityID(c.Hypo)
+	if hypoSurface == "" {
+		hypoSurface = c.Hypo
+	}
+	head := lexicalHead(c.Hyper, seg)
+	if head == "" || !runes.AllHan(hypoSurface) {
+		return false
+	}
+	idx := strings.Index(hypoSurface, head)
+	if idx < 0 {
+		return false
+	}
+	// Occurrence at the end (head position) is the legitimate
+	// modifier-head pattern (男演员 isA 演员); anywhere else is the
+	// smell the rule rejects.
+	return !strings.HasSuffix(hypoSurface, head)
+}
+
+// lexicalHead returns the rightmost segmented word of a compound (the
+// head of a Chinese noun compound).
+func lexicalHead(w string, seg *segment.Segmenter) string {
+	if seg == nil {
+		return w
+	}
+	toks := seg.Cut(w)
+	for i := len(toks) - 1; i >= 0; i-- {
+		if segment.IsContentToken(toks[i]) {
+			return toks[i]
+		}
+	}
+	return ""
+}

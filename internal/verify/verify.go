@@ -1,0 +1,236 @@
+// Package verify implements the verification module (paper Section
+// III): three heuristic strategies that filter wrong candidate isA
+// relations. A candidate is rejected if ANY strategy judges it wrong —
+// the same disjunctive policy the paper uses.
+//
+//  1. Incompatible concepts (III-A): concept pairs with near-disjoint
+//     hyponym sets and dissimilar attribute distributions are
+//     incompatible; an entity claimed under both keeps the concept with
+//     the smaller KL divergence between attribute distributions.
+//  2. Named-entity hypernyms (III-B): a hypernym that is itself a named
+//     entity is wrong; corpus support s1 and taxonomy support s2 are
+//     combined with a noisy-or.
+//  3. Syntax rules (III-C): thematic (non-taxonomic) hypernyms from a
+//     184-word lexicon are rejected, and the hypernym's lexical head
+//     must not occur in a non-head position of the hyponym.
+package verify
+
+import (
+	"math"
+
+	"cnprobase/internal/encyclopedia"
+	"cnprobase/internal/extract"
+	"cnprobase/internal/ner"
+)
+
+// Options holds the thresholds of the three strategies, with toggles so
+// ablations can disable each independently.
+type Options struct {
+	// EnableIncompatible toggles strategy III-A.
+	EnableIncompatible bool
+	// JaccardMax: hyponym-set Jaccard similarity below which a concept
+	// pair may be incompatible.
+	JaccardMax float64
+	// CosineMax: attribute-distribution cosine similarity below which a
+	// concept pair may be incompatible.
+	CosineMax float64
+	// MinConceptSupport: concepts need at least this many hyponyms to
+	// participate in incompatibility detection.
+	MinConceptSupport int
+
+	// EnableNE toggles strategy III-B.
+	EnableNE bool
+	// NEThreshold: candidates whose hypernym NE support s(H) exceeds
+	// this are rejected (paper: set empirically).
+	NEThreshold float64
+
+	// EnableSyntax toggles strategy III-C.
+	EnableSyntax bool
+}
+
+// DefaultOptions returns the calibrated thresholds.
+func DefaultOptions() Options {
+	return Options{
+		EnableIncompatible: true,
+		JaccardMax:         0.05,
+		CosineMax:          0.60,
+		MinConceptSupport:  5,
+		EnableNE:           true,
+		NEThreshold:        0.55,
+		EnableSyntax:       true,
+	}
+}
+
+// Context carries the evidence the strategies consult. Build it with
+// NewContext once per corpus + candidate set.
+type Context struct {
+	// EntityAttrs maps entity ID → normalized infobox-predicate
+	// distribution v_att(e).
+	EntityAttrs map[string]map[string]float64
+	// ConceptAttrs maps concept → aggregated v_att(c) over its
+	// candidate hyponyms.
+	ConceptAttrs map[string]map[string]float64
+	// Hyponyms maps concept → candidate hyponym set.
+	Hyponyms map[string]map[string]bool
+	// Support provides the corpus NE statistic s1.
+	Support *ner.Support
+	// Recognizer classifies isolated words.
+	Recognizer *ner.Recognizer
+	// EntityTitles is the set of page titles (taxonomy NE evidence s2).
+	EntityTitles map[string]bool
+	// titleEdges / hyperEdges count taxonomy occurrences of a word as
+	// an entity title vs as a hypernym, for s2.
+	titleEdges map[string]int
+	hyperEdges map[string]int
+}
+
+// NewContext assembles verification evidence from the corpus and the
+// merged candidate set.
+func NewContext(c *encyclopedia.Corpus, cands []extract.Candidate, support *ner.Support, rec *ner.Recognizer) *Context {
+	ctx := &Context{
+		EntityAttrs:  make(map[string]map[string]float64),
+		ConceptAttrs: make(map[string]map[string]float64),
+		Hyponyms:     make(map[string]map[string]bool),
+		Support:      support,
+		Recognizer:   rec,
+		EntityTitles: make(map[string]bool),
+		titleEdges:   make(map[string]int),
+		hyperEdges:   make(map[string]int),
+	}
+	titleByID := make(map[string]string, len(c.Pages))
+	for i := range c.Pages {
+		p := &c.Pages[i]
+		ctx.EntityTitles[p.Title] = true
+		titleByID[p.ID()] = p.Title
+		if len(p.Infobox) == 0 {
+			continue
+		}
+		dist := make(map[string]float64, len(p.Infobox))
+		for _, t := range p.Infobox {
+			dist[t.Predicate]++
+		}
+		normalize(dist)
+		ctx.EntityAttrs[p.ID()] = dist
+	}
+	for _, cand := range cands {
+		hs := ctx.Hyponyms[cand.Hyper]
+		if hs == nil {
+			hs = make(map[string]bool)
+			ctx.Hyponyms[cand.Hyper] = hs
+		}
+		hs[cand.Hypo] = true
+		ctx.hyperEdges[cand.Hyper]++
+		if t, ok := titleByID[cand.Hypo]; ok {
+			ctx.titleEdges[t]++
+		}
+	}
+	// Aggregate concept attribute distributions.
+	for concept, hypos := range ctx.Hyponyms {
+		agg := make(map[string]float64)
+		n := 0
+		for h := range hypos {
+			if d, ok := ctx.EntityAttrs[h]; ok {
+				for k, v := range d {
+					agg[k] += v
+				}
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		normalize(agg)
+		ctx.ConceptAttrs[concept] = agg
+	}
+	return ctx
+}
+
+func normalize(d map[string]float64) {
+	sum := 0.0
+	for _, v := range d {
+		sum += v
+	}
+	if sum == 0 {
+		return
+	}
+	for k := range d {
+		d[k] /= sum
+	}
+}
+
+// S2 is the taxonomy NE support of the paper: the fraction of a word's
+// taxonomy occurrences in which it behaves as an entity (a page title
+// appearing as a hyponym) rather than as a concept (a hypernym).
+func (ctx *Context) S2(w string) float64 {
+	te, he := ctx.titleEdges[w], ctx.hyperEdges[w]
+	if !ctx.EntityTitles[w] || te+he == 0 {
+		return 0
+	}
+	return float64(te) / float64(te+he)
+}
+
+// NESupport combines corpus and taxonomy support with the paper's
+// noisy-or (Equation 2): s(H) = 1 − (1−s1)(1−s2).
+func (ctx *Context) NESupport(h string) float64 {
+	s1 := ctx.Support.S1(h)
+	s2 := ctx.S2(h)
+	return 1 - (1-s1)*(1-s2)
+}
+
+// cosine returns the cosine similarity of two sparse distributions.
+func cosine(a, b map[string]float64) float64 {
+	var dot, na, nb float64
+	for k, v := range a {
+		na += v * v
+		if w, ok := b[k]; ok {
+			dot += v * w
+		}
+	}
+	for _, v := range b {
+		nb += v * v
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// jaccard returns |a∩b| / |a∪b|.
+func jaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	small, large := a, b
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	inter := 0
+	for k := range small {
+		if large[k] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// KL computes D_KL(p‖q) = Σ p(x)·log(p(x)/q(x)) with ε-smoothing for
+// q-zeros (Equation 1 of the paper, sign normalized).
+func KL(p, q map[string]float64) float64 {
+	const eps = 1e-6
+	sum := 0.0
+	for k, pv := range p {
+		if pv <= 0 {
+			continue
+		}
+		qv := q[k]
+		if qv <= 0 {
+			qv = eps
+		}
+		sum += pv * math.Log(pv/qv)
+	}
+	return sum
+}
