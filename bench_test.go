@@ -11,6 +11,7 @@ package cnprobase
 // is excluded via b.ResetTimer where the benchmark measures queries.
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -60,6 +61,62 @@ func BenchmarkPipelineEndToEnd(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(corpus.Len())/b.Elapsed().Seconds()*float64(b.N), "pages/s")
+}
+
+// benchBuild runs one pipeline build at a fixed worker count, reporting
+// pages/s so the sequential-vs-parallel speedup reads directly off the
+// bench output:
+//
+//	go test -bench='BenchmarkPipelineBuild' -benchmem
+//
+// On a multi-core runner BenchmarkPipelineBuildParallel should beat
+// BenchmarkPipelineBuildSequential by roughly the core count (the
+// generation and verification stages dominate and parallelize); both
+// produce the identical taxonomy (enforced by the determinism test in
+// internal/core).
+func benchBuild(b *testing.B, workers int) {
+	s := benchSuite(b)
+	opts := core.DefaultOptions()
+	opts.EnableNeural = false
+	opts.Workers = workers
+	corpus := s.World.Corpus()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.New(opts).Build(corpus)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Taxonomy.EdgeCount() == 0 {
+			b.Fatal("empty taxonomy")
+		}
+	}
+	b.ReportMetric(float64(corpus.Len())/b.Elapsed().Seconds()*float64(b.N), "pages/s")
+}
+
+// BenchmarkPipelineBuildSequential is the Workers=1 reference build.
+func BenchmarkPipelineBuildSequential(b *testing.B) { benchBuild(b, 1) }
+
+// BenchmarkPipelineBuildParallel is the full-width build (one worker
+// per CPU, sharded store).
+func BenchmarkPipelineBuildParallel(b *testing.B) { benchBuild(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkShardedTaxonomyConcurrentQueries measures the serving-path
+// win of the sharded store: hypernym/hyponym lookups from GOMAXPROCS
+// goroutines at once, the access pattern behind Table II's 82M calls.
+func BenchmarkShardedTaxonomyConcurrentQueries(b *testing.B) {
+	s := benchSuite(b)
+	tax := s.Result.Taxonomy
+	nodes := tax.Nodes()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			n := nodes[i%len(nodes)]
+			_ = tax.Hypernyms(n)
+			_ = tax.Hyponyms(n, 50)
+			i++
+		}
+	})
 }
 
 // BenchmarkTableI regenerates Table I: all four taxonomies and their

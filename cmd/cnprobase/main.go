@@ -5,9 +5,13 @@
 // Usage:
 //
 //	cnprobase gen   -entities 8000 -out corpus.jsonl
-//	cnprobase build -in corpus.jsonl -out taxonomy.json [-no-neural]
+//	cnprobase build -in corpus.jsonl -out taxonomy.json [-no-neural] [-workers 8] [-shards 16]
 //	cnprobase query -tax taxonomy.json -hypernyms 刘德华
 //	cnprobase query -tax taxonomy.json -hyponyms 演员 -limit 20
+//
+// build fans the construction pipeline out over -workers goroutines
+// (0 = one per CPU, 1 = sequential) assembling into a -shards-way
+// sharded taxonomy store; any worker count produces the same taxonomy.
 package main
 
 import (
@@ -76,6 +80,8 @@ func cmdBuild(args []string) {
 	in := fs.String("in", "corpus.jsonl", "input dump path")
 	out := fs.String("out", "taxonomy.json", "output taxonomy path")
 	noNeural := fs.Bool("no-neural", false, "skip the neural (abstract) extractor")
+	workers := fs.Int("workers", 0, "pipeline worker pool size (0 = one per CPU, 1 = sequential)")
+	shards := fs.Int("shards", 0, "taxonomy store shard count (0 = default)")
 	_ = fs.Parse(args)
 
 	f, err := os.Open(*in)
@@ -91,13 +97,15 @@ func cmdBuild(args []string) {
 	if *noNeural {
 		opts.EnableNeural = false
 	}
+	opts.Workers = *workers
+	opts.Shards = *shards
 	res, err := cnprobase.Build(corpus, opts)
 	if err != nil {
 		log.Fatalf("build: %v", err)
 	}
 	st := res.Report.Stats
-	fmt.Printf("built taxonomy: %d entities, %d concepts, %d isA relations\n",
-		st.Entities, st.Concepts, st.IsARelations)
+	fmt.Printf("built taxonomy (%d workers, %d shards): %d entities, %d concepts, %d isA relations\n",
+		res.Report.Workers, res.Report.Shards, st.Entities, st.Concepts, st.IsARelations)
 	fmt.Printf("verification: kept %d of %d candidates\n",
 		res.Report.Verification.Kept, res.Report.Verification.Input)
 	g, err := os.Create(*out)

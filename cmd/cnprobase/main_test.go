@@ -39,9 +39,12 @@ func TestCLIRoundTrip(t *testing.T) {
 	if !strings.Contains(out, "pages") {
 		t.Errorf("gen output: %s", out)
 	}
-	out = run("build", "-in", corpus, "-out", tax, "-no-neural")
+	out = run("build", "-in", corpus, "-out", tax, "-no-neural", "-workers", "8", "-shards", "32")
 	if !strings.Contains(out, "isA relations") {
 		t.Errorf("build output: %s", out)
+	}
+	if !strings.Contains(out, "8 workers, 32 shards") {
+		t.Errorf("build output missing concurrency settings: %s", out)
 	}
 	out = run("query", "-tax", tax)
 	if !strings.Contains(out, "entities=") {

@@ -5,6 +5,10 @@
 //
 //	cnpserver -addr :8080 -tax taxonomy.json          # serve a saved taxonomy
 //	cnpserver -addr :8080 -entities 4000              # build in-memory demo world
+//	cnpserver -entities 4000 -workers 8 -shards 32    # parallel demo build
+//
+// The demo build fans out over -workers goroutines (0 = one per CPU)
+// into a -shards-way sharded taxonomy store.
 //
 // Mentions are indexed from entity IDs and bare titles when serving a
 // saved taxonomy; the demo mode uses the pipeline's full mention index.
@@ -30,6 +34,8 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		taxPath  = flag.String("tax", "", "taxonomy JSON path (empty: build demo world)")
 		entities = flag.Int("entities", 4000, "demo world size when -tax is empty")
+		workers  = flag.Int("workers", 0, "demo build worker pool size (0 = one per CPU, 1 = sequential)")
+		shards   = flag.Int("shards", 0, "taxonomy store shard count (0 = default)")
 	)
 	flag.Parse()
 
@@ -65,14 +71,18 @@ func main() {
 		if err != nil {
 			log.Fatalf("generate world: %v", err)
 		}
-		res, err := cnprobase.Build(w.Corpus(), cnprobase.DefaultOptions())
+		opts := cnprobase.DefaultOptions()
+		opts.Workers = *workers
+		opts.Shards = *shards
+		res, err := cnprobase.Build(w.Corpus(), opts)
 		if err != nil {
 			log.Fatalf("build: %v", err)
 		}
 		tax, mentions = res.Taxonomy, res.Mentions
 		st := res.Report.Stats
-		log.Printf("built in %v: %d entities, %d concepts, %d isA",
-			time.Since(start).Round(time.Millisecond), st.Entities, st.Concepts, st.IsARelations)
+		log.Printf("built in %v (%d workers, %d shards): %d entities, %d concepts, %d isA",
+			time.Since(start).Round(time.Millisecond), res.Report.Workers, res.Report.Shards,
+			st.Entities, st.Concepts, st.IsARelations)
 	}
 
 	srv := cnprobase.NewAPIServer(tax, mentions)

@@ -15,6 +15,13 @@
 // extraction), merges candidates, applies the three verification
 // strategies (incompatible concepts, named-entity hypernyms, syntax
 // rules) and assembles the taxonomy with derived subconcept edges.
+//
+// The pipeline is concurrent: Options.Workers sizes the bounded worker
+// pool every stage fans out over (0 = one worker per CPU, 1 = fully
+// sequential) and Options.Shards sets the shard count of the
+// lock-per-shard taxonomy store the build assembles into. Any worker
+// count produces the same taxonomy, so parallelism is a pure throughput
+// knob.
 package cnprobase
 
 import (

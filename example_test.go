@@ -1,0 +1,86 @@
+package cnprobase_test
+
+// Runnable godoc examples for the public API. `go test` executes them,
+// so the documented flow — generate a world, build the taxonomy, query
+// and export it — is exercised on every run.
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"cnprobase"
+)
+
+// ExampleBuild shows the three-call flow from the package comment:
+// generate (or load) a corpus, build, query. Workers=1 selects the
+// sequential reference path; any worker count produces the same
+// taxonomy.
+func ExampleBuild() {
+	wcfg := cnprobase.DefaultWorldConfig()
+	wcfg.Entities = 300
+	w, err := cnprobase.GenerateWorld(wcfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	opts := cnprobase.DefaultOptions()
+	opts.EnableNeural = false // skip model training in the example
+	opts.Workers = 1
+	res, err := cnprobase.Build(w.Corpus(), opts)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	st := res.Report.Stats
+	fmt.Println(st.Entities > 0, st.Concepts > 0, st.IsARelations > 0)
+	// Output: true true true
+}
+
+// ExampleTaxonomy_Hypernyms queries the direct hypernyms of a
+// disambiguated entity — the paper's getConcept API.
+func ExampleTaxonomy_Hypernyms() {
+	tax := cnprobase.NewTaxonomy()
+	tax.MarkEntity("刘德华（歌手）")
+	if err := tax.AddIsA("刘德华（歌手）", "歌手", cnprobase.SourceBracket, 1); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := tax.AddIsA("刘德华（歌手）", "演员", cnprobase.SourceTag, 1); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(tax.Hypernyms("刘德华（歌手）"))
+	// Output: [歌手 演员]
+}
+
+// ExampleTaxonomy_WriteTSV exports the edge list in the conventional
+// taxonomy release format (rows sorted by hyponym, then hypernym).
+func ExampleTaxonomy_WriteTSV() {
+	tax := cnprobase.NewTaxonomy()
+	tax.MarkEntity("刘德华（演员）")
+	for _, e := range []struct {
+		hypo, hyper string
+		src         cnprobase.Source
+	}{
+		{"男演员", "演员", cnprobase.SourceMorph},
+		{"刘德华（演员）", "男演员", cnprobase.SourceBracket},
+		{"刘德华（演员）", "演员", cnprobase.SourceTag},
+	} {
+		if err := tax.AddIsA(e.hypo, e.hyper, e.src, 1); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	var buf bytes.Buffer
+	if err := tax.WriteTSV(&buf); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Print(strings.ReplaceAll(buf.String(), "\t", " | "))
+	// Output:
+	// hyponym | hypernym | sources | count
+	// 刘德华（演员） | 演员 | tag | 1
+	// 刘德华（演员） | 男演员 | bracket | 1
+	// 男演员 | 演员 | morph | 1
+}

@@ -1,0 +1,3 @@
+module cnprobase
+
+go 1.22

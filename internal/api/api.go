@@ -1,13 +1,13 @@
 // Package api serves the taxonomy over HTTP with the paper's three
-// public APIs (Table II):
+// public APIs (Table II), mounted under /api:
 //
-//	men2ent    — mention → disambiguated entities
-//	getConcept — entity → hypernym list
-//	getEntity  — concept → hyponym list
+//	/api/men2ent    — mention → disambiguated entities
+//	/api/getConcept — entity → hypernym list (?ranked=1 adds typicality scores)
+//	/api/getEntity  — concept → hyponym list (?limit=N caps it)
 //
-// plus a /stats endpoint exposing per-API call counters, which the
-// Table II workload experiment reads back. Handlers are safe for
-// concurrent use.
+// plus /api/stats exposing per-API call counters, which the Table II
+// workload experiment reads back. Handlers are safe for concurrent use;
+// request/response schemas are documented in docs/API.md.
 package api
 
 import (

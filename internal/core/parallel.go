@@ -1,0 +1,109 @@
+package core
+
+import (
+	"runtime"
+
+	"cnprobase/internal/corpus"
+	"cnprobase/internal/encyclopedia"
+	"cnprobase/internal/extract"
+	"cnprobase/internal/ner"
+	"cnprobase/internal/par"
+	"cnprobase/internal/segment"
+	"cnprobase/internal/taxonomy"
+)
+
+// workerCount resolves Options.Workers: zero or negative selects one
+// worker per logical CPU, one means fully sequential, anything else is
+// used as given.
+func workerCount(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// windowPages bounds how many pages' intermediate results (token
+// slices, NE spans) the streaming passes below keep in memory at once:
+// cut a window in parallel, fold it into the accumulator, move on. The
+// constant multiplies the pool size so every worker stays busy within
+// a window while memory stays O(window), not O(corpus).
+const windowPages = 512
+
+// corpusStats builds the unigram/bigram statistics over every page's
+// abstract and bracket. The accumulator only adds counts and the
+// bootstrap segmenter reads no statistics (no feedback loop), so the
+// windowed parallel fold produces exactly the sequential counts.
+func corpusStats(c *encyclopedia.Corpus, boot *segment.Segmenter, p *par.Pool) *corpus.Stats {
+	type pageCut struct{ abstract, bracket []string }
+	stats := corpus.NewStats()
+	par.WindowFold(p, len(c.Pages), windowPages, func(lo, hi int) []pageCut {
+		out := make([]pageCut, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			page := &c.Pages[i]
+			var pc pageCut
+			if page.Abstract != "" {
+				pc.abstract = boot.Cut(page.Abstract)
+			}
+			if page.Bracket != "" {
+				pc.bracket = boot.Cut(page.Bracket)
+			}
+			out = append(out, pc)
+		}
+		return out
+	}, func(pc pageCut) {
+		if pc.abstract != nil {
+			stats.AddSentence(pc.abstract)
+		}
+		if pc.bracket != nil {
+			stats.AddSentence(pc.bracket)
+		}
+	})
+	return stats
+}
+
+// observeSupport runs the NE-evidence pass: segment + recognize every
+// abstract (in windowed parallel batches) and fold the observations
+// into a Support accumulator in page order. Support only adds counts,
+// so windowing cannot change the result.
+func observeSupport(c *encyclopedia.Corpus, seg *segment.Segmenter, rec *ner.Recognizer, p *par.Pool) *ner.Support {
+	type obs struct {
+		tokens []string
+		spans  []ner.Span
+	}
+	support := ner.NewSupport()
+	par.WindowFold(p, len(c.Pages), windowPages, func(lo, hi int) []obs {
+		out := make([]obs, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			page := &c.Pages[i]
+			if page.Abstract == "" {
+				continue
+			}
+			out = append(out, obs{tokens: seg.Cut(page.Abstract), spans: rec.Recognize(page.Abstract)})
+		}
+		return out
+	}, func(o obs) {
+		support.Observe(o.tokens, o.spans)
+	})
+	return support
+}
+
+// assembleEdges inserts the kept candidates into the sharded taxonomy,
+// fanning contiguous chunks out over the pool. Insertion order across
+// chunks is not deterministic; Finalize canonicalizes adjacency order
+// afterwards.
+func assembleEdges(tax *taxonomy.Taxonomy, kept []extract.Candidate, p *par.Pool) error {
+	errs := par.MapBatches(p, len(kept), func(lo, hi int) error {
+		for _, cand := range kept[lo:hi] {
+			if err := tax.AddIsA(cand.Hypo, cand.Hyper, cand.Source, cand.Score); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -4,6 +4,16 @@
 // abstracts, infoboxes and tags; candidates merge; three verification
 // strategies filter noise; the survivors become the taxonomy, extended
 // with derived subconcept-concept edges.
+//
+// The pipeline is concurrent end-to-end. Per-page work (segmentation,
+// extraction, NE recognition) fans out in entity batches over a bounded
+// worker pool sized by Options.Workers; the four generators feed the
+// verification stage through a channel of per-source candidate sets
+// while the NE-evidence pass runs alongside them; assembly inserts the
+// surviving relations into a sharded taxonomy store (Options.Shards)
+// and finalizes its merged indexes. Workers=1 degrades every stage to
+// inline sequential execution — the reference path determinism tests
+// compare against — and produces the same taxonomy as any parallel run.
 package core
 
 import (
@@ -15,6 +25,7 @@ import (
 	"cnprobase/internal/extract"
 	"cnprobase/internal/lexicon"
 	"cnprobase/internal/ner"
+	"cnprobase/internal/par"
 	"cnprobase/internal/segment"
 	"cnprobase/internal/taxonomy"
 	"cnprobase/internal/verify"
@@ -32,6 +43,18 @@ type Options struct {
 	EnableInfobox bool
 	// EnableTags toggles direct tag extraction.
 	EnableTags bool
+
+	// Workers bounds the worker pool shared by every parallel stage of
+	// the build (substrate statistics, the four generators, the
+	// NE-evidence pass, verification filtering and taxonomy assembly).
+	// 0 selects one worker per logical CPU; 1 runs fully sequentially
+	// (the deterministic reference path). Any worker count produces the
+	// same taxonomy.
+	Workers int
+	// Shards is the shard count of the taxonomy store the build
+	// assembles into; 0 selects taxonomy.DefaultShards. More shards
+	// reduce write contention at high worker counts.
+	Shards int
 
 	// Neural holds the copy-model configuration.
 	Neural copynet.Config
@@ -60,7 +83,8 @@ type Options struct {
 	ExtraDictionary []string
 }
 
-// DefaultOptions returns the full pipeline with calibrated settings.
+// DefaultOptions returns the full pipeline with calibrated settings and
+// auto-sized concurrency (Workers=0: one worker per CPU).
 func DefaultOptions() Options {
 	return Options{
 		EnableBracket:     true,
@@ -88,7 +112,11 @@ type SourceReport struct {
 
 // Report describes one pipeline run.
 type Report struct {
-	Pages               int
+	Pages int
+	// Workers / Shards record the resolved concurrency settings the run
+	// used.
+	Workers             int
+	Shards              int
 	PerSource           map[taxonomy.Source]*SourceReport
 	PredicateCandidates []extract.PredicateStat
 	SelectedPredicates  []string
@@ -125,66 +153,115 @@ type Pipeline struct {
 // New returns a pipeline with the given options.
 func New(opts Options) *Pipeline { return &Pipeline{opts: opts} }
 
+// candidateSet is one generator's output, fed to the verification stage
+// over a channel as soon as the generator finishes.
+type candidateSet struct {
+	source taxonomy.Source
+	cands  []extract.Candidate
+}
+
 // Build runs the full pipeline over the corpus.
 func (p *Pipeline) Build(c *encyclopedia.Corpus) (*Result, error) {
 	if c == nil || len(c.Pages) == 0 {
 		return nil, fmt.Errorf("core: empty corpus")
 	}
-	rep := &Report{Pages: len(c.Pages), PerSource: make(map[taxonomy.Source]*SourceReport)}
+	workers := workerCount(p.opts.Workers)
+	pl := par.NewPool(workers)
+	rep := &Report{Pages: len(c.Pages), Workers: workers, PerSource: make(map[taxonomy.Source]*SourceReport)}
 
 	// ---- substrate: segmenter + corpus statistics ----
+	// Pages are cut in parallel batches; the counts merge in page
+	// order. The bootstrap segmenter reads no statistics (its costs are
+	// uniform), so cutting has no feedback loop and batching cannot
+	// change the merged counts.
 	dict := lexicon.BaseDictionary()
 	dict = append(dict, p.opts.ExtraDictionary...)
-	stats := corpus.NewStats()
 	boot := segment.New(dict)
-	for i := range c.Pages {
-		page := &c.Pages[i]
-		if page.Abstract != "" {
-			stats.AddSentence(boot.Cut(page.Abstract))
-		}
-		if page.Bracket != "" {
-			stats.AddSentence(boot.Cut(page.Bracket))
-		}
-	}
+	stats := corpusStats(c, boot, pl)
 	seg := segment.New(dict, segment.WithStats(stats))
 
-	// ---- generation module ----
-	var all []extract.Candidate
+	// ---- verification evidence, overlapped with generation ----
+	// The NE-support pass only needs the corpus and the segmenter, so
+	// it runs alongside the generators on the shared pool.
+	rec := ner.New()
+	var support *ner.Support
+	evidence := &par.Group{Inline: pl == nil}
+	evidence.Go(func() error {
+		support = observeSupport(c, seg, rec, pl)
+		return nil
+	})
+
+	// ---- generation module: fan out, feed verification a channel ----
+	// The buffer covers one send per enabled generator, so the inline
+	// (Workers=1) path — where every producer runs to completion before
+	// the drain below starts — can never block on a full channel.
+	nGen := 0
+	for _, enabled := range []bool{p.opts.EnableBracket, p.opts.EnableTags, p.opts.EnableInfobox, p.opts.EnableNeural} {
+		if enabled {
+			nGen++
+		}
+	}
+	candSetCh := make(chan candidateSet, nGen)
+	gen := &par.Group{Inline: pl == nil}
 	var bracketCands []extract.Candidate
-	if p.opts.EnableBracket {
-		sep := extract.NewSeparator(seg, stats)
-		for i := range c.Pages {
-			page := &c.Pages[i]
-			bracketCands = append(bracketCands, sep.Extract(page.Title, page.Bracket)...)
+	bracketReady := make(chan struct{})
+	gen.Go(func() error {
+		if p.opts.EnableBracket {
+			bracketCands = p.bracketStage(c, seg, stats, pl)
 		}
-		all = append(all, bracketCands...)
-	}
-	if p.opts.EnableInfobox {
-		prior := extract.NewPrior(bracketCands)
-		cands, selected := p.opts.Predicates.Discover(c, prior)
-		rep.PredicateCandidates = cands
+		close(bracketReady)
+		if p.opts.EnableBracket {
+			candSetCh <- candidateSet{source: taxonomy.SourceBracket, cands: bracketCands}
+		}
+		return nil
+	})
+	gen.Go(func() error {
+		if !p.opts.EnableTags {
+			return nil
+		}
+		candSetCh <- candidateSet{source: taxonomy.SourceTag, cands: p.tagStage(c, pl)}
+		return nil
+	})
+	gen.Go(func() error {
+		if !p.opts.EnableInfobox {
+			return nil
+		}
+		<-bracketReady // predicate discovery aligns against the bracket prior
+		cands, predStats, selected := p.infoboxStage(c, bracketCands, pl)
+		rep.PredicateCandidates = predStats
 		rep.SelectedPredicates = selected
-		all = append(all, extract.ExtractInfobox(c, selected)...)
+		candSetCh <- candidateSet{source: taxonomy.SourceInfobox, cands: cands}
+		return nil
+	})
+	gen.Go(func() error {
+		if !p.opts.EnableNeural {
+			return nil
+		}
+		<-bracketReady // distant supervision comes from the bracket source
+		cands, nSamples, losses := p.neuralStage(c, bracketCands, seg, pl)
+		rep.NeuralSamples = nSamples
+		rep.NeuralLoss = losses
+		if cands != nil {
+			candSetCh <- candidateSet{source: taxonomy.SourceAbstract, cands: cands}
+		}
+		return nil
+	})
+
+	// ---- verification module, fed by the candidate-set channel ----
+	if pl == nil {
+		close(candSetCh) // producers ran inline; all sets are buffered
+	} else {
+		go func() {
+			gen.Wait()
+			close(candSetCh)
+		}()
 	}
-	if p.opts.EnableTags {
-		for i := range c.Pages {
-			all = append(all, extract.Tags(&c.Pages[i])...)
-		}
+	var all []extract.Candidate
+	for set := range candSetCh {
+		all = append(all, set.cands...)
 	}
-	if p.opts.EnableNeural {
-		samples := extract.BuildDistantDataset(c, bracketCands, seg)
-		if p.opts.NeuralMaxSamples > 0 && len(samples) > p.opts.NeuralMaxSamples {
-			samples = samples[:p.opts.NeuralMaxSamples]
-		}
-		rep.NeuralSamples = len(samples)
-		if len(samples) > 0 {
-			neural := extract.TrainNeural(p.opts.Neural, samples, p.opts.NeuralEpochs, p.opts.NeuralLR,
-				func(r copynet.TrainReport) { rep.NeuralLoss = append(rep.NeuralLoss, r) })
-			neural.SetSegmenter(seg)
-			for i := range c.Pages {
-				all = append(all, neural.Extract(&c.Pages[i])...)
-			}
-		}
+	if err := gen.Wait(); err != nil {
+		return nil, err
 	}
 	merged := extract.Dedupe(all)
 	for _, cand := range merged {
@@ -199,19 +276,15 @@ func (p *Pipeline) Build(c *encyclopedia.Corpus) (*Result, error) {
 			}
 		}
 	}
-
-	// ---- verification module ----
-	rec := ner.New()
-	support := ner.NewSupport()
-	for i := range c.Pages {
-		page := &c.Pages[i]
-		if page.Abstract == "" {
-			continue
-		}
-		support.Observe(seg.Cut(page.Abstract), rec.Recognize(page.Abstract))
+	if err := evidence.Wait(); err != nil {
+		return nil, err
 	}
 	ctx := verify.NewContext(c, merged, support, rec)
-	kept, vrep := verify.Verify(merged, ctx, seg, p.opts.Verify)
+	vopts := p.opts.Verify
+	if vopts.Workers == 0 {
+		vopts.Workers = workers // inherit the pipeline pool size by default
+	}
+	kept, vrep := verify.Verify(merged, ctx, seg, vopts)
 	rep.Verification = vrep
 	for _, cand := range kept {
 		for _, src := range []taxonomy.Source{taxonomy.SourceBracket, taxonomy.SourceAbstract, taxonomy.SourceInfobox, taxonomy.SourceTag} {
@@ -223,8 +296,9 @@ func (p *Pipeline) Build(c *encyclopedia.Corpus) (*Result, error) {
 		}
 	}
 
-	// ---- taxonomy assembly ----
-	tax := taxonomy.New()
+	// ---- taxonomy assembly into the sharded store ----
+	tax := taxonomy.NewSharded(p.opts.Shards)
+	rep.Shards = tax.ShardCount()
 	mentions := taxonomy.NewMentionIndex()
 	for i := range c.Pages {
 		page := &c.Pages[i]
@@ -238,14 +312,13 @@ func (p *Pipeline) Build(c *encyclopedia.Corpus) (*Result, error) {
 			}
 		}
 	}
-	for _, cand := range kept {
-		if err := tax.AddIsA(cand.Hypo, cand.Hyper, cand.Source, cand.Score); err != nil {
-			return nil, fmt.Errorf("core: assembling taxonomy: %w", err)
-		}
+	if err := assembleEdges(tax, kept, pl); err != nil {
+		return nil, fmt.Errorf("core: assembling taxonomy: %w", err)
 	}
 	if p.opts.DeriveSubconcepts {
 		rep.DerivedSubconcepts = deriveSubconcepts(tax, seg, p.opts)
 	}
+	tax.Finalize()
 	rep.Stats = tax.ComputeStats()
 
 	return &Result{
@@ -258,4 +331,77 @@ func (p *Pipeline) Build(c *encyclopedia.Corpus) (*Result, error) {
 		Stats:      stats,
 		Corpus:     c,
 	}, nil
+}
+
+// bracketStage runs the separation algorithm over every page bracket in
+// parallel batches; concatenation in batch order reproduces the
+// sequential candidate order exactly (distant supervision depends on
+// it).
+func (p *Pipeline) bracketStage(c *encyclopedia.Corpus, seg *segment.Segmenter, stats *corpus.Stats, pl *par.Pool) []extract.Candidate {
+	sep := extract.NewSeparator(seg, stats)
+	return par.Concat(par.MapBatches(pl, len(c.Pages), func(lo, hi int) []extract.Candidate {
+		var out []extract.Candidate
+		for i := lo; i < hi; i++ {
+			page := &c.Pages[i]
+			out = append(out, sep.Extract(page.Title, page.Bracket)...)
+		}
+		return out
+	}))
+}
+
+// tagStage extracts tag candidates in parallel batches.
+func (p *Pipeline) tagStage(c *encyclopedia.Corpus, pl *par.Pool) []extract.Candidate {
+	return par.Concat(par.MapBatches(pl, len(c.Pages), func(lo, hi int) []extract.Candidate {
+		var out []extract.Candidate
+		for i := lo; i < hi; i++ {
+			out = append(out, extract.Tags(&c.Pages[i])...)
+		}
+		return out
+	}))
+}
+
+// infoboxStage discovers isA predicates against the bracket prior
+// (sequential: a cheap counting pass) and then harvests matching
+// triples in parallel batches.
+func (p *Pipeline) infoboxStage(c *encyclopedia.Corpus, bracketCands []extract.Candidate, pl *par.Pool) (cands []extract.Candidate, predStats []extract.PredicateStat, selected []string) {
+	release := pl.Acquire() // discovery is coordinator-side CPU work
+	prior := extract.NewPrior(bracketCands)
+	predStats, selected = p.opts.Predicates.Discover(c, prior)
+	release()
+	cands = par.Concat(par.MapBatches(pl, len(c.Pages), func(lo, hi int) []extract.Candidate {
+		sub := encyclopedia.Corpus{Pages: c.Pages[lo:hi]}
+		return extract.ExtractInfobox(&sub, selected)
+	}))
+	return cands, predStats, selected
+}
+
+// neuralStage trains the copy model on the distant dataset (sequential:
+// SGD order is part of the model) and decodes every abstract in
+// parallel batches. Returns nil candidates when no samples exist.
+func (p *Pipeline) neuralStage(c *encyclopedia.Corpus, bracketCands []extract.Candidate, seg *segment.Segmenter, pl *par.Pool) (cands []extract.Candidate, nSamples int, losses []copynet.TrainReport) {
+	release := pl.Acquire() // dataset assembly + SGD are coordinator-side CPU work
+	samples := extract.BuildDistantDataset(c, bracketCands, seg)
+	if p.opts.NeuralMaxSamples > 0 && len(samples) > p.opts.NeuralMaxSamples {
+		samples = samples[:p.opts.NeuralMaxSamples]
+	}
+	nSamples = len(samples)
+	if nSamples == 0 {
+		release()
+		return nil, 0, nil
+	}
+	neural := extract.TrainNeural(p.opts.Neural, samples, p.opts.NeuralEpochs, p.opts.NeuralLR,
+		func(r copynet.TrainReport) { losses = append(losses, r) })
+	neural.SetSegmenter(seg)
+	release()
+	cands = par.Concat(par.MapBatches(pl, len(c.Pages), func(lo, hi int) []extract.Candidate {
+		var out []extract.Candidate
+		for i := lo; i < hi; i++ {
+			out = append(out, neural.Extract(&c.Pages[i])...)
+		}
+		return out
+	}))
+	if cands == nil {
+		cands = []extract.Candidate{}
+	}
+	return cands, nSamples, losses
 }

@@ -6,6 +6,7 @@ import (
 	"cnprobase/internal/encyclopedia"
 	"cnprobase/internal/extract"
 	"cnprobase/internal/ner"
+	"cnprobase/internal/par"
 	"cnprobase/internal/verify"
 )
 
@@ -19,7 +20,9 @@ import (
 // list — and re-runs verification over the union candidate set so the
 // incompatibility statistics see both old and new evidence. The neural
 // extractor is skipped during updates; bracket, infobox and tag
-// extraction cover the delta.
+// extraction cover the delta. Per-page work (segmentation, extraction,
+// NE recognition) fans out over the same bounded worker pool Build
+// uses, sized by Options.Workers.
 func (p *Pipeline) Update(prev *Result, delta *encyclopedia.Corpus) (*Result, error) {
 	if prev == nil || prev.Taxonomy == nil {
 		return nil, fmt.Errorf("core: Update needs a prior Result")
@@ -30,8 +33,15 @@ func (p *Pipeline) Update(prev *Result, delta *encyclopedia.Corpus) (*Result, er
 	if prev.Corpus == nil {
 		return nil, fmt.Errorf("core: prior Result lacks its corpus; rebuild with this version")
 	}
+	workers := workerCount(p.opts.Workers)
+	pl := par.NewPool(workers)
 
-	// Extend corpus statistics with the new text.
+	// Extend corpus statistics with the new text. This stays sequential
+	// by design: prev.Segmenter reads prev.Stats, so each delta page's
+	// segmentation must see the counts contributed by the pages before
+	// it — cutting the whole batch up front would change the output.
+	// (Build's bootstrap segmenter has no such feedback, which is why
+	// its substrate pass can batch.)
 	for i := range delta.Pages {
 		page := &delta.Pages[i]
 		if page.Abstract != "" {
@@ -45,37 +55,31 @@ func (p *Pipeline) Update(prev *Result, delta *encyclopedia.Corpus) (*Result, er
 	// ---- generation over the delta ----
 	var fresh []extract.Candidate
 	if p.opts.EnableBracket {
-		sep := extract.NewSeparator(prev.Segmenter, prev.Stats)
-		for i := range delta.Pages {
-			page := &delta.Pages[i]
-			fresh = append(fresh, sep.Extract(page.Title, page.Bracket)...)
-		}
+		fresh = append(fresh, p.bracketStage(delta, prev.Segmenter, prev.Stats, pl)...)
 	}
 	if p.opts.EnableInfobox {
 		// Reuse the predicates curated during the full build: the
 		// "manual selection" does not change per crawl batch.
-		fresh = append(fresh, extract.ExtractInfobox(delta, prev.Report.SelectedPredicates)...)
+		fresh = append(fresh, par.Concat(par.MapBatches(pl, len(delta.Pages), func(lo, hi int) []extract.Candidate {
+			sub := encyclopedia.Corpus{Pages: delta.Pages[lo:hi]}
+			return extract.ExtractInfobox(&sub, prev.Report.SelectedPredicates)
+		}))...)
 	}
 	if p.opts.EnableTags {
-		for i := range delta.Pages {
-			fresh = append(fresh, extract.Tags(&delta.Pages[i])...)
-		}
+		fresh = append(fresh, p.tagStage(delta, pl)...)
 	}
 
 	// ---- verification over the union ----
 	union := &encyclopedia.Corpus{Pages: append(append([]encyclopedia.Page(nil), prev.Corpus.Pages...), delta.Pages...)}
 	merged := extract.Dedupe(append(append([]extract.Candidate(nil), prev.Kept...), fresh...))
 	rec := ner.New()
-	support := ner.NewSupport()
-	for i := range union.Pages {
-		page := &union.Pages[i]
-		if page.Abstract == "" {
-			continue
-		}
-		support.Observe(prev.Segmenter.Cut(page.Abstract), rec.Recognize(page.Abstract))
-	}
+	support := observeSupport(union, prev.Segmenter, rec, pl)
 	ctx := verify.NewContext(union, merged, support, rec)
-	kept, vrep := verify.Verify(merged, ctx, prev.Segmenter, p.opts.Verify)
+	vopts := p.opts.Verify
+	if vopts.Workers == 0 {
+		vopts.Workers = workers // inherit the pipeline pool size by default
+	}
+	kept, vrep := verify.Verify(merged, ctx, prev.Segmenter, vopts)
 
 	// ---- taxonomy extension ----
 	for i := range delta.Pages {
@@ -101,19 +105,19 @@ func (p *Pipeline) Update(prev *Result, delta *encyclopedia.Corpus) (*Result, er
 			prev.Taxonomy.RemoveIsA(c.Hypo, c.Hyper)
 		}
 	}
-	for _, c := range kept {
-		if err := prev.Taxonomy.AddIsA(c.Hypo, c.Hyper, c.Source, c.Score); err != nil {
-			return nil, fmt.Errorf("core: updating taxonomy: %w", err)
-		}
+	if err := assembleEdges(prev.Taxonomy, kept, pl); err != nil {
+		return nil, fmt.Errorf("core: updating taxonomy: %w", err)
 	}
 	if p.opts.DeriveSubconcepts {
 		prev.Report.DerivedSubconcepts += deriveSubconcepts(prev.Taxonomy, prev.Segmenter, p.opts)
 	}
+	prev.Taxonomy.Finalize()
 
 	prev.Corpus = union
 	prev.Candidates = merged
 	prev.Kept = kept
 	prev.Report.Pages = union.Len()
+	prev.Report.Workers = workers
 	prev.Report.Verification = vrep
 	prev.Report.Stats = prev.Taxonomy.ComputeStats()
 	return prev, nil

@@ -5,19 +5,19 @@ package taxonomy
 
 // PathToAncestor returns one shortest isA chain from node to ancestor
 // (inclusive of both ends), or nil when ancestor is not reachable. BFS
-// guarantees minimal length; ties resolve to the first-inserted edge.
+// guarantees minimal length; ties resolve to the first-indexed edge.
+// Each BFS step locks one shard via Hypernyms, so the query never holds
+// more than one shard lock.
 func (t *Taxonomy) PathToAncestor(node, ancestor string) []string {
 	if node == ancestor {
 		return []string{node}
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	prev := map[string]string{node: ""}
 	queue := []string{node}
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, h := range t.hypers[cur] {
+		for _, h := range t.Hypernyms(cur) {
 			if _, seen := prev[h]; seen {
 				continue
 			}

@@ -1,0 +1,224 @@
+package taxonomy
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestShardedEquivalence inserts the same edge multiset into stores
+// with different shard counts and checks that every query-visible
+// structure is identical: shard count is an implementation detail.
+func TestShardedEquivalence(t *testing.T) {
+	type ins struct{ hypo, hyper string }
+	var edges []ins
+	for i := 0; i < 200; i++ {
+		edges = append(edges, ins{fmt.Sprintf("实体%03d", i), fmt.Sprintf("概念%d", i%17)})
+		if i%5 == 0 {
+			edges = append(edges, ins{fmt.Sprintf("概念%d", i%17), fmt.Sprintf("上位%d", i%3)})
+		}
+	}
+	build := func(shards int) *Taxonomy {
+		tx := NewSharded(shards)
+		for _, e := range edges {
+			if err := tx.AddIsA(e.hypo, e.hyper, SourceTag, 1); err != nil {
+				t.Fatalf("AddIsA(%q,%q): %v", e.hypo, e.hyper, err)
+			}
+		}
+		tx.MarkEntity("实体000")
+		return tx
+	}
+	ref := build(1)
+	for _, shards := range []int{2, 16, 64} {
+		got := build(shards)
+		if got.ShardCount() != shards {
+			t.Fatalf("ShardCount = %d, want %d", got.ShardCount(), shards)
+		}
+		if a, b := ref.EdgeCount(), got.EdgeCount(); a != b {
+			t.Fatalf("shards=%d: EdgeCount %d != %d", shards, b, a)
+		}
+		refEdges, gotEdges := ref.Edges(), got.Edges()
+		for i := range refEdges {
+			if refEdges[i] != gotEdges[i] {
+				t.Fatalf("shards=%d: edge[%d] = %+v, want %+v", shards, i, gotEdges[i], refEdges[i])
+			}
+		}
+		refNodes, gotNodes := ref.Nodes(), got.Nodes()
+		if len(refNodes) != len(gotNodes) {
+			t.Fatalf("shards=%d: %d nodes, want %d", shards, len(gotNodes), len(refNodes))
+		}
+		for i := range refNodes {
+			if refNodes[i] != gotNodes[i] {
+				t.Fatalf("shards=%d: node[%d] = %q, want %q", shards, i, gotNodes[i], refNodes[i])
+			}
+		}
+		if ref.ComputeStats() != got.ComputeStats() {
+			t.Fatalf("shards=%d: stats %+v != %+v", shards, got.ComputeStats(), ref.ComputeStats())
+		}
+		for _, n := range refNodes {
+			if ref.Kind(n) != got.Kind(n) {
+				t.Fatalf("shards=%d: Kind(%q) differs", shards, n)
+			}
+			if ref.HyponymCount(n) != got.HyponymCount(n) {
+				t.Fatalf("shards=%d: HyponymCount(%q) differs", shards, n)
+			}
+		}
+	}
+}
+
+// TestShardedConcurrentAddAndQuery hammers one sharded store with
+// concurrent writers and readers; run under -race this is the data-race
+// certification for the lock-per-shard design.
+func TestShardedConcurrentAddAndQuery(t *testing.T) {
+	tx := NewSharded(8)
+	const (
+		writers = 8
+		readers = 8
+		perG    = 300
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				hypo := fmt.Sprintf("实体%d_%d", g, i)
+				hyper := fmt.Sprintf("概念%d", i%13)
+				if err := tx.AddIsA(hypo, hyper, SourceTag, 1); err != nil {
+					t.Errorf("AddIsA: %v", err)
+					return
+				}
+				tx.MarkEntity(hypo)
+				if i%7 == 0 {
+					// Cross-shard second edge: hypernym of a hypernym.
+					_ = tx.AddIsA(hyper, fmt.Sprintf("上位%d", i%3), SourceSubsume, 0.5)
+				}
+				if i%11 == 0 {
+					tx.RemoveIsA(hypo, hyper)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				_ = tx.Hypernyms(fmt.Sprintf("实体%d_%d", g, i))
+				_ = tx.Hyponyms(fmt.Sprintf("概念%d", i%13), 10)
+				_ = tx.Ancestors(fmt.Sprintf("实体%d_%d", g%writers, i))
+				_ = tx.RankedHypernyms(fmt.Sprintf("实体%d_%d", g, i), 3)
+				if i%29 == 0 {
+					_ = tx.ComputeStats()
+					_ = tx.EdgeCount()
+				}
+				if i%53 == 0 {
+					_ = tx.Edges()
+					_ = tx.Nodes()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Index invariant after the storm: every hypernym entry has its
+	// reverse hyponym entry.
+	for _, n := range tx.Nodes() {
+		for _, h := range tx.Hypernyms(n) {
+			found := false
+			for _, back := range tx.Hyponyms(h, 0) {
+				if back == n {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("missing reverse index: %q isA %q", n, h)
+			}
+		}
+	}
+}
+
+// TestFinalizeCanonicalizesAndCaches checks that Finalize sorts
+// adjacency lists, serves cached merged indexes, and that a subsequent
+// write invalidates them.
+func TestFinalizeCanonicalizesAndCaches(t *testing.T) {
+	tx := New()
+	// Insert out of lexicographic order.
+	mustAdd(t, tx, "甲", "丙概念", SourceTag)
+	mustAdd(t, tx, "甲", "乙概念", SourceTag)
+	mustAdd(t, tx, "戊", "乙概念", SourceTag)
+	mustAdd(t, tx, "丁", "乙概念", SourceTag)
+	tx.Finalize()
+	if !tx.Finalized() {
+		t.Fatal("Finalized = false after Finalize")
+	}
+	hs := tx.Hypernyms("甲")
+	if len(hs) != 2 || hs[0] != "丙概念" || hs[1] != "乙概念" { // 丙 U+4E19 < 乙 U+4E59
+		t.Fatalf("hypernyms not canonical: %v", hs)
+	}
+	hypos := tx.Hyponyms("乙概念", 0)
+	if len(hypos) != 3 || hypos[0] != "丁" || hypos[1] != "戊" || hypos[2] != "甲" {
+		t.Fatalf("hyponyms not canonical: %v", hypos)
+	}
+	stats := tx.ComputeStats()
+	if stats.IsARelations != 4 {
+		t.Fatalf("cached stats = %+v", stats)
+	}
+	// A write invalidates the merged indexes…
+	mustAdd(t, tx, "己", "乙概念", SourceTag)
+	if tx.Finalized() {
+		t.Fatal("Finalized = true after a write")
+	}
+	// …and queries see the new edge immediately.
+	if got := tx.ComputeStats().IsARelations; got != 5 {
+		t.Fatalf("stats after invalidation = %d, want 5", got)
+	}
+	if got := len(tx.Nodes()); got != 6 {
+		t.Fatalf("nodes after invalidation = %d, want 6", got)
+	}
+}
+
+// TestRemoveLastEdgeCleansIndexes pins the regression where removing a
+// node's only hypernym left an empty adjacency entry behind, inflating
+// Stats.NodesWithHypernym.
+func TestRemoveLastEdgeCleansIndexes(t *testing.T) {
+	tx := New()
+	mustAdd(t, tx, "甲", "概念", SourceTag)
+	mustAdd(t, tx, "乙", "概念", SourceTag)
+	if got := tx.ComputeStats().NodesWithHypernym; got != 2 {
+		t.Fatalf("NodesWithHypernym = %d, want 2", got)
+	}
+	if !tx.RemoveIsA("甲", "概念") {
+		t.Fatal("RemoveIsA returned false")
+	}
+	if got := tx.ComputeStats().NodesWithHypernym; got != 1 {
+		t.Errorf("NodesWithHypernym after remove = %d, want 1", got)
+	}
+	if got := tx.HyponymCount("概念"); got != 1 {
+		t.Errorf("HyponymCount = %d, want 1", got)
+	}
+	// Removing the final edge of the concept clears its hyponym entry
+	// too.
+	if !tx.RemoveIsA("乙", "概念") {
+		t.Fatal("second RemoveIsA returned false")
+	}
+	if got := tx.ComputeStats().NodesWithHypernym; got != 0 {
+		t.Errorf("NodesWithHypernym after removing all = %d, want 0", got)
+	}
+}
+
+// TestNewShardedDefaults checks the shard-count resolution rules.
+func TestNewShardedDefaults(t *testing.T) {
+	if got := New().ShardCount(); got != DefaultShards {
+		t.Errorf("New().ShardCount() = %d, want %d", got, DefaultShards)
+	}
+	if got := NewSharded(0).ShardCount(); got != DefaultShards {
+		t.Errorf("NewSharded(0).ShardCount() = %d, want %d", got, DefaultShards)
+	}
+	if got := NewSharded(-3).ShardCount(); got != DefaultShards {
+		t.Errorf("NewSharded(-3).ShardCount() = %d, want %d", got, DefaultShards)
+	}
+	if got := NewSharded(5).ShardCount(); got != 5 {
+		t.Errorf("NewSharded(5).ShardCount() = %d, want 5", got)
+	}
+}

@@ -3,9 +3,20 @@
 // provenance-tagged isA edges, maintains hypernym/hyponym indexes,
 // answers closure queries (with cycle guards) and serializes to JSON.
 //
-// A Taxonomy is safe for concurrent readers once construction finishes;
-// writes take an exclusive lock, so interleaved read/write is also
-// safe, just not lock-free.
+// The store is sharded: nodes and edges are distributed over N
+// lock-protected shards keyed by a hash of the hyponym (edges, hypernym
+// lists) or of the node itself (kinds, hyponym lists), so concurrent
+// writers contend only when they touch the same shard. Single-node
+// queries (Hypernyms, Hyponyms, Kind, EdgeOf) lock exactly one shard;
+// whole-graph queries (Edges, Nodes, ComputeStats) visit shards one at
+// a time. After construction, Finalize builds merged cross-shard
+// indexes (sorted node list, cached stats, canonically ordered
+// adjacency lists) that subsequent reads are served from until the next
+// write invalidates them.
+//
+// A Taxonomy is safe for concurrent use: writes lock at most two
+// shards (always in index order, so writers cannot deadlock), and
+// readers never hold more than one shard lock at a time.
 package taxonomy
 
 import (
@@ -15,6 +26,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Source identifies where an isA relation was generated from (paper
@@ -93,25 +105,117 @@ type Edge struct {
 
 type edgeKey struct{ hypo, hyper string }
 
-// Taxonomy is the isA graph.
-type Taxonomy struct {
-	mu        sync.RWMutex
-	edges     map[edgeKey]*Edge
-	hypers    map[string][]string // hypo → hypernyms (insertion order)
-	hypos     map[string][]string // hyper → hyponyms
-	kinds     map[string]NodeKind
-	nameIndex map[string][]string // bare mention → node names (entity IDs)
+// DefaultShards is the shard count used by New. Sixteen shards keep
+// write contention negligible for the pipeline's worker counts while
+// the per-shard maps stay large enough to amortize.
+const DefaultShards = 16
+
+// shard is one lock-protected partition of the store. Edges and
+// hypernym lists live in the hyponym's shard; hyponym lists and node
+// kinds live in the named node's shard.
+type shard struct {
+	mu     sync.RWMutex
+	edges  map[edgeKey]*Edge   // keyed by shard(hypo)
+	hypers map[string][]string // hypo → hypernyms, keyed by shard(hypo)
+	hypos  map[string][]string // hyper → hyponyms, keyed by shard(hyper)
+	kinds  map[string]NodeKind // keyed by shard(node)
 }
 
-// New returns an empty taxonomy.
-func New() *Taxonomy {
-	return &Taxonomy{
-		edges:     make(map[edgeKey]*Edge),
-		hypers:    make(map[string][]string),
-		hypos:     make(map[string][]string),
-		kinds:     make(map[string]NodeKind),
-		nameIndex: make(map[string][]string),
+// merged holds the cross-shard indexes Finalize builds. gen records
+// the write generation the indexes were computed at; readers treat the
+// cache as valid only while the store's generation still matches, so a
+// write racing Finalize can never leave stale indexes looking valid.
+type merged struct {
+	gen   uint64
+	nodes []string // sorted
+	stats Stats
+}
+
+// Taxonomy is the isA graph.
+type Taxonomy struct {
+	shards   []shard
+	writeGen atomic.Uint64
+	final    atomic.Pointer[merged]
+}
+
+// New returns an empty taxonomy with DefaultShards shards.
+func New() *Taxonomy { return NewSharded(DefaultShards) }
+
+// NewSharded returns an empty taxonomy with n shards (n <= 0 selects
+// DefaultShards). Higher shard counts reduce write contention during
+// parallel construction; shard count does not affect query results.
+func NewSharded(n int) *Taxonomy {
+	if n <= 0 {
+		n = DefaultShards
 	}
+	t := &Taxonomy{shards: make([]shard, n)}
+	for i := range t.shards {
+		t.shards[i] = shard{
+			edges:  make(map[edgeKey]*Edge),
+			hypers: make(map[string][]string),
+			hypos:  make(map[string][]string),
+			kinds:  make(map[string]NodeKind),
+		}
+	}
+	return t
+}
+
+// ShardCount returns the number of shards.
+func (t *Taxonomy) ShardCount() int { return len(t.shards) }
+
+// fnv32a hashes s with 32-bit FNV-1a.
+func fnv32a(s string) uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime
+	}
+	return h
+}
+
+func (t *Taxonomy) shardIndex(name string) int {
+	return int(fnv32a(name) % uint32(len(t.shards)))
+}
+
+func (t *Taxonomy) shardOf(name string) *shard { return &t.shards[t.shardIndex(name)] }
+
+// invalidate drops the finalized merged indexes. The generation bump
+// comes first so a Finalize computing concurrently publishes its
+// result under an outdated generation and readers ignore it.
+func (t *Taxonomy) invalidate() {
+	t.writeGen.Add(1)
+	t.final.Store(nil)
+}
+
+// mergedIndexes returns the finalized indexes if they are still
+// current, nil otherwise.
+func (t *Taxonomy) mergedIndexes() *merged {
+	if m := t.final.Load(); m != nil && m.gen == t.writeGen.Load() {
+		return m
+	}
+	return nil
+}
+
+// lockPair write-locks the shards of a and b in index order (deadlock
+// free) and returns the corresponding shards plus an unlock function.
+func (t *Taxonomy) lockPair(a, b string) (sa, sb *shard, unlock func()) {
+	i, j := t.shardIndex(a), t.shardIndex(b)
+	sa, sb = &t.shards[i], &t.shards[j]
+	if i == j {
+		sa.mu.Lock()
+		return sa, sb, sa.mu.Unlock
+	}
+	lo, hi := sa, sb
+	if i > j {
+		lo, hi = sb, sa
+	}
+	lo.mu.Lock()
+	hi.mu.Lock()
+	return sa, sb, func() { hi.mu.Unlock(); lo.mu.Unlock() }
 }
 
 // MarkEntity declares node as an entity.
@@ -124,18 +228,30 @@ func (t *Taxonomy) mark(name string, k NodeKind) {
 	if name == "" {
 		return
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.kinds[name] == KindUnknown {
-		t.kinds[name] = k
+	sh := t.shardOf(name)
+	sh.mu.Lock()
+	if sh.kinds[name] == KindUnknown {
+		sh.kinds[name] = k
 	}
+	sh.mu.Unlock()
+	t.invalidate()
+}
+
+// setKind overwrites the node kind unconditionally (deserialization).
+func (t *Taxonomy) setKind(name string, k NodeKind) {
+	sh := t.shardOf(name)
+	sh.mu.Lock()
+	sh.kinds[name] = k
+	sh.mu.Unlock()
+	t.invalidate()
 }
 
 // Kind returns the node kind of name.
 func (t *Taxonomy) Kind(name string) NodeKind {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.kinds[name]
+	sh := t.shardOf(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.kinds[name]
 }
 
 // AddIsA inserts or reinforces the isA(hypo, hyper) edge. Self-loops
@@ -149,37 +265,60 @@ func (t *Taxonomy) AddIsA(hypo, hyper string, src Source, score float64) error {
 	if hypo == hyper {
 		return fmt.Errorf("taxonomy: self-loop isA(%q, %q)", hypo, hyper)
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	sa, sb, unlock := t.lockPair(hypo, hyper)
+	defer unlock()
 	k := edgeKey{hypo, hyper}
-	if e, ok := t.edges[k]; ok {
+	if e, ok := sa.edges[k]; ok {
 		e.Sources |= src
 		e.Count++
 		if score > e.Score {
 			e.Score = score
 		}
+		t.invalidate()
 		return nil
 	}
-	t.edges[k] = &Edge{Hypo: hypo, Hyper: hyper, Sources: src, Score: score, Count: 1}
-	t.hypers[hypo] = append(t.hypers[hypo], hyper)
-	t.hypos[hyper] = append(t.hypos[hyper], hypo)
-	if t.kinds[hyper] == KindUnknown {
-		t.kinds[hyper] = KindConcept
+	sa.edges[k] = &Edge{Hypo: hypo, Hyper: hyper, Sources: src, Score: score, Count: 1}
+	sa.hypers[hypo] = append(sa.hypers[hypo], hyper)
+	sb.hypos[hyper] = append(sb.hypos[hyper], hypo)
+	if sb.kinds[hyper] == KindUnknown {
+		sb.kinds[hyper] = KindConcept
 	}
+	t.invalidate()
 	return nil
+}
+
+// setCount overwrites the evidence count of an existing edge
+// (deserialization).
+func (t *Taxonomy) setCount(hypo, hyper string, count int) {
+	sh := t.shardOf(hypo)
+	sh.mu.Lock()
+	if e, ok := sh.edges[edgeKey{hypo, hyper}]; ok {
+		e.Count = count
+	}
+	sh.mu.Unlock()
+	t.invalidate()
 }
 
 // RemoveIsA deletes the edge if present and reports whether it existed.
 func (t *Taxonomy) RemoveIsA(hypo, hyper string) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	sa, sb, unlock := t.lockPair(hypo, hyper)
+	defer unlock()
 	k := edgeKey{hypo, hyper}
-	if _, ok := t.edges[k]; !ok {
+	if _, ok := sa.edges[k]; !ok {
 		return false
 	}
-	delete(t.edges, k)
-	t.hypers[hypo] = removeString(t.hypers[hypo], hyper)
-	t.hypos[hyper] = removeString(t.hypos[hyper], hypo)
+	delete(sa.edges, k)
+	if hs := removeString(sa.hypers[hypo], hyper); len(hs) > 0 {
+		sa.hypers[hypo] = hs
+	} else {
+		delete(sa.hypers, hypo) // empty entries would skew NodesWithHypernym
+	}
+	if hs := removeString(sb.hypos[hyper], hypo); len(hs) > 0 {
+		sb.hypos[hyper] = hs
+	} else {
+		delete(sb.hypos, hyper)
+	}
+	t.invalidate()
 	return true
 }
 
@@ -194,17 +333,19 @@ func removeString(xs []string, x string) []string {
 
 // HasIsA reports whether the direct edge exists.
 func (t *Taxonomy) HasIsA(hypo, hyper string) bool {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	_, ok := t.edges[edgeKey{hypo, hyper}]
+	sh := t.shardOf(hypo)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.edges[edgeKey{hypo, hyper}]
 	return ok
 }
 
 // EdgeOf returns a copy of the edge, if present.
 func (t *Taxonomy) EdgeOf(hypo, hyper string) (Edge, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	e, ok := t.edges[edgeKey{hypo, hyper}]
+	sh := t.shardOf(hypo)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.edges[edgeKey{hypo, hyper}]
 	if !ok {
 		return Edge{}, false
 	}
@@ -214,17 +355,19 @@ func (t *Taxonomy) EdgeOf(hypo, hyper string) (Edge, bool) {
 // Hypernyms returns the direct hypernyms of node (getConcept in the
 // paper's API table).
 func (t *Taxonomy) Hypernyms(node string) []string {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return append([]string(nil), t.hypers[node]...)
+	sh := t.shardOf(node)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return append([]string(nil), sh.hypers[node]...)
 }
 
 // Hyponyms returns up to limit direct hyponyms of a concept (getEntity
 // in the paper's API table); limit <= 0 means all.
 func (t *Taxonomy) Hyponyms(concept string, limit int) []string {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	hs := t.hypos[concept]
+	sh := t.shardOf(concept)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	hs := sh.hypos[concept]
 	if limit <= 0 || limit > len(hs) {
 		limit = len(hs)
 	}
@@ -233,19 +376,20 @@ func (t *Taxonomy) Hyponyms(concept string, limit int) []string {
 
 // HyponymCount returns the number of direct hyponyms of a concept.
 func (t *Taxonomy) HyponymCount(concept string) int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.hypos[concept])
+	sh := t.shardOf(concept)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.hypos[concept])
 }
 
 // Ancestors returns all transitive hypernyms of node, breadth-first,
-// excluding node itself. Cycles are tolerated.
+// excluding node itself. Cycles are tolerated. Each BFS step reads one
+// shard; concurrent writers may interleave, in which case the result is
+// a best-effort snapshot (exact once construction has finished).
 func (t *Taxonomy) Ancestors(node string) []string {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	seen := map[string]bool{node: true}
 	var out []string
-	queue := append([]string(nil), t.hypers[node]...)
+	queue := t.Hypernyms(node)
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
@@ -254,7 +398,7 @@ func (t *Taxonomy) Ancestors(node string) []string {
 		}
 		seen[cur] = true
 		out = append(out, cur)
-		queue = append(queue, t.hypers[cur]...)
+		queue = append(queue, t.Hypernyms(cur)...)
 	}
 	return out
 }
@@ -269,17 +413,28 @@ func (t *Taxonomy) IsAncestor(hypo, hyper string) bool {
 	return false
 }
 
-// Nodes returns all node names, sorted.
+// Nodes returns all node names, sorted. After Finalize the merged
+// sorted list is served from cache.
 func (t *Taxonomy) Nodes() []string {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	seen := make(map[string]bool)
-	for k := range t.edges {
-		seen[k.hypo] = true
-		seen[k.hyper] = true
+	if m := t.mergedIndexes(); m != nil {
+		return append([]string(nil), m.nodes...)
 	}
-	for n := range t.kinds {
-		seen[n] = true
+	return t.computeNodes()
+}
+
+func (t *Taxonomy) computeNodes() []string {
+	seen := make(map[string]bool)
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for k := range sh.edges {
+			seen[k.hypo] = true
+			seen[k.hyper] = true
+		}
+		for n := range sh.kinds {
+			seen[n] = true
+		}
+		sh.mu.RUnlock()
 	}
 	out := make([]string, 0, len(seen))
 	for n := range seen {
@@ -291,11 +446,14 @@ func (t *Taxonomy) Nodes() []string {
 
 // Edges returns copies of all edges, sorted for determinism.
 func (t *Taxonomy) Edges() []Edge {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]Edge, 0, len(t.edges))
-	for _, e := range t.edges {
-		out = append(out, *e)
+	out := make([]Edge, 0, t.EdgeCount())
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.edges {
+			out = append(out, *e)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Hypo != out[j].Hypo {
@@ -308,9 +466,14 @@ func (t *Taxonomy) Edges() []Edge {
 
 // EdgeCount returns the number of isA edges.
 func (t *Taxonomy) EdgeCount() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.edges)
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		n += len(sh.edges)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Stats summarizes the taxonomy in the shape of the paper's Table I
@@ -325,15 +488,35 @@ type Stats struct {
 	NodesWithHypernym int `json:"nodes_with_hypernym"`
 }
 
+// snapshotKinds copies the merged kind map, one shard at a time.
+func (t *Taxonomy) snapshotKinds() map[string]NodeKind {
+	out := make(map[string]NodeKind)
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for n, k := range sh.kinds {
+			out[n] = k
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
 // ComputeStats walks the graph once and classifies edges by hyponym
-// kind.
+// kind. After Finalize the cached stats are returned.
 func (t *Taxonomy) ComputeStats() Stats {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	if m := t.mergedIndexes(); m != nil {
+		return m.stats
+	}
+	return t.computeStats()
+}
+
+func (t *Taxonomy) computeStats() Stats {
 	var s Stats
+	kinds := t.snapshotKinds()
 	seenEnt := make(map[string]bool)
 	seenCon := make(map[string]bool)
-	for n, k := range t.kinds {
+	for n, k := range kinds {
 		switch k {
 		case KindEntity:
 			seenEnt[n] = true
@@ -341,25 +524,57 @@ func (t *Taxonomy) ComputeStats() Stats {
 			seenCon[n] = true
 		}
 	}
-	for k := range t.edges {
-		if t.kinds[k.hyper] == KindConcept {
-			seenCon[k.hyper] = true
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		s.NodesWithHypernym += len(sh.hypers)
+		for k := range sh.edges {
+			if kinds[k.hyper] == KindConcept {
+				seenCon[k.hyper] = true
+			}
+			switch kinds[k.hypo] {
+			case KindEntity:
+				s.EntityConceptIsA++
+			case KindConcept:
+				s.SubConceptIsA++
+			default:
+				s.EntityConceptIsA++ // unmarked hyponyms behave as instances
+			}
 		}
-		switch t.kinds[k.hypo] {
-		case KindEntity:
-			s.EntityConceptIsA++
-		case KindConcept:
-			s.SubConceptIsA++
-		default:
-			s.EntityConceptIsA++ // unmarked hyponyms behave as instances
-		}
+		s.IsARelations += len(sh.edges)
+		sh.mu.RUnlock()
 	}
 	s.Entities = len(seenEnt)
 	s.Concepts = len(seenCon)
-	s.IsARelations = len(t.edges)
-	s.NodesWithHypernym = len(t.hypers)
 	return s
 }
+
+// Finalize builds the merged cross-shard indexes once construction is
+// done: adjacency lists are put into canonical (sorted) order — so the
+// result of a parallel build is structurally identical to a sequential
+// one — and the sorted node list plus stats are cached for the serving
+// path. Any subsequent write invalidates the caches; Finalize can be
+// called again after further updates. A write racing Finalize bumps
+// the generation the cache is published under, so the stale cache is
+// ignored rather than served.
+func (t *Taxonomy) Finalize() {
+	gen := t.writeGen.Load()
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, hs := range sh.hypers {
+			sort.Strings(hs)
+		}
+		for _, hs := range sh.hypos {
+			sort.Strings(hs)
+		}
+		sh.mu.Unlock()
+	}
+	t.final.Store(&merged{gen: gen, nodes: t.computeNodes(), stats: t.computeStats()})
+}
+
+// Finalized reports whether the merged indexes are currently valid.
+func (t *Taxonomy) Finalized() bool { return t.mergedIndexes() != nil }
 
 // ---- serialization ----
 
@@ -370,13 +585,7 @@ type taxJSON struct {
 
 // WriteJSON serializes the taxonomy.
 func (t *Taxonomy) WriteJSON(w io.Writer) error {
-	t.mu.RLock()
-	out := taxJSON{Kinds: make(map[string]NodeKind, len(t.kinds))}
-	for n, k := range t.kinds {
-		out.Kinds[n] = k
-	}
-	t.mu.RUnlock()
-	out.Edges = t.Edges()
+	out := taxJSON{Kinds: t.snapshotKinds(), Edges: t.Edges()}
 	bw := bufio.NewWriter(w)
 	if err := json.NewEncoder(bw).Encode(out); err != nil {
 		return fmt.Errorf("taxonomy: encode: %w", err)
@@ -392,13 +601,13 @@ func ReadJSON(r io.Reader) (*Taxonomy, error) {
 	}
 	t := New()
 	for n, k := range in.Kinds {
-		t.kinds[n] = k
+		t.setKind(n, k)
 	}
 	for _, e := range in.Edges {
 		if err := t.AddIsA(e.Hypo, e.Hyper, e.Sources, e.Score); err != nil {
 			return nil, err
 		}
-		t.edges[edgeKey{e.Hypo, e.Hyper}].Count = e.Count
+		t.setCount(e.Hypo, e.Hyper, e.Count)
 	}
 	return t, nil
 }

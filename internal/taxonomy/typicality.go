@@ -19,15 +19,18 @@ type Scored struct {
 // is for the entity, from the edge evidence counts. Zero when the edge
 // is absent.
 func (t *Taxonomy) TypicalityOfConcept(hypo, hyper string) float64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	e, ok := t.edges[edgeKey{hypo, hyper}]
+	// All of hypo's outgoing edges live in hypo's shard, so one lock
+	// covers the whole sibling scan.
+	sh := t.shardOf(hypo)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.edges[edgeKey{hypo, hyper}]
 	if !ok {
 		return 0
 	}
 	total := 0
-	for _, h := range t.hypers[hypo] {
-		if sib, ok := t.edges[edgeKey{hypo, h}]; ok {
+	for _, h := range sh.hypers[hypo] {
+		if sib, ok := sh.edges[edgeKey{hypo, h}]; ok {
 			total += sib.Count
 		}
 	}
@@ -40,15 +43,16 @@ func (t *Taxonomy) TypicalityOfConcept(hypo, hyper string) float64 {
 // TypicalityOfInstance returns P(hypo | hyper): how representative the
 // instance is of the concept.
 func (t *Taxonomy) TypicalityOfInstance(hyper, hypo string) float64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	e, ok := t.edges[edgeKey{hypo, hyper}]
+	// Sibling edges are keyed by their own hyponyms and may live in any
+	// shard, so collect the hyponym list first and read each edge
+	// through EdgeOf — never holding two shard locks at once.
+	e, ok := t.EdgeOf(hypo, hyper)
 	if !ok {
 		return 0
 	}
 	total := 0
-	for _, h := range t.hypos[hyper] {
-		if sib, ok := t.edges[edgeKey{h, hyper}]; ok {
+	for _, h := range t.Hyponyms(hyper, 0) {
+		if sib, ok := t.EdgeOf(h, hyper); ok {
 			total += sib.Count
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"cnprobase/internal/encyclopedia"
 	"cnprobase/internal/extract"
 	"cnprobase/internal/lexicon"
+	"cnprobase/internal/par"
 	"cnprobase/internal/runes"
 	"cnprobase/internal/segment"
 )
@@ -34,7 +35,11 @@ type Report struct {
 
 // Verify applies the enabled strategies to the candidate set and
 // returns the surviving candidates plus a report. A candidate is
-// dropped as soon as any strategy rejects it.
+// dropped as soon as any strategy rejects it. The incompatibility
+// statistics are computed once up front; the per-candidate filtering
+// then fans out over opts.Workers goroutines, each scanning a
+// contiguous chunk, with results merged in chunk order — so the
+// survivor order matches a sequential run exactly.
 func Verify(cands []extract.Candidate, ctx *Context, seg *segment.Segmenter, opts Options) ([]extract.Candidate, Report) {
 	rep := Report{Input: len(cands), Rejected: make(map[Reason]int)}
 
@@ -46,19 +51,44 @@ func Verify(cands []extract.Candidate, ctx *Context, seg *segment.Segmenter, opt
 		killed = resolveIncompatible(cands, ctx, incompatible)
 	}
 
-	var kept []extract.Candidate
-	for _, c := range cands {
+	// reject classifies one candidate; everything it consults (context,
+	// segmenter, lexicon, killed set) is read-only here, so chunks can
+	// run concurrently.
+	reject := func(c extract.Candidate) (Reason, bool) {
 		switch {
 		case opts.EnableSyntax && lexicon.IsThematic(c.Hyper):
-			rep.Rejected[ReasonThematic]++
+			return ReasonThematic, true
 		case opts.EnableSyntax && headInNonHeadPosition(c, seg):
-			rep.Rejected[ReasonHeadPosition]++
+			return ReasonHeadPosition, true
 		case opts.EnableNE && ctx.NESupport(c.Hyper) > opts.NEThreshold:
-			rep.Rejected[ReasonNE]++
+			return ReasonNE, true
 		case opts.EnableIncompatible && killed[edgeKey{c.Hypo, c.Hyper}]:
-			rep.Rejected[ReasonIncompatible]++
-		default:
-			kept = append(kept, c)
+			return ReasonIncompatible, true
+		}
+		return "", false
+	}
+
+	type chunk struct {
+		kept     []extract.Candidate
+		rejected map[Reason]int
+	}
+	chunks := par.MapBatches(par.NewPool(opts.Workers), len(cands), func(lo, hi int) chunk {
+		ck := chunk{rejected: make(map[Reason]int)}
+		for _, c := range cands[lo:hi] {
+			if r, drop := reject(c); drop {
+				ck.rejected[r]++
+			} else {
+				ck.kept = append(ck.kept, c)
+			}
+		}
+		return ck
+	})
+
+	var kept []extract.Candidate
+	for _, ck := range chunks {
+		kept = append(kept, ck.kept...)
+		for r, n := range ck.rejected {
+			rep.Rejected[r] += n
 		}
 	}
 	rep.Kept = len(kept)
