@@ -10,7 +10,9 @@ package cnprobase
 // Shared suites are built once per benchmark and the construction cost
 // is excluded via b.ResetTimer where the benchmark measures queries.
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"testing"
@@ -346,6 +348,84 @@ func BenchmarkConceptualize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = engine.Conceptualize(texts[i%len(texts)])
 	}
+}
+
+// snapshotBytes saves the suite's serving state once, for the
+// snapshot benchmarks.
+func snapshotBytes(b *testing.B) []byte {
+	b.Helper()
+	s := benchSuite(b)
+	var buf bytes.Buffer
+	if err := SaveSnapshot(&buf, s.Result); err != nil {
+		b.Fatalf("SaveSnapshot: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkSnapshotSave measures writing the binary serving snapshot
+// (stripe-parallel encode + CRC); MB/s reads off the -benchmem output.
+func BenchmarkSnapshotSave(b *testing.B) {
+	s := benchSuite(b)
+	size := len(snapshotBytes(b))
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := SaveSnapshot(io.Discard, s.Result); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotLoad measures reassembling the full serving state —
+// sharded taxonomy, merged indexes, mention index — from a snapshot.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	data := snapshotBytes(b)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := LoadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Taxonomy.EdgeCount() == 0 {
+			b.Fatal("empty taxonomy")
+		}
+	}
+}
+
+// BenchmarkLoadVsRebuild is the serving-startup comparison the
+// snapshot exists for: sub-benchmark Load starts a server from the
+// snapshot, Rebuild re-runs the generation + verification pipeline
+// (neural stage off, its cheapest configuration) — the only option
+// before snapshots existed. The ns/op ratio is the startup speedup.
+func BenchmarkLoadVsRebuild(b *testing.B) {
+	s := benchSuite(b)
+	data := snapshotBytes(b)
+	b.Run("Load", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := LoadSnapshot(bytes.NewReader(data))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Taxonomy.EdgeCount() == 0 {
+				b.Fatal("empty taxonomy")
+			}
+		}
+	})
+	b.Run("Rebuild", func(b *testing.B) {
+		opts := core.DefaultOptions()
+		opts.EnableNeural = false
+		corpus := s.World.Corpus()
+		for i := 0; i < b.N; i++ {
+			res, err := core.New(opts).Build(corpus)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Taxonomy.EdgeCount() == 0 {
+				b.Fatal("empty taxonomy")
+			}
+		}
+	})
 }
 
 // BenchmarkIncrementalUpdate measures the never-ending-extraction mode:

@@ -6,12 +6,16 @@
 //
 //	cnprobase gen   -entities 8000 -out corpus.jsonl
 //	cnprobase build -in corpus.jsonl -out taxonomy.json [-no-neural] [-workers 8] [-shards 16]
+//	cnprobase build -in corpus.jsonl -save taxonomy.snap    # binary serving snapshot
 //	cnprobase query -tax taxonomy.json -hypernyms 刘德华
 //	cnprobase query -tax taxonomy.json -hyponyms 演员 -limit 20
 //
 // build fans the construction pipeline out over -workers goroutines
 // (0 = one per CPU, 1 = sequential) assembling into a -shards-way
 // sharded taxonomy store; any worker count produces the same taxonomy.
+// -save additionally writes the complete serving state (taxonomy +
+// mention index + build report) as a binary snapshot that
+// `cnpserver -load` starts from without re-running the pipeline.
 package main
 
 import (
@@ -79,6 +83,7 @@ func cmdBuild(args []string) {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
 	in := fs.String("in", "corpus.jsonl", "input dump path")
 	out := fs.String("out", "taxonomy.json", "output taxonomy path")
+	save := fs.String("save", "", "also write a binary serving snapshot (for cnpserver -load)")
 	noNeural := fs.Bool("no-neural", false, "skip the neural (abstract) extractor")
 	workers := fs.Int("workers", 0, "pipeline worker pool size (0 = one per CPU, 1 = sequential)")
 	shards := fs.Int("shards", 0, "taxonomy store shard count (0 = default)")
@@ -117,6 +122,20 @@ func cmdBuild(args []string) {
 		log.Fatalf("write taxonomy: %v", err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+	if *save != "" {
+		s, err := os.Create(*save)
+		if err != nil {
+			log.Fatalf("create %s: %v", *save, err)
+		}
+		if err := cnprobase.SaveSnapshot(s, res); err != nil {
+			s.Close()
+			log.Fatalf("write snapshot: %v", err)
+		}
+		if err := s.Close(); err != nil {
+			log.Fatalf("close %s: %v", *save, err)
+		}
+		fmt.Printf("wrote snapshot %s\n", *save)
+	}
 }
 
 func cmdQuery(args []string) {

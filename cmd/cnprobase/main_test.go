@@ -24,6 +24,7 @@ func TestCLIRoundTrip(t *testing.T) {
 
 	corpus := filepath.Join(dir, "corpus.jsonl")
 	tax := filepath.Join(dir, "taxonomy.json")
+	snap := filepath.Join(dir, "taxonomy.snap")
 
 	run := func(args ...string) string {
 		t.Helper()
@@ -39,12 +40,18 @@ func TestCLIRoundTrip(t *testing.T) {
 	if !strings.Contains(out, "pages") {
 		t.Errorf("gen output: %s", out)
 	}
-	out = run("build", "-in", corpus, "-out", tax, "-no-neural", "-workers", "8", "-shards", "32")
+	out = run("build", "-in", corpus, "-out", tax, "-save", snap, "-no-neural", "-workers", "8", "-shards", "32")
 	if !strings.Contains(out, "isA relations") {
 		t.Errorf("build output: %s", out)
 	}
 	if !strings.Contains(out, "8 workers, 32 shards") {
 		t.Errorf("build output missing concurrency settings: %s", out)
+	}
+	if !strings.Contains(out, "wrote snapshot") {
+		t.Errorf("build output missing snapshot line: %s", out)
+	}
+	if fi, err := os.Stat(snap); err != nil || fi.Size() == 0 {
+		t.Errorf("snapshot file %s: err=%v, size=%v", snap, err, fi)
 	}
 	out = run("query", "-tax", tax)
 	if !strings.Contains(out, "entities=") {

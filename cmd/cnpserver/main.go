@@ -3,21 +3,29 @@
 //
 // Usage:
 //
-//	cnpserver -addr :8080 -tax taxonomy.json          # serve a saved taxonomy
+//	cnpserver -addr :8080 -load taxonomy.snap         # serve a binary snapshot (fastest start)
+//	cnpserver -addr :8080 -tax taxonomy.json          # serve a JSON taxonomy
 //	cnpserver -addr :8080 -entities 4000              # build in-memory demo world
 //	cnpserver -entities 4000 -workers 8 -shards 32    # parallel demo build
 //
-// The demo build fans out over -workers goroutines (0 = one per CPU)
-// into a -shards-way sharded taxonomy store.
+// -load is the production path: the snapshot (written by
+// `cnprobase build -save`) carries the complete serving state —
+// taxonomy, mention index, build report — so the server skips the
+// generation + verification pipeline entirely and is query-ready in
+// milliseconds. The demo build fans out over -workers goroutines (0 =
+// one per CPU) into a -shards-way sharded taxonomy store.
 //
-// Mentions are indexed from entity IDs and bare titles when serving a
-// saved taxonomy; the demo mode uses the pipeline's full mention index.
+// Mentions come from the snapshot's full index with -load and from the
+// pipeline with the demo build; the -tax JSON path indexes entity IDs
+// and bare titles only (JSON taxonomies do not carry the mention
+// index).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"time"
@@ -32,18 +40,39 @@ func main() {
 	log.SetPrefix("cnpserver: ")
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
-		taxPath  = flag.String("tax", "", "taxonomy JSON path (empty: build demo world)")
-		entities = flag.Int("entities", 4000, "demo world size when -tax is empty")
-		workers  = flag.Int("workers", 0, "demo build worker pool size (0 = one per CPU, 1 = sequential)")
+		loadPath = flag.String("load", "", "binary snapshot path (from `cnprobase build -save`)")
+		taxPath  = flag.String("tax", "", "taxonomy JSON path")
+		entities = flag.Int("entities", 4000, "demo world size when -load and -tax are empty")
+		workers  = flag.Int("workers", 0, "worker pool size for the demo build and snapshot decode (0 = one per CPU, 1 = sequential)")
 		shards   = flag.Int("shards", 0, "taxonomy store shard count (0 = default)")
 	)
 	flag.Parse()
+	if *loadPath != "" && *taxPath != "" {
+		log.Fatal("-load and -tax are mutually exclusive")
+	}
 
 	var (
 		tax      *cnprobase.Taxonomy
 		mentions *cnprobase.MentionIndex
 	)
-	if *taxPath != "" {
+	switch {
+	case *loadPath != "":
+		start := time.Now()
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			log.Fatalf("open %s: %v", *loadPath, err)
+		}
+		res, err := cnprobase.LoadSnapshotSharded(f, *workers, *shards)
+		f.Close()
+		if err != nil {
+			log.Fatalf("load snapshot %s: %v", *loadPath, err)
+		}
+		tax, mentions = res.Taxonomy, res.Mentions
+		st := res.Report.Stats
+		log.Printf("loaded snapshot in %v: %d entities, %d concepts, %d isA, %d mentions",
+			time.Since(start).Round(time.Millisecond),
+			st.Entities, st.Concepts, st.IsARelations, mentions.Size())
+	case *taxPath != "":
 		f, err := os.Open(*taxPath)
 		if err != nil {
 			log.Fatalf("open %s: %v", *taxPath, err)
@@ -62,7 +91,7 @@ func main() {
 				}
 			}
 		}
-	} else {
+	default:
 		log.Printf("building demo world with %d entities...", *entities)
 		start := time.Now()
 		wcfg := cnprobase.DefaultWorldConfig()
@@ -86,8 +115,15 @@ func main() {
 	}
 
 	srv := cnprobase.NewAPIServer(tax, mentions)
-	fmt.Printf("serving men2ent/getConcept/getEntity on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	// Listen before announcing so the printed address is the bound one
+	// (with ":0" the kernel picks the port; tests and scripts read it
+	// back from this line).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *addr, err)
+	}
+	fmt.Printf("serving men2ent/getConcept/getEntity on %s\n", ln.Addr())
+	if err := http.Serve(ln, srv.Handler()); err != nil {
 		log.Fatalf("serve: %v", err)
 	}
 }

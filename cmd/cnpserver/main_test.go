@@ -1,0 +1,243 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cnprobase"
+)
+
+// buildServerBinary compiles cnpserver once per test binary.
+var (
+	binOnce sync.Once
+	binPath string
+	binErr  error
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if binPath != "" {
+		os.RemoveAll(filepath.Dir(binPath))
+	}
+	os.Exit(code)
+}
+
+func serverBinary(t *testing.T) string {
+	t.Helper()
+	binOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "cnpserver-test-*")
+		if err != nil {
+			binErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "cnpserver")
+		out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput()
+		if err != nil {
+			binErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if binErr != nil {
+		t.Fatal(binErr)
+	}
+	return binPath
+}
+
+// writeSnapshot builds a small world and saves its serving state,
+// returning the snapshot path and the build result for comparison.
+func writeSnapshot(t *testing.T) (string, *cnprobase.Result) {
+	t.Helper()
+	wcfg := cnprobase.DefaultWorldConfig()
+	wcfg.Entities = 300
+	w, err := cnprobase.GenerateWorld(wcfg)
+	if err != nil {
+		t.Fatalf("GenerateWorld: %v", err)
+	}
+	opts := cnprobase.DefaultOptions()
+	opts.EnableNeural = false
+	res, err := cnprobase.Build(w.Corpus(), opts)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "taxonomy.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatalf("create snapshot: %v", err)
+	}
+	if err := cnprobase.SaveSnapshot(f, res); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close snapshot: %v", err)
+	}
+	return path, res
+}
+
+// startServer launches the binary, waits for the "serving ... on"
+// line, and returns the base URL plus a shutdown func.
+func startServer(t *testing.T, args ...string) (string, func()) {
+	t.Helper()
+	cmd := exec.Command(serverBinary(t), append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start server: %v", err)
+	}
+	stop := func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.LastIndex(line, " on "); strings.HasPrefix(line, "serving ") && i >= 0 {
+				addrCh <- strings.TrimSpace(line[i+4:])
+				return
+			}
+		}
+		close(addrCh)
+	}()
+	select {
+	case addr, ok := <-addrCh:
+		if !ok {
+			stop()
+			t.Fatal("server exited before announcing its address")
+		}
+		return "http://" + addr, stop
+	case <-time.After(30 * time.Second):
+		stop()
+		t.Fatal("timed out waiting for the server to announce its address")
+	}
+	panic("unreachable")
+}
+
+// TestServeLoadedSnapshot is the -load happy path: the server starts
+// from a snapshot without running the pipeline and answers the three
+// APIs exactly like the build it was saved from.
+func TestServeLoadedSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test: compiles and runs the binary")
+	}
+	snap, res := writeSnapshot(t)
+	base, stop := startServer(t, "-load", snap)
+	defer stop()
+
+	// Pick an entity that has hypernyms so the comparison is not
+	// vacuous.
+	var entity string
+	for _, n := range res.Taxonomy.Nodes() {
+		if len(res.Taxonomy.Hypernyms(n)) > 0 && len(res.Mentions.Lookup(n)) > 0 {
+			entity = n
+			break
+		}
+	}
+	if entity == "" {
+		t.Fatal("no entity with hypernyms in the built world")
+	}
+
+	get := func(path string, into any) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+	}
+
+	var concept struct {
+		Hypernyms []string `json:"hypernyms"`
+	}
+	get("/api/getConcept?entity="+entity, &concept)
+	if want := fmt.Sprint(res.Taxonomy.Hypernyms(entity)); fmt.Sprint(concept.Hypernyms) != want {
+		t.Fatalf("getConcept(%q) = %v, want %v", entity, concept.Hypernyms, want)
+	}
+
+	var men struct {
+		Entities []string `json:"entities"`
+	}
+	get("/api/men2ent?mention="+entity, &men)
+	if want := fmt.Sprint(res.Mentions.Lookup(entity)); fmt.Sprint(men.Entities) != want {
+		t.Errorf("men2ent(%q) = %v, want %v", entity, men.Entities, want)
+	}
+
+	hyper := concept.Hypernyms[0]
+	var ent struct {
+		Hyponyms []string `json:"hyponyms"`
+	}
+	get("/api/getEntity?concept="+hyper, &ent)
+	if want := fmt.Sprint(res.Taxonomy.Hyponyms(hyper, 0)); fmt.Sprint(ent.Hyponyms) != want {
+		t.Errorf("getEntity(%q) = %v, want %v", hyper, ent.Hyponyms, want)
+	}
+}
+
+// TestLoadCorruptSnapshot wants a clean, diagnosable exit — not a
+// crash, not a server — when the snapshot file is damaged.
+func TestLoadCorruptSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test: compiles and runs the binary")
+	}
+	snap, _ := writeSnapshot(t)
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	corrupt := filepath.Join(t.TempDir(), "corrupt.snap")
+	if err := os.WriteFile(corrupt, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(serverBinary(t), "-addr", "127.0.0.1:0", "-load", corrupt).CombinedOutput()
+	if err == nil {
+		t.Fatalf("server accepted a corrupt snapshot:\n%s", out)
+	}
+	if !strings.Contains(string(out), "load snapshot") {
+		t.Errorf("error output does not mention the snapshot: %s", out)
+	}
+}
+
+// TestFlagValidation covers flag parsing: unknown flags exit with the
+// flag package's status 2, and -load/-tax are mutually exclusive.
+func TestFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test: compiles and runs the binary")
+	}
+	out, err := exec.Command(serverBinary(t), "-no-such-flag").CombinedOutput()
+	if err == nil {
+		t.Fatalf("unknown flag accepted:\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Errorf("unknown flag: err = %v, want exit status 2", err)
+	}
+	if !strings.Contains(string(out), "Usage") {
+		t.Errorf("unknown flag output missing usage: %s", out)
+	}
+
+	out, err = exec.Command(serverBinary(t), "-load", "a.snap", "-tax", "b.json").CombinedOutput()
+	if err == nil {
+		t.Fatalf("-load with -tax accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "mutually exclusive") {
+		t.Errorf("-load/-tax error not reported: %s", out)
+	}
+}

@@ -25,6 +25,8 @@
 package cnprobase
 
 import (
+	"encoding/json"
+	"fmt"
 	"io"
 
 	"cnprobase/internal/api"
@@ -34,6 +36,7 @@ import (
 	"cnprobase/internal/encyclopedia"
 	"cnprobase/internal/eval"
 	"cnprobase/internal/qa"
+	"cnprobase/internal/snapshot"
 	"cnprobase/internal/synth"
 	"cnprobase/internal/taxonomy"
 )
@@ -135,6 +138,74 @@ func ReadTaxonomy(r io.Reader) (*Taxonomy, error) { return taxonomy.ReadJSON(r) 
 // NewAPIServer builds the HTTP server over a taxonomy and mention
 // index.
 func NewAPIServer(t *Taxonomy, m *MentionIndex) *APIServer { return api.NewServer(t, m) }
+
+// SaveSnapshot writes the complete serving state of a build — the
+// taxonomy with full edge provenance, the mention index, and the build
+// report — as a versioned, checksummed binary snapshot. A server can
+// LoadSnapshot the file and be query-ready in milliseconds instead of
+// re-running the pipeline (build once, serve many). Encoding fans out
+// over the same worker count the build used; the bytes are identical
+// for any Workers/Shards configuration, so snapshots of the same
+// logical taxonomy are directly comparable. The on-disk layout is
+// specified in docs/SNAPSHOT.md.
+func SaveSnapshot(w io.Writer, res *Result) error {
+	if res == nil || res.Taxonomy == nil {
+		return fmt.Errorf("cnprobase: SaveSnapshot needs a Result with a taxonomy")
+	}
+	var (
+		meta    snapshot.Meta
+		workers int
+	)
+	if res.Report != nil {
+		rep := *res.Report // normalize the runtime knobs out of the saved report
+		rep.Workers, rep.Shards = 0, 0
+		raw, err := json.Marshal(&rep)
+		if err != nil {
+			return fmt.Errorf("cnprobase: encode snapshot report: %w", err)
+		}
+		meta = snapshot.Meta{Pages: rep.Pages, Stats: rep.Stats, Report: raw}
+		workers = res.Report.Workers
+	} else {
+		meta.Stats = res.Taxonomy.ComputeStats()
+	}
+	st := &snapshot.State{Taxonomy: res.Taxonomy, Mentions: res.Mentions, Meta: meta}
+	return snapshot.Save(w, st, snapshot.Options{Workers: workers})
+}
+
+// LoadSnapshot reads a snapshot written by SaveSnapshot and
+// reassembles a Result ready for serving: taxonomy (finalized, so
+// every query answers exactly like the freshly built original),
+// mention index, and the saved build report with Stats recomputed from
+// the loaded graph. The corpus and pipeline substrates are not part of
+// a snapshot, so the Result serves queries but cannot seed an
+// incremental Update (rebuild from the corpus for that). Decoding uses
+// default concurrency and store settings; use LoadSnapshotSharded to
+// tune them.
+func LoadSnapshot(r io.Reader) (*Result, error) { return LoadSnapshotSharded(r, 0, 0) }
+
+// LoadSnapshotSharded is LoadSnapshot with explicit concurrency and
+// store-shape settings, mirroring the build's knobs: workers bounds
+// the stripe-decode pool (0 = one per CPU, 1 = sequential) and shards
+// is the shard count of the assembled taxonomy store (0 = default).
+// Either setting yields the same loaded state.
+func LoadSnapshotSharded(r io.Reader, workers, shards int) (*Result, error) {
+	st, err := snapshot.Load(r, snapshot.Options{Workers: workers, Shards: shards})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	if len(st.Meta.Report) > 0 {
+		if err := json.Unmarshal(st.Meta.Report, rep); err != nil {
+			return nil, fmt.Errorf("cnprobase: decode snapshot report: %w", err)
+		}
+	}
+	if rep.Pages == 0 {
+		rep.Pages = st.Meta.Pages
+	}
+	rep.Shards = st.Taxonomy.ShardCount()
+	rep.Stats = st.Taxonomy.ComputeStats()
+	return &Result{Taxonomy: st.Taxonomy, Mentions: st.Mentions, Report: rep}, nil
+}
 
 // SamplePrecision estimates the precision of a taxonomy by sampling
 // `sample` isA pairs (the paper samples 2000) and judging them with the

@@ -105,6 +105,91 @@ func TestFacadeTaxonomySerialization(t *testing.T) {
 	}
 }
 
+// TestFacadeSnapshotRoundTrip exercises SaveSnapshot/LoadSnapshot end
+// to end: the loaded Result serves identical queries and carries the
+// build report back (with stats recomputed from the loaded graph).
+func TestFacadeSnapshotRoundTrip(t *testing.T) {
+	_, res := buildSmall(t, 300)
+	var buf bytes.Buffer
+	if err := SaveSnapshot(&buf, res); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	loaded, err := LoadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+	sharded, err := LoadSnapshotSharded(bytes.NewReader(buf.Bytes()), 2, 64)
+	if err != nil {
+		t.Fatalf("LoadSnapshotSharded: %v", err)
+	}
+	if sharded.Taxonomy.ShardCount() != 64 {
+		t.Errorf("LoadSnapshotSharded shard count = %d, want 64", sharded.Taxonomy.ShardCount())
+	}
+	if sharded.Taxonomy.EdgeCount() != res.Taxonomy.EdgeCount() {
+		t.Errorf("sharded load edges = %d, want %d", sharded.Taxonomy.EdgeCount(), res.Taxonomy.EdgeCount())
+	}
+	if loaded.Taxonomy.EdgeCount() != res.Taxonomy.EdgeCount() {
+		t.Errorf("edges = %d, want %d", loaded.Taxonomy.EdgeCount(), res.Taxonomy.EdgeCount())
+	}
+	if loaded.Report == nil {
+		t.Fatal("loaded Result has no report")
+	}
+	if loaded.Report.Stats != res.Report.Stats {
+		t.Errorf("report stats = %+v, want %+v", loaded.Report.Stats, res.Report.Stats)
+	}
+	if loaded.Report.Pages != res.Report.Pages {
+		t.Errorf("report pages = %d, want %d", loaded.Report.Pages, res.Report.Pages)
+	}
+	if loaded.Report.Verification.Kept != res.Report.Verification.Kept {
+		t.Errorf("verification report not restored: %+v", loaded.Report.Verification)
+	}
+	for _, n := range res.Taxonomy.Nodes() {
+		if a, b := res.Taxonomy.Hypernyms(n), loaded.Taxonomy.Hypernyms(n); len(a) != len(b) {
+			t.Fatalf("Hypernyms(%q) = %v, want %v", n, b, a)
+		}
+		if a, b := res.Mentions.Lookup(n), loaded.Mentions.Lookup(n); len(a) != len(b) {
+			t.Fatalf("Lookup(%q) = %v, want %v", n, b, a)
+		}
+	}
+	// A snapshot-loaded Result has no corpus, so incremental Update
+	// must refuse cleanly rather than misbehave.
+	if _, err := Update(loaded, res.Corpus, smallOptions()); err == nil {
+		t.Error("Update on a snapshot-loaded Result should fail (no corpus)")
+	}
+}
+
+// TestFacadeSnapshotBytesIgnoreConcurrency pins the golden guarantee
+// at the facade level: builds of the same world with different
+// Workers/Shards settings save byte-identical snapshots, because the
+// report's concurrency knobs are normalized out of the metadata.
+func TestFacadeSnapshotBytesIgnoreConcurrency(t *testing.T) {
+	wcfg := DefaultWorldConfig()
+	wcfg.Entities = 300
+	w, err := GenerateWorld(wcfg)
+	if err != nil {
+		t.Fatalf("GenerateWorld: %v", err)
+	}
+	save := func(workers, shards int) []byte {
+		opts := smallOptions()
+		opts.EnableNeural = false
+		opts.Workers = workers
+		opts.Shards = shards
+		res, err := Build(w.Corpus(), opts)
+		if err != nil {
+			t.Fatalf("Build(workers=%d, shards=%d): %v", workers, shards, err)
+		}
+		var buf bytes.Buffer
+		if err := SaveSnapshot(&buf, res); err != nil {
+			t.Fatalf("SaveSnapshot: %v", err)
+		}
+		return buf.Bytes()
+	}
+	ref := save(1, 1)
+	if got := save(8, 48); !bytes.Equal(ref, got) {
+		t.Errorf("snapshot bytes differ across build concurrency: %d vs %d bytes", len(ref), len(got))
+	}
+}
+
 func TestFacadeBaselines(t *testing.T) {
 	w, res := buildSmall(t, 800)
 	oracle := w.Oracle()

@@ -54,6 +54,52 @@ func ExampleTaxonomy_Hypernyms() {
 	// Output: [歌手 演员]
 }
 
+// ExampleSaveSnapshot shows the build-once / serve-many flow: build
+// the taxonomy (expensive, offline), save the complete serving state
+// as a binary snapshot, load it back (milliseconds — what
+// `cnpserver -load` does on startup) and serve queries from the loaded
+// copy. The loaded taxonomy answers every query exactly like the
+// freshly built one.
+func ExampleSaveSnapshot() {
+	wcfg := cnprobase.DefaultWorldConfig()
+	wcfg.Entities = 300
+	w, err := cnprobase.GenerateWorld(wcfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	opts := cnprobase.DefaultOptions()
+	opts.EnableNeural = false
+	opts.Workers = 1
+	res, err := cnprobase.Build(w.Corpus(), opts)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	var snap bytes.Buffer // a file in production: cnprobase build -save
+	if err := cnprobase.SaveSnapshot(&snap, res); err != nil {
+		fmt.Println(err)
+		return
+	}
+	loaded, err := cnprobase.LoadSnapshot(&snap)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	sameEdges := loaded.Taxonomy.EdgeCount() == res.Taxonomy.EdgeCount()
+	sameMentions := loaded.Mentions.Size() == res.Mentions.Size()
+	sameAnswers := true
+	for _, e := range w.Entities {
+		if fmt.Sprint(loaded.Taxonomy.Hypernyms(e.ID)) != fmt.Sprint(res.Taxonomy.Hypernyms(e.ID)) {
+			sameAnswers = false
+		}
+	}
+	fmt.Println(sameEdges, sameMentions, sameAnswers)
+	// Output: true true true
+}
+
 // ExampleTaxonomy_WriteTSV exports the edge list in the conventional
 // taxonomy release format (rows sorted by hyponym, then hypernym).
 func ExampleTaxonomy_WriteTSV() {

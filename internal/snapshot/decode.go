@@ -1,0 +1,333 @@
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"strings"
+
+	"cnprobase/internal/par"
+	"cnprobase/internal/taxonomy"
+)
+
+// Load reads a snapshot written by Save and reassembles the serving
+// state: a fresh opts.Shards-way sharded taxonomy, the mention index
+// and the saved metadata. Sections are read (and CRC-verified)
+// sequentially from the stream, then decoded and applied to the store
+// in parallel over the worker pool — safe because the store's insert
+// path is thread-safe and kind/edge restoration order is commutative —
+// and the merged query indexes are rebuilt with Finalize, so the
+// loaded taxonomy answers every query exactly like the finalized
+// original.
+//
+// Load never panics on malformed input: any truncation, checksum
+// mismatch, or structurally bogus value yields an error, and claimed
+// lengths are checked against the bytes actually present before
+// allocation.
+func Load(r io.Reader, opts Options) (*State, error) {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("snapshot: read header: %w", err)
+	}
+	if string(hdr[:8]) != Magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q", hdr[:8])
+	}
+	version := binary.LittleEndian.Uint32(hdr[8:12])
+	if version != Version {
+		return nil, fmt.Errorf("snapshot: unsupported format version %d (supported: %d)", version, Version)
+	}
+	stripes := binary.LittleEndian.Uint32(hdr[12:16])
+	if stripes == 0 || stripes > maxStripes {
+		return nil, fmt.Errorf("snapshot: implausible stripe count %d", stripes)
+	}
+
+	metaPayload, err := readSection(br, sectionMeta, 0)
+	if err != nil {
+		return nil, err
+	}
+	var meta Meta
+	if err := json.Unmarshal(metaPayload, &meta); err != nil {
+		return nil, fmt.Errorf("snapshot: decode meta: %w", err)
+	}
+	taxPayloads := make([][]byte, stripes)
+	for i := range taxPayloads {
+		if taxPayloads[i], err = readSection(br, sectionTaxonomy, uint32(i)); err != nil {
+			return nil, err
+		}
+	}
+	menPayloads := make([][]byte, stripes)
+	for i := range menPayloads {
+		if menPayloads[i], err = readSection(br, sectionMentions, uint32(i)); err != nil {
+			return nil, err
+		}
+	}
+	var end [8]byte
+	if _, err := io.ReadFull(br, end[:]); err != nil {
+		return nil, fmt.Errorf("snapshot: read end marker: %w", err)
+	}
+	if string(end[:]) != EndMagic {
+		return nil, fmt.Errorf("snapshot: bad end marker %q", end[:])
+	}
+
+	tax := taxonomy.NewSharded(opts.Shards)
+	mentions := taxonomy.NewMentionIndex()
+	pool := par.NewPool(workerCount(opts.Workers))
+	for _, err := range par.MapBatches(pool, int(stripes), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if err := decodeTaxStripe(tax, taxPayloads[i]); err != nil {
+				return fmt.Errorf("snapshot: taxonomy stripe %d: %w", i, err)
+			}
+			if err := decodeMentionStripe(mentions, menPayloads[i]); err != nil {
+				return fmt.Errorf("snapshot: mention stripe %d: %w", i, err)
+			}
+		}
+		return nil
+	}) {
+		if err != nil {
+			return nil, err
+		}
+	}
+	tax.Finalize()
+	return &State{Taxonomy: tax, Mentions: mentions, Meta: meta}, nil
+}
+
+// readSection reads one framed section, enforcing the expected kind
+// and stripe index and verifying the payload CRC. The payload is read
+// in bounded chunks, so a corrupted length field costs at most one
+// chunk of allocation before the truncated read surfaces — a
+// fabricated multi-exabyte claim cannot OOM the loader.
+func readSection(br *bufio.Reader, wantKind byte, wantIndex uint32) ([]byte, error) {
+	var hdr [13]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("snapshot: read section header: %w", err)
+	}
+	kind, index := hdr[0], binary.LittleEndian.Uint32(hdr[1:5])
+	if kind != wantKind || index != wantIndex {
+		return nil, fmt.Errorf("snapshot: unexpected section (kind %d, index %d), want (kind %d, index %d)",
+			kind, index, wantKind, wantIndex)
+	}
+	payload, err := readN(br, binary.LittleEndian.Uint64(hdr[5:13]))
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: read section (kind %d, index %d) payload: %w", kind, index, err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(br, crc[:]); err != nil {
+		return nil, fmt.Errorf("snapshot: read section checksum: %w", err)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(crc[:]); got != want {
+		return nil, fmt.Errorf("snapshot: section (kind %d, index %d) checksum mismatch: %08x != %08x",
+			kind, index, got, want)
+	}
+	return payload, nil
+}
+
+// readN reads exactly n bytes, growing the buffer one bounded chunk at
+// a time so allocation tracks bytes actually present in the stream
+// rather than the claimed length.
+func readN(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	if n > math.MaxInt64 {
+		return nil, fmt.Errorf("snapshot: implausible section length %d", n)
+	}
+	var buf []byte
+	for remaining := n; remaining > 0; {
+		step := remaining
+		if step > chunk {
+			step = chunk
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
+		remaining -= step
+	}
+	return buf, nil
+}
+
+// stripeReader is a bounds-checked cursor over one section payload.
+// Every accessor returns an error instead of panicking when the
+// payload runs short.
+type stripeReader struct {
+	b   []byte
+	off int
+}
+
+func (r *stripeReader) remaining() int { return len(r.b) - r.off }
+
+func (r *stripeReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("truncated or overlong varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *stripeReader) byte() (byte, error) {
+	if r.remaining() < 1 {
+		return 0, fmt.Errorf("truncated payload at offset %d", r.off)
+	}
+	b := r.b[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *stripeReader) u64() (uint64, error) {
+	if r.remaining() < 8 {
+		return 0, fmt.Errorf("truncated payload at offset %d", r.off)
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *stripeReader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(r.remaining()) {
+		return "", fmt.Errorf("string length %d exceeds remaining %d bytes at offset %d", n, r.remaining(), r.off)
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+// count validates a claimed element count against the minimum encoded
+// size of one element, so a bogus count can never drive a long loop
+// (or a large preallocation) past the bytes actually present.
+func (r *stripeReader) count(minElemBytes int) (int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(r.remaining()/minElemBytes) {
+		return 0, fmt.Errorf("element count %d exceeds remaining %d bytes at offset %d", n, r.remaining(), r.off)
+	}
+	return int(n), nil
+}
+
+// Minimum encoded sizes used to validate counts: a kind entry is at
+// least an empty-string name (1 byte) + kind byte; an edge is two
+// 1-byte empty strings + sources byte + 8 score bytes + 1 count byte;
+// a mention entry is an empty string + 1-byte ID count; an ID is one
+// length byte.
+const (
+	minKindBytes    = 2
+	minEdgeBytes    = 12
+	minMentionBytes = 2
+	minIDBytes      = 1
+)
+
+// decodeTaxStripe applies one taxonomy section to the store through
+// the verbatim import accessors. Structural garbage that survives the
+// CRC (possible only for deliberately crafted input) is caught by the
+// cursor's bounds checks and the store's own validation (empty nodes,
+// self-loops).
+func decodeTaxStripe(t *taxonomy.Taxonomy, payload []byte) error {
+	r := &stripeReader{b: payload}
+	nKinds, err := r.count(minKindBytes)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nKinds; i++ {
+		name, err := r.str()
+		if err != nil {
+			return err
+		}
+		kb, err := r.byte()
+		if err != nil {
+			return err
+		}
+		if kb != byte(taxonomy.KindEntity) && kb != byte(taxonomy.KindConcept) {
+			return fmt.Errorf("invalid node kind %d for %q", kb, name)
+		}
+		t.ImportKind(name, taxonomy.NodeKind(kb))
+	}
+	nEdges, err := r.count(minEdgeBytes)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nEdges; i++ {
+		var e taxonomy.Edge
+		if e.Hypo, err = r.str(); err != nil {
+			return err
+		}
+		if e.Hyper, err = r.str(); err != nil {
+			return err
+		}
+		src, err := r.byte()
+		if err != nil {
+			return err
+		}
+		e.Sources = taxonomy.Source(src)
+		bits, err := r.u64()
+		if err != nil {
+			return err
+		}
+		e.Score = math.Float64frombits(bits)
+		count, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if count > math.MaxInt32 {
+			return fmt.Errorf("implausible evidence count %d on isA(%q, %q)", count, e.Hypo, e.Hyper)
+		}
+		e.Count = int(count)
+		if err := t.InsertEdge(e); err != nil {
+			return err
+		}
+	}
+	if r.remaining() != 0 {
+		return fmt.Errorf("%d trailing bytes after last edge", r.remaining())
+	}
+	return nil
+}
+
+// decodeMentionStripe applies one mention section to the index.
+func decodeMentionStripe(m *taxonomy.MentionIndex, payload []byte) error {
+	r := &stripeReader{b: payload}
+	nMentions, err := r.count(minMentionBytes)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nMentions; i++ {
+		mention, err := r.str()
+		if err != nil {
+			return err
+		}
+		// Valid snapshots only contain mentions the index would store
+		// verbatim (Add trims whitespace at insert time), so anything
+		// blank here is corruption — reject it like the taxonomy
+		// stripe rejects empty nodes, rather than letting Add drop it
+		// silently.
+		if strings.TrimSpace(mention) == "" {
+			return fmt.Errorf("blank mention in entry %d", i)
+		}
+		nIDs, err := r.count(minIDBytes)
+		if err != nil {
+			return err
+		}
+		for j := 0; j < nIDs; j++ {
+			id, err := r.str()
+			if err != nil {
+				return err
+			}
+			if id == "" {
+				return fmt.Errorf("empty entity ID under mention %q", mention)
+			}
+			m.Add(mention, id)
+		}
+	}
+	if r.remaining() != 0 {
+		return fmt.Errorf("%d trailing bytes after last mention", r.remaining())
+	}
+	return nil
+}

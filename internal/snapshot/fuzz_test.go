@@ -1,0 +1,65 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecodeSnapshot throws arbitrary bytes at the loader. The
+// invariants: Load never panics, never allocates past the input it
+// actually has (the seeds include a section claiming multiple exabytes
+// to pin the chunked-read guard), and any input it *accepts* is
+// internally consistent — re-saving the loaded state and loading that
+// again reproduces the same graph.
+//
+// CI runs this as a short smoke (-fuzztime=10s); run it longer locally
+// with:
+//
+//	go test ./internal/snapshot -run='^$' -fuzz=FuzzDecodeSnapshot
+func FuzzDecodeSnapshot(f *testing.F) {
+	valid := saveBytes(f, handState(f), Options{Workers: 1})
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	f.Add(valid[:16])                // header only
+	f.Add(valid[:len(valid)/2])      // mid-section truncation
+	f.Add(valid[:len(valid)-1])      // missing last end-marker byte
+	f.Add(bytes.Repeat(valid, 2))    // trailing garbage after a full snapshot
+	f.Add([]byte("CNPBSNP1garbage")) // magic followed by junk
+
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+
+	// A structurally valid header whose first section claims an
+	// exabyte-scale payload: the loader must fail on the missing bytes
+	// long before it has allocated anything of that order.
+	huge := append([]byte(nil), valid[:16]...)
+	huge = append(huge, sectionMeta, 0, 0, 0, 0)
+	huge = binary.LittleEndian.AppendUint64(huge, 1<<60)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Load(bytes.NewReader(data), Options{Workers: 1})
+		if err != nil {
+			return // rejected: that is the expected path for noise
+		}
+		// Accepted input must round-trip: the loaded state re-saves,
+		// reloads, and describes the same graph.
+		resaved := saveBytes(t, st, Options{Workers: 1})
+		again, err := Load(bytes.NewReader(resaved), Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("re-loading a re-saved accepted snapshot failed: %v", err)
+		}
+		if a, b := st.Taxonomy.EdgeCount(), again.Taxonomy.EdgeCount(); a != b {
+			t.Fatalf("edge count changed across re-save: %d != %d", a, b)
+		}
+		if a, b := st.Taxonomy.ComputeStats(), again.Taxonomy.ComputeStats(); a != b {
+			t.Fatalf("stats changed across re-save: %+v != %+v", a, b)
+		}
+		if a, b := st.Mentions.Size(), again.Mentions.Size(); a != b {
+			t.Fatalf("mention count changed across re-save: %d != %d", a, b)
+		}
+	})
+}

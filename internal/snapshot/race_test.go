@@ -1,0 +1,107 @@
+package snapshot
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"cnprobase/internal/api"
+	"cnprobase/internal/taxonomy"
+)
+
+// TestConcurrentSaveAndQueries drives the serving scenario the
+// snapshot exists for, under the race detector: API queries
+// (men2ent/getConcept/getEntity through the real HTTP handlers) keep
+// hammering the taxonomy while snapshots of it are being written — and
+// while a background writer keeps mutating it, the never-ending
+// extraction mode. Every snapshot taken mid-write must still load
+// cleanly: per-shard locking means a torn view can only ever be a
+// valid intermediate state, never a corrupt file.
+func TestConcurrentSaveAndQueries(t *testing.T) {
+	st := handState(t)
+	srv := api.NewServer(st.Taxonomy, st.Mentions)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const (
+		queryWorkers   = 4
+		saveWorkers    = 2
+		queriesPerGo   = 60
+		savesPerWorker = 8
+	)
+	nodes := st.Taxonomy.Nodes()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, queryWorkers+saveWorkers+1)
+
+	for w := 0; w < queryWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < queriesPerGo; i++ {
+				n := nodes[(w*queriesPerGo+i)%len(nodes)]
+				for _, path := range []string{
+					"/api/men2ent?mention=" + n,
+					"/api/getConcept?ranked=1&entity=" + n,
+					"/api/getEntity?limit=5&concept=" + n,
+				} {
+					resp, err := ts.Client().Get(ts.URL + path)
+					if err != nil {
+						errc <- fmt.Errorf("GET %s: %w", path, err)
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != 200 {
+						errc <- fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	for w := 0; w < saveWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < savesPerWorker; i++ {
+				var buf bytes.Buffer
+				if err := Save(&buf, st, Options{Workers: 2}); err != nil {
+					errc <- fmt.Errorf("save %d/%d: %w", w, i, err)
+					return
+				}
+				if _, err := Load(bytes.NewReader(buf.Bytes()), Options{Workers: 2}); err != nil {
+					errc <- fmt.Errorf("load of mid-write snapshot %d/%d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// One writer extends the graph and the mention index throughout,
+	// so saves and queries race against live mutation.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			id := fmt.Sprintf("新实体%03d（更新）", i)
+			st.Taxonomy.MarkEntity(id)
+			if err := st.Taxonomy.AddIsA(id, fmt.Sprintf("概念%d", i%7), taxonomy.SourceTag, 1); err != nil {
+				errc <- fmt.Errorf("AddIsA: %w", err)
+				return
+			}
+			st.Mentions.Add(fmt.Sprintf("新实体%03d", i), id)
+			if i%50 == 0 {
+				st.Taxonomy.Finalize()
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

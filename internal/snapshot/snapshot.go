@@ -1,0 +1,104 @@
+// Package snapshot implements the binary serving-state snapshot:
+// build the taxonomy once (offline, expensive), save it, and start any
+// number of servers from the file in milliseconds instead of re-running
+// the generation + verification pipeline. A snapshot captures the
+// complete state the paper's three public APIs (men2ent, getConcept,
+// getEntity) serve from: the taxonomy — edges with full provenance and
+// the evidence counts typicality ranking reads — plus the mention index
+// and build metadata.
+//
+// The format is versioned, sectioned and checksummed (docs/SNAPSHOT.md
+// specifies the byte layout). Content is hash-partitioned into a fixed
+// number of stripes that depends only on the logical graph — not on the
+// store's in-memory shard count — so the same taxonomy produces
+// byte-identical snapshots regardless of the Workers/Shards settings it
+// was built or saved with, extending the pipeline's determinism
+// guarantee to the on-disk artifact. Each stripe is a length-prefixed,
+// CRC-32-checked section; stripes encode and decode in parallel over an
+// internal/par pool sized by Options.Workers, exactly like the build,
+// and Load rebuilds the merged query indexes with Taxonomy.Finalize.
+//
+// Decoding defends against arbitrary input: every length is validated
+// against the bytes actually present before anything is allocated or
+// parsed, oversized section claims read incrementally and fail fast,
+// and corruption anywhere — truncation, bit flips, bogus counts — is
+// reported as an error, never a panic (fuzz-tested by
+// FuzzDecodeSnapshot).
+package snapshot
+
+import (
+	"encoding/json"
+	"runtime"
+
+	"cnprobase/internal/taxonomy"
+)
+
+// Format constants. The magic and end marker frame the file; Version
+// is bumped on any incompatible layout change (a loader rejects
+// versions it does not know). Stripes is part of the format, not a
+// tuning knob: fixing it is what keeps snapshot bytes independent of
+// the in-memory shard count.
+const (
+	// Magic opens every snapshot file.
+	Magic = "CNPBSNP1"
+	// EndMagic closes every snapshot file (truncation tripwire).
+	EndMagic = "CNPBEND1"
+	// Version is the current format version.
+	Version = 1
+	// Stripes is the number of hash partitions per index (taxonomy,
+	// mentions) in a version-1 snapshot.
+	Stripes = 16
+)
+
+// Section kinds, in the order sections appear in the file.
+const (
+	sectionMeta     byte = 1
+	sectionTaxonomy byte = 2
+	sectionMentions byte = 3
+)
+
+// maxStripes bounds the stripe count a loader accepts from a header.
+const maxStripes = 1 << 16
+
+// Meta is the build metadata saved alongside the graph. It describes
+// the logical artifact, so it deliberately excludes runtime knobs
+// (worker counts, shard counts) — those may differ between the build
+// that produced a snapshot and the server that loads it, and keeping
+// them out is what makes snapshot bytes identical across
+// Workers/Shards configurations.
+type Meta struct {
+	// Pages is the number of corpus pages the taxonomy was built from.
+	Pages int `json:"pages"`
+	// Stats is the Table-I-shaped summary recorded at save time.
+	Stats taxonomy.Stats `json:"stats"`
+	// Report is an opaque JSON build report (the facade stores the
+	// pipeline Report with concurrency fields normalized to zero).
+	Report json.RawMessage `json:"report,omitempty"`
+}
+
+// State is the complete serving state a snapshot round-trips.
+type State struct {
+	Taxonomy *taxonomy.Taxonomy
+	Mentions *taxonomy.MentionIndex
+	Meta     Meta
+}
+
+// Options tunes snapshot I/O concurrency and the loaded store shape.
+type Options struct {
+	// Workers bounds the pool stripe encoding/decoding fans out over:
+	// 0 selects one worker per logical CPU, 1 runs sequentially. Any
+	// worker count produces the same bytes (Save) and the same loaded
+	// state (Load).
+	Workers int
+	// Shards is the shard count of the taxonomy store Load assembles
+	// into; 0 selects taxonomy.DefaultShards. Ignored by Save.
+	Shards int
+}
+
+// workerCount resolves Options.Workers like the build pipeline does.
+func workerCount(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}

@@ -1,0 +1,344 @@
+package snapshot
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"testing"
+
+	"cnprobase/internal/api"
+	"cnprobase/internal/core"
+	"cnprobase/internal/synth"
+	"cnprobase/internal/taxonomy"
+)
+
+// handState assembles a small deterministic serving state without the
+// pipeline: entities, concepts, a subconcept edge, multi-source
+// provenance, reinforced evidence counts and an ambiguous mention.
+func handState(tb testing.TB) *State {
+	tb.Helper()
+	tax := taxonomy.New()
+	mentions := taxonomy.NewMentionIndex()
+	for i := 0; i < 40; i++ {
+		id := fmt.Sprintf("实体%02d（人物）", i)
+		concept := fmt.Sprintf("概念%d", i%7)
+		tax.MarkEntity(id)
+		if err := tax.AddIsA(id, concept, taxonomy.SourceBracket, 0.5+float64(i)/100); err != nil {
+			tb.Fatalf("AddIsA: %v", err)
+		}
+		if i%3 == 0 { // reinforce: bump Count and add a source bit
+			if err := tax.AddIsA(id, concept, taxonomy.SourceTag, 0.9); err != nil {
+				tb.Fatalf("AddIsA: %v", err)
+			}
+		}
+		mentions.Add(fmt.Sprintf("实体%02d", i), id)
+		mentions.Add(id, id)
+	}
+	mentions.Add("实体00", "实体07（人物）") // ambiguous mention
+	for i := 0; i < 7; i++ {
+		if err := tax.AddIsA(fmt.Sprintf("概念%d", i), "顶层概念", taxonomy.SourceMorph, 1); err != nil {
+			tb.Fatalf("AddIsA: %v", err)
+		}
+	}
+	tax.Finalize()
+	return &State{
+		Taxonomy: tax,
+		Mentions: mentions,
+		Meta:     Meta{Pages: 40, Stats: tax.ComputeStats()},
+	}
+}
+
+// buildState runs the real pipeline (neural stage off for speed) over
+// the deterministic synthetic world at the given concurrency settings.
+func buildState(tb testing.TB, entities, workers, shards int) *State {
+	tb.Helper()
+	cfg := synth.DefaultConfig()
+	cfg.Entities = entities
+	w, err := synth.Generate(cfg)
+	if err != nil {
+		tb.Fatalf("synth.Generate: %v", err)
+	}
+	opts := core.DefaultOptions()
+	opts.EnableNeural = false
+	opts.Workers = workers
+	opts.Shards = shards
+	res, err := core.New(opts).Build(w.Corpus())
+	if err != nil {
+		tb.Fatalf("Build: %v", err)
+	}
+	return &State{
+		Taxonomy: res.Taxonomy,
+		Mentions: res.Mentions,
+		Meta:     Meta{Pages: res.Report.Pages, Stats: res.Report.Stats},
+	}
+}
+
+func saveBytes(tb testing.TB, st *State, opts Options) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := Save(&buf, st, opts); err != nil {
+		tb.Fatalf("Save: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// requireEqualState checks that two states are query-identical across
+// everything the serving APIs read: edges with full provenance, node
+// kinds, stats, adjacency (plain and typicality-ranked) and mention
+// resolution. Both states must be finalized.
+func requireEqualState(tb testing.TB, want, got *State) {
+	tb.Helper()
+	wantEdges, gotEdges := want.Taxonomy.Edges(), got.Taxonomy.Edges()
+	if len(wantEdges) != len(gotEdges) {
+		tb.Fatalf("edge count = %d, want %d", len(gotEdges), len(wantEdges))
+	}
+	for i := range wantEdges {
+		if wantEdges[i] != gotEdges[i] {
+			tb.Fatalf("edge[%d] = %+v, want %+v", i, gotEdges[i], wantEdges[i])
+		}
+	}
+	wantNodes, gotNodes := want.Taxonomy.Nodes(), got.Taxonomy.Nodes()
+	if len(wantNodes) != len(gotNodes) {
+		tb.Fatalf("node count = %d, want %d", len(gotNodes), len(wantNodes))
+	}
+	for i, n := range wantNodes {
+		if gotNodes[i] != n {
+			tb.Fatalf("node[%d] = %q, want %q", i, gotNodes[i], n)
+		}
+		if wk, gk := want.Taxonomy.Kind(n), got.Taxonomy.Kind(n); wk != gk {
+			tb.Fatalf("Kind(%q) = %d, want %d", n, gk, wk)
+		}
+		wh, gh := want.Taxonomy.Hypernyms(n), got.Taxonomy.Hypernyms(n)
+		if fmt.Sprint(wh) != fmt.Sprint(gh) {
+			tb.Fatalf("Hypernyms(%q) = %v, want %v", n, gh, wh)
+		}
+		if w, g := want.Taxonomy.Hyponyms(n, 0), got.Taxonomy.Hyponyms(n, 0); fmt.Sprint(w) != fmt.Sprint(g) {
+			tb.Fatalf("Hyponyms(%q) = %v, want %v", n, g, w)
+		}
+		if w, g := want.Taxonomy.RankedHypernyms(n, 0), got.Taxonomy.RankedHypernyms(n, 0); fmt.Sprint(w) != fmt.Sprint(g) {
+			tb.Fatalf("RankedHypernyms(%q) = %v, want %v", n, g, w)
+		}
+	}
+	if ws, gs := want.Taxonomy.ComputeStats(), got.Taxonomy.ComputeStats(); ws != gs {
+		tb.Fatalf("stats = %+v, want %+v", gs, ws)
+	}
+	if ws, gs := want.Mentions.Size(), got.Mentions.Size(); ws != gs {
+		tb.Fatalf("mention count = %d, want %d", gs, ws)
+	}
+	for _, n := range wantNodes {
+		if w, g := want.Mentions.Lookup(n), got.Mentions.Lookup(n); fmt.Sprint(w) != fmt.Sprint(g) {
+			tb.Fatalf("Lookup(%q) = %v, want %v", n, g, w)
+		}
+	}
+}
+
+// TestRoundTripHandAssembled is the core property: Load(Save(x)) is
+// query-identical to x, for every combination of save/load worker and
+// shard settings.
+func TestRoundTripHandAssembled(t *testing.T) {
+	st := handState(t)
+	for _, saveWorkers := range []int{1, 4} {
+		data := saveBytes(t, st, Options{Workers: saveWorkers})
+		for _, loadOpts := range []Options{
+			{Workers: 1, Shards: 1},
+			{Workers: 1, Shards: 64},
+			{Workers: 8, Shards: 1},
+			{Workers: 8, Shards: 64},
+			{}, // all defaults
+		} {
+			got, err := Load(bytes.NewReader(data), loadOpts)
+			if err != nil {
+				t.Fatalf("Load(save=%d, opts=%+v): %v", saveWorkers, loadOpts, err)
+			}
+			if !got.Taxonomy.Finalized() {
+				t.Fatalf("loaded taxonomy not finalized (opts %+v)", loadOpts)
+			}
+			if loadOpts.Shards > 0 && got.Taxonomy.ShardCount() != loadOpts.Shards {
+				t.Fatalf("loaded ShardCount = %d, want %d", got.Taxonomy.ShardCount(), loadOpts.Shards)
+			}
+			if got.Meta.Pages != st.Meta.Pages || got.Meta.Stats != st.Meta.Stats {
+				t.Fatalf("meta = %+v, want %+v", got.Meta, st.Meta)
+			}
+			requireEqualState(t, st, got)
+		}
+	}
+}
+
+// TestRoundTripBuiltWorld runs the property over a real pipeline
+// output, including provenance-heavy multi-source edges and the full
+// mention index.
+func TestRoundTripBuiltWorld(t *testing.T) {
+	st := buildState(t, 500, 4, 8)
+	data := saveBytes(t, st, Options{Workers: 4})
+	got, err := Load(bytes.NewReader(data), Options{Workers: 4, Shards: 32})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	requireEqualState(t, st, got)
+}
+
+// TestByteStabilityAcrossConfigs is the golden guarantee: the same
+// synthetic world produces byte-identical snapshots no matter which
+// Workers/Shards settings built the taxonomy and no matter which
+// worker count saved it — the PR-1 determinism contract extended to
+// the on-disk format. A repeated save is also byte-identical (no
+// timestamps, no map-order leakage).
+func TestByteStabilityAcrossConfigs(t *testing.T) {
+	ref := buildState(t, 400, 1, 1)
+	refBytes := saveBytes(t, ref, Options{Workers: 1})
+
+	if again := saveBytes(t, ref, Options{Workers: 1}); !bytes.Equal(refBytes, again) {
+		t.Fatal("re-saving the same state changed the bytes")
+	}
+	if par := saveBytes(t, ref, Options{Workers: 8}); !bytes.Equal(refBytes, par) {
+		t.Fatal("Workers=8 save differs from Workers=1 save of the same state")
+	}
+	other := buildState(t, 400, 8, 48)
+	if otherBytes := saveBytes(t, other, Options{Workers: 3}); !bytes.Equal(refBytes, otherBytes) {
+		t.Fatalf("snapshot of (workers=8, shards=48) build differs from (1, 1) build: %d vs %d bytes",
+			len(otherBytes), len(refBytes))
+	}
+}
+
+// apiResponses issues a fixed query mix — men2ent, getConcept (plain
+// and ranked), getEntity (unlimited and limited) — against a server
+// and returns the concatenated raw response bodies.
+func apiResponses(tb testing.TB, srv *api.Server, nodes, mentions []string) string {
+	tb.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var out bytes.Buffer
+	get := func(path string) {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			tb.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			tb.Fatalf("read %s: %v", path, err)
+		}
+		fmt.Fprintf(&out, "%s %d %s", path, resp.StatusCode, body)
+	}
+	for _, m := range mentions {
+		get("/api/men2ent?mention=" + m)
+	}
+	for _, n := range nodes {
+		get("/api/getConcept?entity=" + n)
+		get("/api/getConcept?ranked=1&entity=" + n)
+		get("/api/getEntity?concept=" + n)
+		get("/api/getEntity?limit=3&concept=" + n)
+	}
+	return out.String()
+}
+
+// TestServingEquivalence pins the acceptance criterion: a taxonomy
+// saved from any Workers/Shards build configuration loads into a
+// server whose men2ent/getConcept/getEntity responses are identical to
+// serving the freshly built taxonomy.
+func TestServingEquivalence(t *testing.T) {
+	for _, cfg := range []struct{ workers, shards int }{
+		{1, 1},
+		{8, 32},
+	} {
+		t.Run(fmt.Sprintf("workers=%d,shards=%d", cfg.workers, cfg.shards), func(t *testing.T) {
+			fresh := buildState(t, 400, cfg.workers, cfg.shards)
+			data := saveBytes(t, fresh, Options{Workers: cfg.workers})
+			loaded, err := Load(bytes.NewReader(data), Options{Workers: cfg.workers, Shards: cfg.shards})
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			nodes := fresh.Taxonomy.Nodes()
+			if len(nodes) > 80 {
+				nodes = nodes[:80]
+			}
+			mentions := append([]string(nil), nodes...) // IDs and titles are both mentions
+			freshBody := apiResponses(t, api.NewServer(fresh.Taxonomy, fresh.Mentions), nodes, mentions)
+			loadedBody := apiResponses(t, api.NewServer(loaded.Taxonomy, loaded.Mentions), nodes, mentions)
+			if freshBody != loadedBody {
+				t.Fatal("loaded server responses differ from freshly built server responses")
+			}
+		})
+	}
+}
+
+// TestEveryBitFlipDetected corrupts the snapshot one byte at a time
+// (two flip patterns per position, covering low and high bits) and
+// requires Load to fail every single time: the CRC-32 sections and the
+// framing checks leave no undetected single-byte corruption.
+func TestEveryBitFlipDetected(t *testing.T) {
+	st := handState(t)
+	data := saveBytes(t, st, Options{Workers: 1})
+	for _, mask := range []byte{0x01, 0x80} {
+		for i := range data {
+			mutated := append([]byte(nil), data...)
+			mutated[i] ^= mask
+			if _, err := Load(bytes.NewReader(mutated), Options{Workers: 1}); err == nil {
+				t.Fatalf("flip of byte %d (mask %#02x) in a %d-byte snapshot was not detected", i, mask, len(data))
+			}
+		}
+	}
+}
+
+// TestEveryTruncationErrors cuts the snapshot at every possible length
+// and requires a clean error (never a panic, never silent success).
+func TestEveryTruncationErrors(t *testing.T) {
+	st := handState(t)
+	data := saveBytes(t, st, Options{Workers: 1})
+	for n := 0; n < len(data); n++ {
+		if _, err := Load(bytes.NewReader(data[:n]), Options{Workers: 1}); err == nil {
+			t.Fatalf("truncation to %d of %d bytes was not detected", n, len(data))
+		}
+	}
+}
+
+// TestHeaderValidation exercises the version/magic/stripe guards.
+func TestHeaderValidation(t *testing.T) {
+	st := handState(t)
+	data := saveBytes(t, st, Options{})
+
+	bad := append([]byte(nil), data...)
+	copy(bad, "NOTASNAP")
+	if _, err := Load(bytes.NewReader(bad), Options{}); err == nil {
+		t.Error("bad magic accepted")
+	}
+
+	bad = append([]byte(nil), data...)
+	bad[8] = 99 // version
+	if _, err := Load(bytes.NewReader(bad), Options{}); err == nil {
+		t.Error("unknown version accepted")
+	}
+
+	bad = append([]byte(nil), data...)
+	bad[12], bad[13], bad[14], bad[15] = 0, 0, 0, 0 // stripe count 0
+	if _, err := Load(bytes.NewReader(bad), Options{}); err == nil {
+		t.Error("zero stripe count accepted")
+	}
+}
+
+// TestSaveNilState rejects unusable inputs instead of writing a
+// half-formed file.
+func TestSaveNilState(t *testing.T) {
+	if err := Save(io.Discard, nil, Options{}); err == nil {
+		t.Error("Save(nil) succeeded")
+	}
+	if err := Save(io.Discard, &State{}, Options{}); err == nil {
+		t.Error("Save of state without taxonomy succeeded")
+	}
+}
+
+// TestSaveWithoutMentions treats a nil mention index as empty rather
+// than failing: a hand-assembled taxonomy is still snapshottable.
+func TestSaveWithoutMentions(t *testing.T) {
+	st := handState(t)
+	st.Mentions = nil
+	data := saveBytes(t, st, Options{})
+	got, err := Load(bytes.NewReader(data), Options{})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Mentions == nil || got.Mentions.Size() != 0 {
+		t.Fatalf("loaded mentions = %v, want empty index", got.Mentions)
+	}
+}

@@ -57,6 +57,33 @@ func (m *MentionIndex) Size() int {
 	return len(m.mentions)
 }
 
+// MentionEntry is one mention → entity-ID mapping in an exported
+// partition.
+type MentionEntry struct {
+	Mention string
+	IDs     []string
+}
+
+// ExportPartitions splits the index into n hash partitions: entry i
+// holds the mentions with fnv32a(mention) % n == i, each with a copy of
+// its ID list. Like Taxonomy.ExportPartitions, the split depends only
+// on the logical content and n; entry order within a partition is
+// unspecified and ID lists keep their insertion order (Lookup sorts, so
+// ID order is not query-visible).
+func (m *MentionIndex) ExportPartitions(n int) [][]MentionEntry {
+	if n <= 0 {
+		n = 1
+	}
+	parts := make([][]MentionEntry, n)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for mention, ids := range m.mentions {
+		i := fnv32a(mention) % uint32(n)
+		parts[i] = append(parts[i], MentionEntry{Mention: mention, IDs: append([]string(nil), ids...)})
+	}
+	return parts
+}
+
 // FindAll scans text and returns the distinct mentions found, using
 // greedy longest-match from each position.
 func (m *MentionIndex) FindAll(text string) []string {

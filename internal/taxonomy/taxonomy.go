@@ -237,11 +237,23 @@ func (t *Taxonomy) mark(name string, k NodeKind) {
 	t.invalidate()
 }
 
-// setKind overwrites the node kind unconditionally (deserialization).
-func (t *Taxonomy) setKind(name string, k NodeKind) {
+// ImportKind overwrites the node kind unconditionally. It is the
+// deserialization counterpart of MarkEntity/MarkConcept: JSON and
+// binary-snapshot loaders restore saved kinds through it. KindUnknown
+// entries are dropped rather than stored — Unknown is the absence of a
+// kind, and storing it would make a parallel restore racy against
+// InsertEdge's implicit concept marking.
+func (t *Taxonomy) ImportKind(name string, k NodeKind) {
+	if name == "" {
+		return
+	}
 	sh := t.shardOf(name)
 	sh.mu.Lock()
-	sh.kinds[name] = k
+	if k == KindUnknown {
+		delete(sh.kinds, name)
+	} else {
+		sh.kinds[name] = k
+	}
 	sh.mu.Unlock()
 	t.invalidate()
 }
@@ -287,16 +299,37 @@ func (t *Taxonomy) AddIsA(hypo, hyper string, src Source, score float64) error {
 	return nil
 }
 
-// setCount overwrites the evidence count of an existing edge
-// (deserialization).
-func (t *Taxonomy) setCount(hypo, hyper string, count int) {
-	sh := t.shardOf(hypo)
-	sh.mu.Lock()
-	if e, ok := sh.edges[edgeKey{hypo, hyper}]; ok {
-		e.Count = count
+// InsertEdge installs an edge verbatim: the full provenance — sources,
+// score, evidence count — is taken from e rather than re-derived. It is
+// the deserialization counterpart of AddIsA (which merges evidence);
+// loaders restoring a saved graph use it so counts and scores round-trip
+// bit-exactly. An existing (Hypo, Hyper) edge is overwritten in place.
+// Like AddIsA, the hypernym is implicitly marked as a concept when its
+// kind is still unknown, so edge and kind sections may be restored
+// concurrently in any order.
+func (t *Taxonomy) InsertEdge(e Edge) error {
+	if e.Hypo == "" || e.Hyper == "" {
+		return fmt.Errorf("taxonomy: empty node in isA(%q, %q)", e.Hypo, e.Hyper)
 	}
-	sh.mu.Unlock()
+	if e.Hypo == e.Hyper {
+		return fmt.Errorf("taxonomy: self-loop isA(%q, %q)", e.Hypo, e.Hyper)
+	}
+	sa, sb, unlock := t.lockPair(e.Hypo, e.Hyper)
+	defer unlock()
+	k := edgeKey{e.Hypo, e.Hyper}
+	if old, ok := sa.edges[k]; ok {
+		*old = e
+	} else {
+		cp := e
+		sa.edges[k] = &cp
+		sa.hypers[e.Hypo] = append(sa.hypers[e.Hypo], e.Hyper)
+		sb.hypos[e.Hyper] = append(sb.hypos[e.Hyper], e.Hypo)
+	}
+	if sb.kinds[e.Hyper] == KindUnknown {
+		sb.kinds[e.Hyper] = KindConcept
+	}
 	t.invalidate()
+	return nil
 }
 
 // RemoveIsA deletes the edge if present and reports whether it existed.
@@ -576,6 +609,55 @@ func (t *Taxonomy) Finalize() {
 // Finalized reports whether the merged indexes are currently valid.
 func (t *Taxonomy) Finalized() bool { return t.mergedIndexes() != nil }
 
+// ---- partitioned export (binary snapshots) ----
+
+// KindEntry is one explicitly marked node in a Partition.
+type KindEntry struct {
+	Name string
+	Kind NodeKind
+}
+
+// Partition is one hash-partitioned slice of the store's logical
+// content: the marked nodes and edges whose owning name (node name for
+// kinds, hyponym for edges) hashes into the partition.
+type Partition struct {
+	Kinds []KindEntry
+	Edges []Edge
+}
+
+// ExportPartitions splits the store's content into n hash partitions:
+// entry i holds the kinds of nodes with fnv32a(name) % n == i and the
+// edges with fnv32a(hypo) % n == i. The partitioning depends only on
+// the logical content and n — not on the store's shard count — which
+// is what lets a snapshot format built on it stay byte-stable across
+// Shards settings. Entry order within a partition is unspecified
+// (callers needing determinism sort); KindUnknown entries are omitted.
+// Shards are read one RLock at a time, so a concurrent writer may or
+// may not be reflected (exact once construction has finished).
+func (t *Taxonomy) ExportPartitions(n int) []Partition {
+	if n <= 0 {
+		n = 1
+	}
+	parts := make([]Partition, n)
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for name, k := range sh.kinds {
+			if k == KindUnknown {
+				continue
+			}
+			p := &parts[fnv32a(name)%uint32(n)]
+			p.Kinds = append(p.Kinds, KindEntry{Name: name, Kind: k})
+		}
+		for _, e := range sh.edges {
+			p := &parts[fnv32a(e.Hypo)%uint32(n)]
+			p.Edges = append(p.Edges, *e)
+		}
+		sh.mu.RUnlock()
+	}
+	return parts
+}
+
 // ---- serialization ----
 
 type taxJSON struct {
@@ -601,13 +683,12 @@ func ReadJSON(r io.Reader) (*Taxonomy, error) {
 	}
 	t := New()
 	for n, k := range in.Kinds {
-		t.setKind(n, k)
+		t.ImportKind(n, k)
 	}
 	for _, e := range in.Edges {
-		if err := t.AddIsA(e.Hypo, e.Hyper, e.Sources, e.Score); err != nil {
+		if err := t.InsertEdge(e); err != nil {
 			return nil, err
 		}
-		t.setCount(e.Hypo, e.Hyper, e.Count)
 	}
 	return t, nil
 }
