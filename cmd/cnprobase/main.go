@@ -155,26 +155,29 @@ func cmdQuery(args []string) {
 	if err != nil {
 		log.Fatalf("read taxonomy: %v", err)
 	}
+	// Queries go through the frozen serving view — the same read path
+	// cnpserver answers from.
+	view := (&cnprobase.Result{Taxonomy: tax}).Freeze()
 	switch {
 	case *hypernyms != "":
 		// Bare titles may be ambiguous: try the exact node first, then
 		// disambiguated IDs sharing the title.
-		hs := tax.Hypernyms(*hypernyms)
+		hs := view.Hypernyms(*hypernyms)
 		if len(hs) == 0 {
-			for _, n := range tax.Nodes() {
+			for _, n := range view.Nodes() {
 				if t, _ := encyclopedia.ParseEntityID(n); t == *hypernyms {
-					fmt.Printf("%s → %v\n", n, tax.Hypernyms(n))
+					fmt.Printf("%s → %v\n", n, view.Hypernyms(n))
 				}
 			}
 			return
 		}
 		fmt.Printf("%s → %v\n", *hypernyms, hs)
 	case *hyponyms != "":
-		for _, h := range tax.Hyponyms(*hyponyms, *limit) {
+		for _, h := range view.Hyponyms(*hyponyms, *limit) {
 			fmt.Println(h)
 		}
 	default:
-		st := tax.ComputeStats()
+		st := view.Stats()
 		fmt.Printf("entities=%d concepts=%d isA=%d\n", st.Entities, st.Concepts, st.IsARelations)
 	}
 }

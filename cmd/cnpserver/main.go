@@ -1,5 +1,6 @@
 // Command cnpserver serves a taxonomy over HTTP with the paper's three
-// APIs (Table II): men2ent, getConcept, getEntity, plus /api/stats.
+// APIs (Table II): men2ent, getConcept, getEntity (plus men2entBatch
+// and /api/stats).
 //
 // Usage:
 //
@@ -9,11 +10,19 @@
 //	cnpserver -entities 4000 -workers 8 -shards 32    # parallel demo build
 //
 // -load is the production path: the snapshot (written by
-// `cnprobase build -save`) carries the complete serving state —
-// taxonomy, mention index, build report — so the server skips the
-// generation + verification pipeline entirely and is query-ready in
-// milliseconds. The demo build fans out over -workers goroutines (0 =
-// one per CPU) into a -shards-way sharded taxonomy store.
+// `cnprobase build -save`) decodes straight into the immutable serving
+// view — the mutable build store is never materialized — so the server
+// is query-ready in milliseconds. All requests are answered from that
+// lock-free view.
+//
+// Signals:
+//
+//	SIGHUP           — hot reload: re-read the -load snapshot and swap
+//	                   the serving view atomically; in-flight requests
+//	                   finish on the old view, zero downtime. Ignored
+//	                   (with a log line) when not serving a snapshot.
+//	SIGINT, SIGTERM  — graceful shutdown; logs per-endpoint request
+//	                   counts and p50/p99 latency before exiting.
 //
 // Mentions come from the snapshot's full index with -load and from the
 // pipeline with the demo build; the -tax JSON path indexes entity IDs
@@ -22,12 +31,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"cnprobase"
@@ -40,49 +53,35 @@ func main() {
 	log.SetPrefix("cnpserver: ")
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
-		loadPath = flag.String("load", "", "binary snapshot path (from `cnprobase build -save`)")
+		loadPath = flag.String("load", "", "binary snapshot path (from `cnprobase build -save`); SIGHUP hot-reloads it")
 		taxPath  = flag.String("tax", "", "taxonomy JSON path")
 		entities = flag.Int("entities", 4000, "demo world size when -load and -tax are empty")
 		workers  = flag.Int("workers", 0, "worker pool size for the demo build and snapshot decode (0 = one per CPU, 1 = sequential)")
-		shards   = flag.Int("shards", 0, "taxonomy store shard count (0 = default)")
+		shards   = flag.Int("shards", 0, "taxonomy store shard count for the demo build (0 = default)")
 	)
 	flag.Parse()
 	if *loadPath != "" && *taxPath != "" {
 		log.Fatal("-load and -tax are mutually exclusive")
 	}
 
-	var (
-		tax      *cnprobase.Taxonomy
-		mentions *cnprobase.MentionIndex
-	)
+	var view *cnprobase.ServingView
 	switch {
 	case *loadPath != "":
-		start := time.Now()
-		f, err := os.Open(*loadPath)
-		if err != nil {
-			log.Fatalf("open %s: %v", *loadPath, err)
-		}
-		res, err := cnprobase.LoadSnapshotSharded(f, *workers, *shards)
-		f.Close()
-		if err != nil {
+		var err error
+		if view, err = loadView(*loadPath, *workers); err != nil {
 			log.Fatalf("load snapshot %s: %v", *loadPath, err)
 		}
-		tax, mentions = res.Taxonomy, res.Mentions
-		st := res.Report.Stats
-		log.Printf("loaded snapshot in %v: %d entities, %d concepts, %d isA, %d mentions",
-			time.Since(start).Round(time.Millisecond),
-			st.Entities, st.Concepts, st.IsARelations, mentions.Size())
 	case *taxPath != "":
 		f, err := os.Open(*taxPath)
 		if err != nil {
 			log.Fatalf("open %s: %v", *taxPath, err)
 		}
-		tax, err = cnprobase.ReadTaxonomy(f)
+		tax, err := cnprobase.ReadTaxonomy(f)
 		f.Close()
 		if err != nil {
 			log.Fatalf("read taxonomy: %v", err)
 		}
-		mentions = taxonomy.NewMentionIndex()
+		mentions := taxonomy.NewMentionIndex()
 		for _, n := range tax.Nodes() {
 			if tax.Kind(n) == taxonomy.KindEntity {
 				mentions.Add(n, n)
@@ -91,6 +90,8 @@ func main() {
 				}
 			}
 		}
+		res := &cnprobase.Result{Taxonomy: tax, Mentions: mentions}
+		view = res.Freeze()
 	default:
 		log.Printf("building demo world with %d entities...", *entities)
 		start := time.Now()
@@ -107,14 +108,48 @@ func main() {
 		if err != nil {
 			log.Fatalf("build: %v", err)
 		}
-		tax, mentions = res.Taxonomy, res.Mentions
+		view = res.Freeze()
 		st := res.Report.Stats
 		log.Printf("built in %v (%d workers, %d shards): %d entities, %d concepts, %d isA",
 			time.Since(start).Round(time.Millisecond), res.Report.Workers, res.Report.Shards,
 			st.Entities, st.Concepts, st.IsARelations)
 	}
 
-	srv := cnprobase.NewAPIServer(tax, mentions)
+	srv := cnprobase.NewViewServer(view)
+	httpServer := &http.Server{Handler: srv.Handler()}
+
+	// SIGHUP hot-swaps the serving view from the snapshot file; INT and
+	// TERM drain connections and trigger the shutdown latency report.
+	// shutdownDone closes only after Shutdown has finished draining, so
+	// main never exits with requests still in flight.
+	shutdownDone := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGHUP, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		for sig := range sigc {
+			if sig == syscall.SIGHUP {
+				if *loadPath == "" {
+					log.Printf("SIGHUP ignored: hot reload requires -load")
+					continue
+				}
+				fresh, err := loadView(*loadPath, *workers)
+				if err != nil {
+					log.Printf("SIGHUP reload failed, keeping current view: %v", err)
+					continue
+				}
+				srv.SwapView(fresh)
+				log.Printf("reloaded snapshot %s, view swapped", *loadPath)
+				continue
+			}
+			log.Printf("%v: shutting down", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			_ = httpServer.Shutdown(ctx)
+			cancel()
+			close(shutdownDone)
+			return
+		}
+	}()
+
 	// Listen before announcing so the printed address is the bound one
 	// (with ":0" the kernel picks the port; tests and scripts read it
 	// back from this line).
@@ -123,7 +158,33 @@ func main() {
 		log.Fatalf("listen %s: %v", *addr, err)
 	}
 	fmt.Printf("serving men2ent/getConcept/getEntity on %s\n", ln.Addr())
-	if err := http.Serve(ln, srv.Handler()); err != nil {
+	if err := httpServer.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("serve: %v", err)
 	}
+	// Serve returns as soon as Shutdown begins; wait for the drain to
+	// finish so in-flight requests complete and appear in the report.
+	<-shutdownDone
+	for _, ep := range srv.LatencyReport() {
+		log.Printf("latency %-13s calls=%-8d p50=%.3fms p99=%.3fms", ep.Endpoint, ep.Count, ep.P50Ms, ep.P99Ms)
+	}
+}
+
+// loadView decodes a snapshot file straight into a serving view and
+// logs its shape.
+func loadView(path string, workers int) (*cnprobase.ServingView, error) {
+	start := time.Now()
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	view, err := cnprobase.LoadSnapshotView(f, workers)
+	if err != nil {
+		return nil, err
+	}
+	st := view.Stats()
+	log.Printf("loaded snapshot in %v: %d entities, %d concepts, %d isA, %d mentions",
+		time.Since(start).Round(time.Millisecond),
+		st.Entities, st.Concepts, st.IsARelations, view.MentionCount())
+	return view, nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -188,6 +190,166 @@ func TestServeLoadedSnapshot(t *testing.T) {
 	get("/api/getEntity?concept="+hyper, &ent)
 	if want := fmt.Sprint(res.Taxonomy.Hyponyms(hyper, 0)); fmt.Sprint(ent.Hyponyms) != want {
 		t.Errorf("getEntity(%q) = %v, want %v", hyper, ent.Hyponyms, want)
+	}
+}
+
+// syncBuffer is a mutex-guarded buffer for capturing a child
+// process's stderr while it runs.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// startServerCapture is startServer with stderr captured instead of
+// inherited, for tests asserting on log output.
+func startServerCapture(t *testing.T, stderr *syncBuffer, args ...string) (string, *exec.Cmd) {
+	t.Helper()
+	cmd := exec.Command(serverBinary(t), append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start server: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+	sc := bufio.NewScanner(stdout)
+	deadline := time.After(30 * time.Second)
+	addrCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.LastIndex(line, " on "); strings.HasPrefix(line, "serving ") && i >= 0 {
+				addrCh <- strings.TrimSpace(line[i+4:])
+				return
+			}
+		}
+		close(addrCh)
+	}()
+	select {
+	case addr, ok := <-addrCh:
+		if !ok {
+			t.Fatalf("server exited before announcing its address; stderr:\n%s", stderr.String())
+		}
+		return "http://" + addr, cmd
+	case <-deadline:
+		t.Fatal("timed out waiting for the server to announce its address")
+	}
+	panic("unreachable")
+}
+
+// TestSighupHotReload drives the zero-downtime reload path: overwrite
+// the snapshot file with an extended taxonomy, send SIGHUP, and watch
+// the new edge become visible without restarting the process.
+func TestSighupHotReload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test: compiles and runs the binary")
+	}
+	snap, res := writeSnapshot(t)
+	var stderr syncBuffer
+	base, cmd := startServerCapture(t, &stderr, "-load", snap)
+
+	get := func(path string, into any) int {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+				t.Fatalf("decode %s: %v", path, err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	var ent struct {
+		Hyponyms []string `json:"hyponyms"`
+	}
+	get("/api/getEntity?concept=热更新概念", &ent)
+	if len(ent.Hyponyms) != 0 {
+		t.Fatalf("new concept visible before reload: %v", ent.Hyponyms)
+	}
+
+	// Extend the taxonomy, overwrite the snapshot in place, reload.
+	if err := res.Taxonomy.AddIsA("热更新实体（测试）", "热更新概念", cnprobase.SourceTag, 1); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cnprobase.SaveSnapshot(f, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Process.Signal(syscall.SIGHUP); err != nil {
+		t.Fatalf("SIGHUP: %v", err)
+	}
+
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		get("/api/getEntity?concept=热更新概念", &ent)
+		if len(ent.Hyponyms) == 1 && ent.Hyponyms[0] == "热更新实体（测试）" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("new edge never became visible after SIGHUP; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !strings.Contains(stderr.String(), "view swapped") {
+		t.Errorf("reload not logged; stderr:\n%s", stderr.String())
+	}
+}
+
+// TestShutdownLogsLatency pins the satellite: on SIGTERM the server
+// drains and logs per-endpoint p50/p99 latency before exiting.
+func TestShutdownLogsLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test: compiles and runs the binary")
+	}
+	snap, _ := writeSnapshot(t)
+	var stderr syncBuffer
+	base, cmd := startServerCapture(t, &stderr, "-load", snap)
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(base + "/api/men2ent?mention=任意")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("server exited uncleanly: %v\nstderr:\n%s", err, stderr.String())
+	}
+	out := stderr.String()
+	if !strings.Contains(out, "shutting down") {
+		t.Errorf("shutdown not logged:\n%s", out)
+	}
+	if !strings.Contains(out, "latency men2ent") || !strings.Contains(out, "p50=") || !strings.Contains(out, "p99=") {
+		t.Errorf("latency summary missing from shutdown log:\n%s", out)
 	}
 }
 

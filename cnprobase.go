@@ -36,6 +36,7 @@ import (
 	"cnprobase/internal/encyclopedia"
 	"cnprobase/internal/eval"
 	"cnprobase/internal/qa"
+	"cnprobase/internal/serving"
 	"cnprobase/internal/snapshot"
 	"cnprobase/internal/synth"
 	"cnprobase/internal/taxonomy"
@@ -78,6 +79,13 @@ type (
 
 	// APIServer serves men2ent/getConcept/getEntity over HTTP.
 	APIServer = api.Server
+
+	// ServingView is the immutable, read-optimized serving view the
+	// HTTP APIs answer from: interned node IDs, CSR adjacency,
+	// pre-sorted typicality rankings, flat sorted mention table — zero
+	// locks and near-zero allocation per query. Obtain one with
+	// Result.Freeze (from a build) or LoadSnapshotView (from a file).
+	ServingView = serving.View
 
 	// Conceptualizer turns short text into a ranked concept vector.
 	Conceptualizer = conceptualize.Engine
@@ -136,8 +144,16 @@ func NewTaxonomy() *Taxonomy { return taxonomy.New() }
 func ReadTaxonomy(r io.Reader) (*Taxonomy, error) { return taxonomy.ReadJSON(r) }
 
 // NewAPIServer builds the HTTP server over a taxonomy and mention
-// index.
+// index by freezing their current contents into an immutable serving
+// view (see ServingView). Later writes to the store are not served;
+// freeze a new view and call APIServer.SwapView to publish them.
 func NewAPIServer(t *Taxonomy, m *MentionIndex) *APIServer { return api.NewServer(t, m) }
+
+// NewViewServer builds the HTTP server directly over an
+// already-compiled serving view — the path cnpserver -load uses so a
+// snapshot becomes a serving process without ever materializing the
+// mutable build store.
+func NewViewServer(v *ServingView) *APIServer { return api.NewViewServer(v) }
 
 // SaveSnapshot writes the complete serving state of a build — the
 // taxonomy with full edge provenance, the mention index, and the build
@@ -205,6 +221,18 @@ func LoadSnapshotSharded(r io.Reader, workers, shards int) (*Result, error) {
 	rep.Shards = st.Taxonomy.ShardCount()
 	rep.Stats = st.Taxonomy.ComputeStats()
 	return &Result{Taxonomy: st.Taxonomy, Mentions: st.Mentions, Report: rep}, nil
+}
+
+// LoadSnapshotView reads a snapshot written by SaveSnapshot and
+// compiles it straight into an immutable serving view, skipping the
+// mutable store entirely — the fastest path from file to serving
+// traffic. workers bounds the stripe-decode pool (0 = one per CPU).
+// The view answers every query exactly like a LoadSnapshot-restored
+// taxonomy (pinned by the serving-equivalence tests); use LoadSnapshot
+// instead when the mutable Result is needed (JSON export, experiments).
+func LoadSnapshotView(r io.Reader, workers int) (*ServingView, error) {
+	v, _, err := snapshot.LoadView(r, snapshot.Options{Workers: workers})
+	return v, err
 }
 
 // SamplePrecision estimates the precision of a taxonomy by sampling

@@ -2,6 +2,7 @@ package cnprobase
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 )
 
@@ -187,6 +188,47 @@ func TestFacadeSnapshotBytesIgnoreConcurrency(t *testing.T) {
 	ref := save(1, 1)
 	if got := save(8, 48); !bytes.Equal(ref, got) {
 		t.Errorf("snapshot bytes differ across build concurrency: %d vs %d bytes", len(ref), len(got))
+	}
+}
+
+// TestFacadeFreezeAndLoadView covers the serving-view surface of the
+// facade: Result.Freeze answers like the store, NewViewServer serves
+// it, and LoadSnapshotView decodes a snapshot straight into an
+// equivalent view.
+func TestFacadeFreezeAndLoadView(t *testing.T) {
+	_, res := buildSmall(t, 300)
+	view := res.Freeze()
+	if view.Stats() != res.Taxonomy.ComputeStats() {
+		t.Fatalf("frozen stats = %+v, want %+v", view.Stats(), res.Taxonomy.ComputeStats())
+	}
+	for _, n := range res.Taxonomy.Nodes() {
+		if a, b := res.Taxonomy.Hypernyms(n), view.Hypernyms(n); fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("Hypernyms(%q): view %v, store %v", n, b, a)
+		}
+		if a, b := res.Mentions.Lookup(n), view.Lookup(n); fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("Lookup(%q): view %v, store %v", n, b, a)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := SaveSnapshot(&buf, res); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	loadedView, err := LoadSnapshotView(bytes.NewReader(buf.Bytes()), 4)
+	if err != nil {
+		t.Fatalf("LoadSnapshotView: %v", err)
+	}
+	if loadedView.EdgeCount() != view.EdgeCount() || loadedView.Stats() != view.Stats() {
+		t.Fatalf("snapshot view (%d edges, %+v) != frozen view (%d edges, %+v)",
+			loadedView.EdgeCount(), loadedView.Stats(), view.EdgeCount(), view.Stats())
+	}
+	for _, n := range res.Taxonomy.Nodes() {
+		if a, b := view.Hypernyms(n), loadedView.Hypernyms(n); fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("Hypernyms(%q): snapshot view %v, frozen view %v", n, b, a)
+		}
+	}
+	if srv := NewViewServer(view); srv.View() != view {
+		t.Fatal("NewViewServer does not serve the given view")
 	}
 }
 

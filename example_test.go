@@ -100,6 +100,30 @@ func ExampleSaveSnapshot() {
 	// Output: true true true
 }
 
+// ExampleResult_Freeze shows the build/serve split: freeze the build
+// result into an immutable serving view (interned IDs, CSR adjacency,
+// pre-ranked typicality — zero locks per query) and answer the
+// paper's APIs from it. Servers hold the view in an atomic pointer
+// and swap in a freshly frozen one to publish updates (what cnpserver
+// does on SIGHUP).
+func ExampleResult_Freeze() {
+	tax := cnprobase.NewTaxonomy()
+	tax.MarkEntity("刘德华（歌手）")
+	for _, hyper := range []string{"歌手", "演员"} {
+		if err := tax.AddIsA("刘德华（歌手）", hyper, cnprobase.SourceTag, 1); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	res := &cnprobase.Result{Taxonomy: tax}
+	view := res.Freeze()
+	fmt.Println(view.Hypernyms("刘德华（歌手）"))
+	fmt.Println(view.Lookup("刘德华"), view.Stats().Entities)
+	// Output:
+	// [歌手 演员]
+	// [] 1
+}
+
 // ExampleTaxonomy_WriteTSV exports the edge list in the conventional
 // taxonomy release format (rows sorted by hyponym, then hypernym).
 func ExampleTaxonomy_WriteTSV() {

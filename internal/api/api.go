@@ -1,63 +1,139 @@
 // Package api serves the taxonomy over HTTP with the paper's three
 // public APIs (Table II), mounted under /api:
 //
-//	/api/men2ent    — mention → disambiguated entities
-//	/api/getConcept — entity → hypernym list (?ranked=1 adds typicality scores)
-//	/api/getEntity  — concept → hyponym list (?limit=N caps it)
+//	/api/men2ent      — mention → disambiguated entities
+//	/api/getConcept   — entity → hypernym list (?ranked=1 adds typicality scores)
+//	/api/getEntity    — concept → hyponym list (?limit=N caps it)
+//	/api/men2entBatch — POST a JSON array of mentions, resolve them all at once
 //
-// plus /api/stats exposing per-API call counters, which the Table II
-// workload experiment reads back. Handlers are safe for concurrent use;
-// request/response schemas are documented in docs/API.md.
+// plus /api/stats exposing per-API call counters and latency
+// summaries, which the Table II workload experiment reads back.
+//
+// Handlers never touch the mutable build store: every request is
+// served from an immutable serving.View held in an atomic pointer —
+// zero locks, near-zero allocation per query — and SwapView atomically
+// replaces the whole view to pick up new data (cnpserver wires this to
+// SIGHUP for hot snapshot reload). Errors are JSON bodies
+// ({"error": "..."}) with the right Content-Type. Handlers are safe
+// for concurrent use; request/response schemas are documented in
+// docs/API.md.
 package api
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strconv"
 	"sync/atomic"
+	"time"
 
+	"cnprobase/internal/serving"
 	"cnprobase/internal/taxonomy"
 )
 
-// Server hosts the three APIs over a taxonomy + mention index.
+// MaxBatchMentions caps the number of mentions one /api/men2entBatch
+// request may carry; MaxBatchBytes caps the request body itself, so
+// an oversized payload is rejected while reading rather than after
+// being fully decoded into memory.
+const (
+	MaxBatchMentions = 10000
+	MaxBatchBytes    = 4 << 20
+)
+
+// Server hosts the APIs over an immutable serving view.
 type Server struct {
-	tax      *taxonomy.Taxonomy
-	mentions *taxonomy.MentionIndex
+	view atomic.Pointer[serving.View]
 
-	men2entCalls    atomic.Int64
-	getConceptCalls atomic.Int64
-	getEntityCalls  atomic.Int64
+	men2entCalls      atomic.Int64
+	men2entBatchCalls atomic.Int64
+	getConceptCalls   atomic.Int64
+	getEntityCalls    atomic.Int64
+
+	men2entLat      histogram
+	men2entBatchLat histogram
+	getConceptLat   histogram
+	getEntityLat    histogram
 }
 
-// NewServer builds a Server.
+// NewServer builds a Server by freezing the current contents of the
+// build store into an immutable View (mentions may be nil). Later
+// writes to the store are not served; compile a new view and SwapView.
 func NewServer(tax *taxonomy.Taxonomy, mentions *taxonomy.MentionIndex) *Server {
-	return &Server{tax: tax, mentions: mentions}
+	return NewViewServer(serving.Compile(tax, mentions))
 }
+
+// NewViewServer builds a Server over an already-compiled view — the
+// zero-copy path snapshot loading uses.
+func NewViewServer(v *serving.View) *Server {
+	s := &Server{}
+	s.view.Store(v)
+	return s
+}
+
+// SwapView atomically replaces the serving view and returns the
+// previous one. In-flight requests finish on the view they started
+// with; new requests see the new data. Safe to call at any time.
+func (s *Server) SwapView(v *serving.View) *serving.View {
+	return s.view.Swap(v)
+}
+
+// View returns the view currently being served.
+func (s *Server) View() *serving.View { return s.view.Load() }
 
 // Handler returns the HTTP mux with all endpoints registered.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/men2ent", s.handleMen2Ent)
+	mux.HandleFunc("/api/men2entBatch", s.handleMen2EntBatch)
 	mux.HandleFunc("/api/getConcept", s.handleGetConcept)
 	mux.HandleFunc("/api/getEntity", s.handleGetEntity)
 	mux.HandleFunc("/api/stats", s.handleStats)
 	return mux
 }
 
-// Men2EntResponse is the payload of /api/men2ent.
+// Men2EntResponse is the payload of /api/men2ent (and one element of
+// the /api/men2entBatch response array).
 type Men2EntResponse struct {
 	Mention  string   `json:"mention"`
 	Entities []string `json:"entities"`
 }
 
 func (s *Server) handleMen2Ent(w http.ResponseWriter, r *http.Request) {
+	defer s.men2entLat.since(time.Now())
 	s.men2entCalls.Add(1)
 	mention := r.URL.Query().Get("mention")
 	if mention == "" {
-		http.Error(w, "missing ?mention=", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "missing ?mention=")
 		return
 	}
-	writeJSON(w, Men2EntResponse{Mention: mention, Entities: s.mentions.Lookup(mention)})
+	writeJSON(w, Men2EntResponse{Mention: mention, Entities: s.View().Lookup(mention)})
+}
+
+func (s *Server) handleMen2EntBatch(w http.ResponseWriter, r *http.Request) {
+	defer s.men2entBatchLat.since(time.Now())
+	s.men2entBatchCalls.Add(1)
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "men2entBatch requires POST with a JSON array of mentions")
+		return
+	}
+	var batch []string
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBatchBytes)).Decode(&batch); err != nil {
+		writeError(w, http.StatusBadRequest, "body must be a JSON array of mention strings: "+err.Error())
+		return
+	}
+	if len(batch) > MaxBatchMentions {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d mentions exceeds the limit of %d", len(batch), MaxBatchMentions))
+		return
+	}
+	s.men2entCalls.Add(int64(len(batch))) // each mention counts as one men2ent resolution
+	v := s.View()                         // one consistent view for the whole batch
+	out := make([]Men2EntResponse, len(batch))
+	for i, m := range batch {
+		out[i] = Men2EntResponse{Mention: m, Entities: v.Lookup(m)}
+	}
+	writeJSON(w, out)
 }
 
 // ConceptResponse is the payload of /api/getConcept. Ranked is filled
@@ -70,15 +146,17 @@ type ConceptResponse struct {
 }
 
 func (s *Server) handleGetConcept(w http.ResponseWriter, r *http.Request) {
+	defer s.getConceptLat.since(time.Now())
 	s.getConceptCalls.Add(1)
 	entity := r.URL.Query().Get("entity")
 	if entity == "" {
-		http.Error(w, "missing ?entity=", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "missing ?entity=")
 		return
 	}
-	resp := ConceptResponse{Entity: entity, Hypernyms: s.tax.Hypernyms(entity)}
+	v := s.View()
+	resp := ConceptResponse{Entity: entity, Hypernyms: v.Hypernyms(entity)}
 	if r.URL.Query().Get("ranked") == "1" {
-		resp.Ranked = s.tax.RankedHypernyms(entity, 0)
+		resp.Ranked = v.RankedHypernyms(entity, 0)
 	}
 	writeJSON(w, resp)
 }
@@ -90,47 +168,74 @@ type EntityResponse struct {
 }
 
 func (s *Server) handleGetEntity(w http.ResponseWriter, r *http.Request) {
+	defer s.getEntityLat.since(time.Now())
 	s.getEntityCalls.Add(1)
 	concept := r.URL.Query().Get("concept")
 	if concept == "" {
-		http.Error(w, "missing ?concept=", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "missing ?concept=")
 		return
 	}
 	limit := 0
 	if v := r.URL.Query().Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
-			http.Error(w, "bad ?limit=", http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "bad ?limit=")
 			return
 		}
 		limit = n
 	}
-	writeJSON(w, EntityResponse{Concept: concept, Hyponyms: s.tax.Hyponyms(concept, limit)})
+	writeJSON(w, EntityResponse{Concept: concept, Hyponyms: s.View().Hyponyms(concept, limit)})
 }
 
 // Stats mirrors the call-count columns of the paper's Table II.
+// Men2EntBatch counts batch *requests*; each mention inside a batch
+// also increments Men2Ent.
 type Stats struct {
-	Men2Ent    int64 `json:"men2ent"`
-	GetConcept int64 `json:"getConcept"`
-	GetEntity  int64 `json:"getEntity"`
+	Men2Ent      int64 `json:"men2ent"`
+	GetConcept   int64 `json:"getConcept"`
+	GetEntity    int64 `json:"getEntity"`
+	Men2EntBatch int64 `json:"men2entBatch,omitempty"`
 }
 
 // Counters returns a snapshot of the per-API call counts.
 func (s *Server) Counters() Stats {
 	return Stats{
-		Men2Ent:    s.men2entCalls.Load(),
-		GetConcept: s.getConceptCalls.Load(),
-		GetEntity:  s.getEntityCalls.Load(),
+		Men2Ent:      s.men2entCalls.Load(),
+		GetConcept:   s.getConceptCalls.Load(),
+		GetEntity:    s.getEntityCalls.Load(),
+		Men2EntBatch: s.men2entBatchCalls.Load(),
 	}
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.Counters())
+// statsResponse is the /api/stats payload: the Table II counters plus
+// per-endpoint latency summaries.
+type statsResponse struct {
+	Stats
+	Latency []EndpointLatency `json:"latency,omitempty"`
 }
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, statsResponse{Stats: s.Counters(), Latency: s.LatencyReport()})
+}
+
+func (h *histogram) since(start time.Time) { h.observe(time.Since(start)) }
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	// Encoding to the client can fail only on connection loss; nothing
 	// actionable remains at that point.
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// ErrorResponse is the body of every non-200 API response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeError sends a JSON error body with the right Content-Type —
+// clients always parse one schema, success or failure.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
 }

@@ -1,0 +1,306 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+
+	"cnprobase/internal/serving"
+	"cnprobase/internal/taxonomy"
+)
+
+// storeHandler mirrors the pre-View read path byte for byte: the three
+// APIs answered straight from the mutable store with the same response
+// structs and JSON encoding the Server uses. It exists only as the
+// reference side of the store-vs-view equivalence test.
+func storeHandler(tax *taxonomy.Taxonomy, mentions *taxonomy.MentionIndex) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/men2ent", func(w http.ResponseWriter, r *http.Request) {
+		m := r.URL.Query().Get("mention")
+		if m == "" {
+			writeError(w, http.StatusBadRequest, "missing ?mention=")
+			return
+		}
+		writeJSON(w, Men2EntResponse{Mention: m, Entities: mentions.Lookup(m)})
+	})
+	mux.HandleFunc("/api/getConcept", func(w http.ResponseWriter, r *http.Request) {
+		e := r.URL.Query().Get("entity")
+		if e == "" {
+			writeError(w, http.StatusBadRequest, "missing ?entity=")
+			return
+		}
+		resp := ConceptResponse{Entity: e, Hypernyms: tax.Hypernyms(e)}
+		if r.URL.Query().Get("ranked") == "1" {
+			resp.Ranked = tax.RankedHypernyms(e, 0)
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/api/getEntity", func(w http.ResponseWriter, r *http.Request) {
+		c := r.URL.Query().Get("concept")
+		if c == "" {
+			writeError(w, http.StatusBadRequest, "missing ?concept=")
+			return
+		}
+		limit := 0
+		fmt.Sscanf(r.URL.Query().Get("limit"), "%d", &limit)
+		writeJSON(w, EntityResponse{Concept: c, Hyponyms: tax.Hyponyms(c, limit)})
+	})
+	return mux
+}
+
+// equivFixture assembles a finalized store with the response shapes
+// that must survive the freeze: multi-hypernym entities with uneven
+// evidence counts (non-trivial typicality), subconcept chains,
+// ambiguous mentions, and nodes with no hypernyms at all.
+func equivFixture(tb testing.TB) (*taxonomy.Taxonomy, *taxonomy.MentionIndex) {
+	tb.Helper()
+	tax := taxonomy.New()
+	mentions := taxonomy.NewMentionIndex()
+	for i := 0; i < 40; i++ {
+		id := fmt.Sprintf("实体%02d（人物）", i)
+		tax.MarkEntity(id)
+		if err := tax.AddIsA(id, fmt.Sprintf("概念%d", i%7), taxonomy.SourceBracket, 0.5+float64(i)/100); err != nil {
+			tb.Fatal(err)
+		}
+		if i%3 == 0 {
+			if err := tax.AddIsA(id, fmt.Sprintf("概念%d", i%7), taxonomy.SourceTag, 0.9); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		if i%4 == 0 {
+			if err := tax.AddIsA(id, fmt.Sprintf("概念%d", (i+2)%7), taxonomy.SourceAbstract, 0.7); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		mentions.Add(fmt.Sprintf("实体%02d", i), id)
+		mentions.Add(id, id)
+	}
+	mentions.Add("实体00", "实体07（人物）")
+	for i := 0; i < 7; i++ {
+		if err := tax.AddIsA(fmt.Sprintf("概念%d", i), "顶层概念", taxonomy.SourceMorph, 1); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	tax.Finalize()
+	return tax, mentions
+}
+
+// TestStoreVsViewHTTPEquivalence pins the refactor's core guarantee:
+// for every node (plus unknown and missing-parameter probes), the
+// HTTP responses of the View-backed Server are byte-identical to
+// serving the same queries from the finalized mutable store.
+func TestStoreVsViewHTTPEquivalence(t *testing.T) {
+	tax, mentions := equivFixture(t)
+	storeTS := httptest.NewServer(storeHandler(tax, mentions))
+	defer storeTS.Close()
+	viewTS := httptest.NewServer(NewServer(tax, mentions).Handler())
+	defer viewTS.Close()
+
+	fetch := func(base, path string) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%d %s %s", resp.StatusCode, resp.Header.Get("Content-Type"), body)
+	}
+
+	probes := append(tax.Nodes(), "未知节点", "实体00", "实体13")
+	var paths []string
+	for _, n := range probes {
+		q := url.QueryEscape(n)
+		paths = append(paths,
+			"/api/men2ent?mention="+q,
+			"/api/getConcept?entity="+q,
+			"/api/getConcept?ranked=1&entity="+q,
+			"/api/getEntity?concept="+q,
+			"/api/getEntity?limit=3&concept="+q,
+		)
+	}
+	paths = append(paths, "/api/men2ent", "/api/getConcept", "/api/getEntity")
+	for _, p := range paths {
+		if store, view := fetch(storeTS.URL, p), fetch(viewTS.URL, p); store != view {
+			t.Fatalf("response mismatch on %s:\nstore: %s\nview:  %s", p, store, view)
+		}
+	}
+}
+
+func TestMen2EntBatch(t *testing.T) {
+	srv, ts := testServer(t)
+	body, _ := json.Marshal([]string{"刘德华", "未知提及"})
+	resp, err := http.Post(ts.URL+"/api/men2entBatch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out []Men2EntResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d results, want 2", len(out))
+	}
+	if len(out[0].Entities) != 2 {
+		t.Errorf("batch[0] = %+v, want both 刘德华 senses", out[0])
+	}
+	if out[1].Mention != "未知提及" || len(out[1].Entities) != 0 {
+		t.Errorf("batch[1] = %+v, want empty resolution", out[1])
+	}
+	// Each batched mention counts as one men2ent resolution, and the
+	// batch request itself is counted separately.
+	got := srv.Counters()
+	if got.Men2Ent != 2 || got.Men2EntBatch != 1 {
+		t.Errorf("counters = %+v, want Men2Ent=2 Men2EntBatch=1", got)
+	}
+	// Batch answers must match the single-shot API element-wise.
+	var single Men2EntResponse
+	getJSON(t, ts.URL+"/api/men2ent?mention=刘德华", &single)
+	if fmt.Sprint(single.Entities) != fmt.Sprint(out[0].Entities) {
+		t.Errorf("batch %v != single %v", out[0].Entities, single.Entities)
+	}
+}
+
+func TestMen2EntBatchErrors(t *testing.T) {
+	_, ts := testServer(t)
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/api/men2entBatch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkJSONError(t, resp, http.StatusMethodNotAllowed)
+	if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+		t.Errorf("Allow = %q, want POST", allow)
+	}
+	// Malformed body.
+	resp, err = http.Post(ts.URL+"/api/men2entBatch", "application/json", bytes.NewReader([]byte(`{"not":"an array"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkJSONError(t, resp, http.StatusBadRequest)
+	// Oversized batch.
+	huge, _ := json.Marshal(make([]string, MaxBatchMentions+1))
+	resp, err = http.Post(ts.URL+"/api/men2entBatch", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkJSONError(t, resp, http.StatusBadRequest)
+	// Oversized body: rejected while reading (MaxBytesReader), not
+	// after being decoded into memory.
+	fat := append([]byte(`["`), bytes.Repeat([]byte("长"), MaxBatchBytes)...)
+	fat = append(fat, []byte(`"]`)...)
+	resp, err = http.Post(ts.URL+"/api/men2entBatch", "application/json", bytes.NewReader(fat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkJSONError(t, resp, http.StatusBadRequest)
+}
+
+// TestErrorResponsesAreJSON is the regression test for the plain-text
+// http.Error bodies the handlers used to send: every parameter error
+// must be a JSON object with the JSON Content-Type.
+func TestErrorResponsesAreJSON(t *testing.T) {
+	_, ts := testServer(t)
+	for _, path := range []string{
+		"/api/men2ent",
+		"/api/getConcept",
+		"/api/getEntity",
+		"/api/getEntity?concept=演员&limit=-1",
+		"/api/getEntity?concept=演员&limit=abc",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkJSONError(t, resp, http.StatusBadRequest)
+	}
+}
+
+// checkJSONError asserts status, JSON Content-Type, and a non-empty
+// {"error": ...} body, then closes the response.
+func checkJSONError(t *testing.T, resp *http.Response, wantStatus int) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Errorf("%s: status = %d, want %d", resp.Request.URL, resp.StatusCode, wantStatus)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Errorf("%s: Content-Type = %q, want JSON", resp.Request.URL, ct)
+	}
+	var body ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Errorf("%s: error body is not JSON: %v", resp.Request.URL, err)
+	} else if body.Error == "" {
+		t.Errorf("%s: error body has empty message", resp.Request.URL)
+	}
+}
+
+// TestSwapView pins the hot-reload semantics: writes to the build
+// store are invisible until a freshly compiled view is swapped in.
+func TestSwapView(t *testing.T) {
+	tax, mentions := equivFixture(t)
+	srv := NewServer(tax, mentions)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if err := tax.AddIsA("新实体（测试）", "概念0", taxonomy.SourceTag, 1); err != nil {
+		t.Fatal(err)
+	}
+	var out ConceptResponse
+	getJSON(t, ts.URL+"/api/getConcept?entity="+url.QueryEscape("新实体（测试）"), &out)
+	if len(out.Hypernyms) != 0 {
+		t.Fatalf("store write visible before SwapView: %v", out.Hypernyms)
+	}
+	old := srv.SwapView(serving.Compile(tax, mentions))
+	if old == nil {
+		t.Fatal("SwapView returned nil previous view")
+	}
+	getJSON(t, ts.URL+"/api/getConcept?entity="+url.QueryEscape("新实体（测试）"), &out)
+	if len(out.Hypernyms) != 1 || out.Hypernyms[0] != "概念0" {
+		t.Fatalf("hypernyms after swap = %v, want [概念0]", out.Hypernyms)
+	}
+	// The old view still answers (in-flight requests keep working).
+	if old.Hypernyms("实体00（人物）") == nil {
+		t.Error("previous view unusable after swap")
+	}
+}
+
+// TestStatsLatency checks the /api/stats latency summaries: served
+// endpoints report counts and sane quantiles, unserved ones are
+// omitted.
+func TestStatsLatency(t *testing.T) {
+	_, ts := testServer(t)
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(ts.URL + "/api/men2ent?mention=刘德华")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	var stats struct {
+		Latency []EndpointLatency `json:"latency"`
+	}
+	getJSON(t, ts.URL+"/api/stats", &stats)
+	if len(stats.Latency) != 1 {
+		t.Fatalf("latency = %+v, want exactly the men2ent row", stats.Latency)
+	}
+	row := stats.Latency[0]
+	if row.Endpoint != "men2ent" || row.Count != 5 {
+		t.Errorf("latency row = %+v, want men2ent count=5", row)
+	}
+	if row.P50Ms <= 0 || row.P99Ms < row.P50Ms {
+		t.Errorf("quantiles implausible: %+v", row)
+	}
+}

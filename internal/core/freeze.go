@@ -1,0 +1,14 @@
+package core
+
+import "cnprobase/internal/serving"
+
+// Freeze compiles the build result into an immutable serving.View —
+// the read-optimized structure the HTTP APIs serve from (interned
+// node IDs, CSR adjacency, pre-sorted typicality, flat mention table;
+// zero locks and near-zero allocation per query). The view is a
+// point-in-time copy: a later Update extends the mutable store, not
+// the view — Freeze again and swap it into the server
+// (api.Server.SwapView) to publish the new data.
+func (r *Result) Freeze() *serving.View {
+	return serving.Compile(r.Taxonomy, r.Mentions)
+}

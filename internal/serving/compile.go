@@ -1,0 +1,302 @@
+package serving
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cnprobase/internal/taxonomy"
+)
+
+// Compile freezes the current contents of a build store (plus its
+// mention index, which may be nil) into an immutable View. The View
+// answers every query exactly like the store would after Finalize —
+// adjacency in canonical sorted order, typicality from the same
+// evidence counts — regardless of whether Finalize has been called.
+// Later writes to the store are not reflected; compile again and swap.
+func Compile(t *taxonomy.Taxonomy, m *taxonomy.MentionIndex) *View {
+	marks := make(map[string]taxonomy.NodeKind)
+	for _, n := range t.Nodes() {
+		if k := t.Kind(n); k != taxonomy.KindUnknown {
+			marks[n] = k
+		}
+	}
+	var mentions []taxonomy.MentionEntry
+	if m != nil {
+		mentions = m.ExportPartitions(1)[0]
+	}
+	return compile(marks, t.Edges(), mentions)
+}
+
+// Builder accumulates raw taxonomy content — kind marks, edges with
+// provenance, mention entries — and compiles it into a View without
+// ever materializing the mutable store. It is the direct snapshot →
+// View decode path: the methods mirror the store's deserialization
+// accessors (ImportKind, InsertEdge, MentionIndex.Add) including their
+// validation and overwrite semantics. A Builder is not safe for
+// concurrent use.
+type Builder struct {
+	marks    map[string]taxonomy.NodeKind
+	edges    []taxonomy.Edge
+	edgeAt   map[[2]string]int
+	mentions []taxonomy.MentionEntry
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		marks:  make(map[string]taxonomy.NodeKind),
+		edgeAt: make(map[[2]string]int),
+	}
+}
+
+// ImportKind records an explicit node kind, mirroring
+// Taxonomy.ImportKind: later calls overwrite, and KindUnknown removes
+// the mark (Unknown is the absence of a kind).
+func (b *Builder) ImportKind(name string, k taxonomy.NodeKind) {
+	if name == "" {
+		return
+	}
+	if k == taxonomy.KindUnknown {
+		delete(b.marks, name)
+		return
+	}
+	b.marks[name] = k
+}
+
+// InsertEdge records an edge verbatim, mirroring Taxonomy.InsertEdge:
+// full provenance is kept, an existing (Hypo, Hyper) pair is
+// overwritten, empty nodes and self-loops are rejected.
+func (b *Builder) InsertEdge(e taxonomy.Edge) error {
+	if e.Hypo == "" || e.Hyper == "" {
+		return fmt.Errorf("serving: empty node in isA(%q, %q)", e.Hypo, e.Hyper)
+	}
+	if e.Hypo == e.Hyper {
+		return fmt.Errorf("serving: self-loop isA(%q, %q)", e.Hypo, e.Hyper)
+	}
+	k := [2]string{e.Hypo, e.Hyper}
+	if i, ok := b.edgeAt[k]; ok {
+		b.edges[i] = e
+		return nil
+	}
+	b.edgeAt[k] = len(b.edges)
+	b.edges = append(b.edges, e)
+	return nil
+}
+
+// AddMention registers a mention → entity-ID pair, mirroring
+// MentionIndex.Add: the mention is whitespace-trimmed and blank
+// mentions or empty IDs are dropped. Duplicate pairs are merged at
+// Build time.
+func (b *Builder) AddMention(mention, entityID string) {
+	mention = strings.TrimSpace(mention)
+	if mention == "" || entityID == "" {
+		return
+	}
+	b.mentions = append(b.mentions, taxonomy.MentionEntry{Mention: mention, IDs: []string{entityID}})
+}
+
+// AddMentionEntry registers a whole mention entry (one mention with
+// its ID list) — the bulk form snapshot decoding uses.
+func (b *Builder) AddMentionEntry(e taxonomy.MentionEntry) {
+	e.Mention = strings.TrimSpace(e.Mention)
+	if e.Mention == "" || len(e.IDs) == 0 {
+		return
+	}
+	b.mentions = append(b.mentions, e)
+}
+
+// Build compiles the accumulated content into a View. The Builder can
+// keep accumulating and Build again; each call compiles the content
+// seen so far.
+func (b *Builder) Build() *View {
+	marks := make(map[string]taxonomy.NodeKind, len(b.marks))
+	for n, k := range b.marks {
+		marks[n] = k
+	}
+	return compile(marks, append([]taxonomy.Edge(nil), b.edges...), b.mentions)
+}
+
+// compile is the shared freeze: from explicit kind marks, a deduplicated
+// edge list and raw mention entries, produce the interned CSR view.
+// The marks map is consumed (implicit hypernym-concept marks are added
+// to it); edges is consumed (sorted in place).
+func compile(marks map[string]taxonomy.NodeKind, edges []taxonomy.Edge, mentionEntries []taxonomy.MentionEntry) *View {
+	// ---- intern: node set = explicit marks ∪ edge endpoints ----
+	nameSet := make(map[string]struct{}, len(marks)+len(edges))
+	for n := range marks {
+		nameSet[n] = struct{}{}
+	}
+	for i := range edges {
+		nameSet[edges[i].Hypo] = struct{}{}
+		nameSet[edges[i].Hyper] = struct{}{}
+	}
+	names := make([]string, 0, len(nameSet))
+	for n := range nameSet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ids := make(map[string]uint32, len(names))
+	for i, n := range names {
+		ids[n] = uint32(i)
+	}
+	n := len(names)
+
+	// ---- kinds: explicit marks, then the store's implicit rule that a
+	// hypernym whose kind is unknown is a concept ----
+	kinds := make([]taxonomy.NodeKind, n)
+	for name, k := range marks {
+		kinds[ids[name]] = k
+	}
+	for i := range edges {
+		if id := ids[edges[i].Hyper]; kinds[id] == taxonomy.KindUnknown {
+			kinds[id] = taxonomy.KindConcept
+		}
+	}
+
+	// ---- hypernym CSR (canonical order: IDs ascend iff names ascend) ----
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Hypo != edges[j].Hypo {
+			return edges[i].Hypo < edges[j].Hypo
+		}
+		return edges[i].Hyper < edges[j].Hyper
+	})
+	e := len(edges)
+	v := &View{
+		names:       names,
+		ids:         ids,
+		kinds:       kinds,
+		hyperOff:    make([]uint32, n+1),
+		hyperIDs:    make([]uint32, e),
+		hyperNames:  make([]string, e),
+		hyperRank:   make([]taxonomy.Scored, e),
+		edgeSources: make([]taxonomy.Source, e),
+		edgeScores:  make([]float64, e),
+		edgeCounts:  make([]int64, e),
+		hyperTotals: make([]int64, n),
+		hypoOff:     make([]uint32, n+1),
+		hypoIDs:     make([]uint32, e),
+		hypoNames:   make([]string, e),
+		hypoRank:    make([]taxonomy.Scored, e),
+		hypoTotals:  make([]int64, n),
+	}
+	for i := range edges {
+		v.hyperOff[ids[edges[i].Hypo]+1]++
+		v.hypoOff[ids[edges[i].Hyper]+1]++
+	}
+	for i := 0; i < n; i++ {
+		v.hyperOff[i+1] += v.hyperOff[i]
+		v.hypoOff[i+1] += v.hypoOff[i]
+	}
+	for i := range edges {
+		hypoID, hyperID := ids[edges[i].Hypo], ids[edges[i].Hyper]
+		v.hyperIDs[i] = hyperID // edges sorted by (hypo, hyper): flat order IS CSR order
+		v.hyperNames[i] = names[hyperID]
+		v.edgeSources[i] = edges[i].Sources
+		v.edgeScores[i] = edges[i].Score
+		v.edgeCounts[i] = int64(edges[i].Count)
+		v.hyperTotals[hypoID] += int64(edges[i].Count)
+		v.hypoTotals[hyperID] += int64(edges[i].Count)
+	}
+	// Transpose into the hyponym CSR. Scanning edges in (hypo, hyper)
+	// order and appending per-hypernym keeps each segment sorted by
+	// hyponym ID.
+	fill := make([]uint32, n)
+	copy(fill, v.hypoOff[:n])
+	hypoEdge := make([]uint32, e) // hypo-CSR position → flat edge index
+	for i := range edges {
+		hyperID := v.hyperIDs[i]
+		pos := fill[hyperID]
+		fill[hyperID]++
+		hypoID := ids[edges[i].Hypo]
+		v.hypoIDs[pos] = hypoID
+		v.hypoNames[pos] = names[hypoID]
+		hypoEdge[pos] = uint32(i)
+	}
+
+	// ---- pre-sorted typicality rankings ----
+	for id := 0; id < n; id++ {
+		lo, hi := v.hyperOff[id], v.hyperOff[id+1]
+		total := v.hyperTotals[id]
+		for j := lo; j < hi; j++ {
+			score := 0.0
+			if total != 0 {
+				score = float64(v.edgeCounts[j]) / float64(total)
+			}
+			v.hyperRank[j] = taxonomy.Scored{Node: v.hyperNames[j], Score: score}
+		}
+		sortScored(v.hyperRank[lo:hi])
+
+		lo, hi = v.hypoOff[id], v.hypoOff[id+1]
+		total = v.hypoTotals[id]
+		for j := lo; j < hi; j++ {
+			score := 0.0
+			if total != 0 {
+				score = float64(v.edgeCounts[hypoEdge[j]]) / float64(total)
+			}
+			v.hypoRank[j] = taxonomy.Scored{Node: v.hypoNames[j], Score: score}
+		}
+		sortScored(v.hypoRank[lo:hi])
+	}
+
+	// ---- flat sorted mention table ----
+	sort.Slice(mentionEntries, func(i, j int) bool {
+		return mentionEntries[i].Mention < mentionEntries[j].Mention
+	})
+	v.mentionAt = make(map[string]uint32)
+	for i := 0; i < len(mentionEntries); {
+		j := i
+		var idList []string
+		for ; j < len(mentionEntries) && mentionEntries[j].Mention == mentionEntries[i].Mention; j++ {
+			idList = append(idList, mentionEntries[j].IDs...)
+		}
+		sort.Strings(idList)
+		v.mentionAt[mentionEntries[i].Mention] = uint32(len(v.mentions))
+		v.mentions = append(v.mentions, mentionEntries[i].Mention)
+		v.mentionOff = append(v.mentionOff, uint32(len(v.mentionEnts)))
+		for k, id := range idList {
+			if k > 0 && id == idList[k-1] { // dedupe (mention, id) pairs
+				continue
+			}
+			v.mentionEnts = append(v.mentionEnts, id)
+		}
+		i = j
+	}
+	v.mentionOff = append(v.mentionOff, uint32(len(v.mentionEnts)))
+
+	// ---- stats (the store's ComputeStats, replayed over the frozen
+	// content) ----
+	for _, k := range kinds {
+		switch k {
+		case taxonomy.KindEntity:
+			v.stats.Entities++
+		case taxonomy.KindConcept:
+			v.stats.Concepts++
+		}
+	}
+	v.stats.IsARelations = e
+	for i := range edges {
+		if kinds[ids[edges[i].Hypo]] == taxonomy.KindConcept {
+			v.stats.SubConceptIsA++
+		} else {
+			v.stats.EntityConceptIsA++ // unmarked hyponyms behave as instances
+		}
+	}
+	for i := 0; i < n; i++ {
+		if v.hyperOff[i+1] > v.hyperOff[i] {
+			v.stats.NodesWithHypernym++
+		}
+	}
+	return v
+}
+
+// sortScored matches taxonomy's ranking order: descending score, ties
+// broken lexicographically.
+func sortScored(xs []taxonomy.Scored) {
+	sort.Slice(xs, func(i, j int) bool {
+		if xs[i].Score != xs[j].Score {
+			return xs[i].Score > xs[j].Score
+		}
+		return xs[i].Node < xs[j].Node
+	})
+}

@@ -1,0 +1,383 @@
+// Package serving implements the immutable, read-optimized serving
+// view of a built taxonomy — the classic build/serve split of the
+// CN-Probase deployment. The mutable, RWMutex-sharded store in
+// internal/taxonomy is the *build* structure: it absorbs concurrent
+// writes from the pipeline. A View is the *serve* structure: compiled
+// once from a finalized store (or decoded straight from a snapshot via
+// a Builder), it answers the paper's three APIs — men2ent, getConcept,
+// getEntity — with zero locks and near-zero allocation per query.
+//
+// Layout: node names are interned to dense uint32 IDs assigned in
+// sorted order (so ascending IDs are ascending strings and adjacency
+// stored by ID is already in the store's canonical order). Adjacency
+// is CSR-style — one flat edge array plus per-node offsets — with a
+// parallel array of pre-resolved name slices so Hypernyms/Hyponyms
+// return a shared subslice instead of copying. Typicality rankings
+// are computed once at compile time and stored pre-sorted, so the
+// ?ranked=1 path is a subslice too. Mentions live in one flat sorted
+// table resolved by binary search.
+//
+// Every query method answers exactly like its Taxonomy counterpart on
+// a finalized store (pinned by equivalence tests, down to byte-equal
+// HTTP responses). Returned slices are views into shared immutable
+// arrays: callers must not modify them.
+package serving
+
+import (
+	"sort"
+	"strings"
+
+	"cnprobase/internal/taxonomy"
+)
+
+// View is the immutable serving view. The zero value is not usable;
+// build one with Compile or a Builder. A View is safe for unlimited
+// concurrent use and never changes after construction — servers swap
+// whole Views atomically to pick up new data (see api.Server.SwapView).
+type View struct {
+	names []string          // id → name, sorted ascending
+	ids   map[string]uint32 // name → id (the interning table)
+	kinds []taxonomy.NodeKind
+
+	// Hypernym CSR: node i's outgoing edges occupy index range
+	// [hyperOff[i], hyperOff[i+1]) in the flat arrays. hyperIDs is
+	// ascending within each node (canonical order); hyperNames is the
+	// same range pre-resolved to names; hyperRank is the same range
+	// pre-sorted by descending typicality. Edge provenance (sources,
+	// score, count) is stored on this side, aligned with hyperIDs.
+	hyperOff    []uint32
+	hyperIDs    []uint32
+	hyperNames  []string
+	hyperRank   []taxonomy.Scored
+	edgeSources []taxonomy.Source
+	edgeScores  []float64
+	edgeCounts  []int64
+	hyperTotals []int64 // per node: Σ evidence counts of outgoing edges
+
+	// Hyponym CSR, mirroring the hypernym side (no edge payload — the
+	// provenance of edge (hypo, hyper) lives in the hypernym CSR).
+	hypoOff    []uint32
+	hypoIDs    []uint32
+	hypoNames  []string
+	hypoRank   []taxonomy.Scored
+	hypoTotals []int64 // per node: Σ evidence counts of incoming edges
+
+	// Mention table: mentions sorted ascending; mention i's entity IDs
+	// occupy mentionEnts[mentionOff[i]:mentionOff[i+1]], sorted.
+	// mentionAt interns mention → table index for O(1) resolution.
+	mentions    []string
+	mentionAt   map[string]uint32
+	mentionOff  []uint32
+	mentionEnts []string
+
+	stats taxonomy.Stats
+}
+
+// id resolves a node name to its interned ID.
+func (v *View) id(name string) (uint32, bool) {
+	id, ok := v.ids[name]
+	return id, ok
+}
+
+// NodeCount returns the number of nodes.
+func (v *View) NodeCount() int { return len(v.names) }
+
+// EdgeCount returns the number of isA edges.
+func (v *View) EdgeCount() int { return len(v.hyperIDs) }
+
+// MentionCount returns the number of distinct mentions.
+func (v *View) MentionCount() int { return len(v.mentions) }
+
+// Nodes returns all node names, sorted. The returned slice is shared:
+// do not modify it.
+func (v *View) Nodes() []string { return v.names }
+
+// Stats returns the Table-I-shaped summary computed at compile time.
+func (v *View) Stats() taxonomy.Stats { return v.stats }
+
+// Kind returns the node kind of name.
+func (v *View) Kind(name string) taxonomy.NodeKind {
+	if id, ok := v.id(name); ok {
+		return v.kinds[id]
+	}
+	return taxonomy.KindUnknown
+}
+
+// Hypernyms returns the direct hypernyms of node in canonical (sorted)
+// order — the getConcept API. The returned slice is shared: do not
+// modify it. Nil when the node is unknown or has no hypernyms, exactly
+// like Taxonomy.Hypernyms.
+func (v *View) Hypernyms(node string) []string {
+	id, ok := v.id(node)
+	if !ok {
+		return nil
+	}
+	lo, hi := v.hyperOff[id], v.hyperOff[id+1]
+	if lo == hi {
+		return nil
+	}
+	return v.hyperNames[lo:hi]
+}
+
+// Hyponyms returns up to limit direct hyponyms of a concept in
+// canonical order — the getEntity API; limit <= 0 means all. The
+// returned slice is shared: do not modify it.
+func (v *View) Hyponyms(concept string, limit int) []string {
+	id, ok := v.id(concept)
+	if !ok {
+		return nil
+	}
+	lo, hi := v.hypoOff[id], v.hypoOff[id+1]
+	if lo == hi {
+		return nil
+	}
+	if limit > 0 && uint32(limit) < hi-lo {
+		hi = lo + uint32(limit)
+	}
+	return v.hypoNames[lo:hi]
+}
+
+// HyponymCount returns the number of direct hyponyms of a concept.
+func (v *View) HyponymCount(concept string) int {
+	id, ok := v.id(concept)
+	if !ok {
+		return 0
+	}
+	return int(v.hypoOff[id+1] - v.hypoOff[id])
+}
+
+// RankedHypernyms returns the node's hypernyms pre-sorted by
+// descending typicality (ties broken lexicographically); limit <= 0
+// returns all. The returned slice is shared: do not modify it.
+func (v *View) RankedHypernyms(node string, limit int) []taxonomy.Scored {
+	id, ok := v.id(node)
+	if !ok {
+		return []taxonomy.Scored{}
+	}
+	lo, hi := v.hyperOff[id], v.hyperOff[id+1]
+	if limit > 0 && uint32(limit) < hi-lo {
+		hi = lo + uint32(limit)
+	}
+	return v.hyperRank[lo:hi]
+}
+
+// RankedHyponyms returns the concept's hyponyms pre-sorted by
+// descending typicality; limit <= 0 returns all. The returned slice is
+// shared: do not modify it.
+func (v *View) RankedHyponyms(concept string, limit int) []taxonomy.Scored {
+	id, ok := v.id(concept)
+	if !ok {
+		return []taxonomy.Scored{}
+	}
+	lo, hi := v.hypoOff[id], v.hypoOff[id+1]
+	if limit > 0 && uint32(limit) < hi-lo {
+		hi = lo + uint32(limit)
+	}
+	return v.hypoRank[lo:hi]
+}
+
+// edgeIndex locates the flat-array index of edge (hypoID → hyper) by
+// binary search over the node's ascending hypernym IDs.
+func (v *View) edgeIndex(hypoID uint32, hyper string) (uint32, bool) {
+	hyperID, ok := v.id(hyper)
+	if !ok {
+		return 0, false
+	}
+	lo, hi := v.hyperOff[hypoID], v.hyperOff[hypoID+1]
+	seg := v.hyperIDs[lo:hi]
+	i := sort.Search(len(seg), func(i int) bool { return seg[i] >= hyperID })
+	if i < len(seg) && seg[i] == hyperID {
+		return lo + uint32(i), true
+	}
+	return 0, false
+}
+
+// HasIsA reports whether the direct edge exists.
+func (v *View) HasIsA(hypo, hyper string) bool {
+	id, ok := v.id(hypo)
+	if !ok {
+		return false
+	}
+	_, ok = v.edgeIndex(id, hyper)
+	return ok
+}
+
+// EdgeOf returns the edge with its full provenance, if present.
+func (v *View) EdgeOf(hypo, hyper string) (taxonomy.Edge, bool) {
+	id, ok := v.id(hypo)
+	if !ok {
+		return taxonomy.Edge{}, false
+	}
+	i, ok := v.edgeIndex(id, hyper)
+	if !ok {
+		return taxonomy.Edge{}, false
+	}
+	return taxonomy.Edge{
+		Hypo:    hypo,
+		Hyper:   v.hyperNames[i],
+		Sources: v.edgeSources[i],
+		Score:   v.edgeScores[i],
+		Count:   int(v.edgeCounts[i]),
+	}, true
+}
+
+// TypicalityOfConcept returns P(hyper | hypo) from the edge evidence
+// counts; zero when the edge is absent.
+func (v *View) TypicalityOfConcept(hypo, hyper string) float64 {
+	id, ok := v.id(hypo)
+	if !ok {
+		return 0
+	}
+	i, ok := v.edgeIndex(id, hyper)
+	if !ok {
+		return 0
+	}
+	total := v.hyperTotals[id]
+	if total == 0 {
+		return 0
+	}
+	return float64(v.edgeCounts[i]) / float64(total)
+}
+
+// TypicalityOfInstance returns P(hypo | hyper): how representative the
+// instance is of the concept.
+func (v *View) TypicalityOfInstance(hyper, hypo string) float64 {
+	hypoID, ok := v.id(hypo)
+	if !ok {
+		return 0
+	}
+	i, ok := v.edgeIndex(hypoID, hyper)
+	if !ok {
+		return 0
+	}
+	hyperID, _ := v.id(hyper)
+	total := v.hypoTotals[hyperID]
+	if total == 0 {
+		return 0
+	}
+	return float64(v.edgeCounts[i]) / float64(total)
+}
+
+// Ancestors returns all transitive hypernyms of node, breadth-first,
+// excluding node itself — the same traversal (and output order) as
+// Taxonomy.Ancestors on a finalized store. Cycles are tolerated.
+func (v *View) Ancestors(node string) []string {
+	start, ok := v.id(node)
+	if !ok {
+		return nil
+	}
+	seen := map[uint32]bool{start: true}
+	var out []string
+	queue := append([]uint32(nil), v.hyperIDs[v.hyperOff[start]:v.hyperOff[start+1]]...)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		out = append(out, v.names[cur])
+		queue = append(queue, v.hyperIDs[v.hyperOff[cur]:v.hyperOff[cur+1]]...)
+	}
+	return out
+}
+
+// IsAncestor reports whether hyper is reachable from hypo.
+func (v *View) IsAncestor(hypo, hyper string) bool {
+	start, ok := v.id(hypo)
+	if !ok {
+		return false
+	}
+	target, ok := v.id(hyper)
+	if !ok {
+		return false
+	}
+	seen := map[uint32]bool{start: true}
+	queue := append([]uint32(nil), v.hyperIDs[v.hyperOff[start]:v.hyperOff[start+1]]...)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if seen[cur] {
+			continue
+		}
+		if cur == target {
+			return true
+		}
+		seen[cur] = true
+		queue = append(queue, v.hyperIDs[v.hyperOff[cur]:v.hyperOff[cur+1]]...)
+	}
+	return false
+}
+
+// PathToAncestor returns one shortest isA chain from node to ancestor
+// (inclusive of both ends), or nil when ancestor is not reachable —
+// the same BFS (and tie-break) as Taxonomy.PathToAncestor on a
+// finalized store.
+func (v *View) PathToAncestor(node, ancestor string) []string {
+	if node == ancestor {
+		return []string{node}
+	}
+	start, ok := v.id(node)
+	if !ok {
+		return nil
+	}
+	target, ok := v.id(ancestor)
+	if !ok {
+		return nil
+	}
+	prev := map[uint32]uint32{start: start}
+	queue := []uint32{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, h := range v.hyperIDs[v.hyperOff[cur]:v.hyperOff[cur+1]] {
+			if _, ok := prev[h]; ok {
+				continue
+			}
+			prev[h] = cur
+			if h == target {
+				var rev []string
+				for at := h; ; at = prev[at] {
+					rev = append(rev, v.names[at])
+					if at == start {
+						break
+					}
+				}
+				out := make([]string, len(rev))
+				for i := range rev {
+					out[i] = rev[len(rev)-1-i]
+				}
+				return out
+			}
+			queue = append(queue, h)
+		}
+	}
+	return nil
+}
+
+// CommonAncestors returns concepts reachable from both nodes, in the
+// order Taxonomy.CommonAncestors yields them (Ancestors(b) order).
+func (v *View) CommonAncestors(a, b string) []string {
+	inA := make(map[string]bool)
+	for _, x := range v.Ancestors(a) {
+		inA[x] = true
+	}
+	var out []string
+	for _, x := range v.Ancestors(b) {
+		if inA[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Lookup returns the entity IDs a mention may refer to, sorted — the
+// men2ent API. The returned slice is shared: do not modify it. Nil
+// when the mention is unknown, exactly like MentionIndex.Lookup.
+func (v *View) Lookup(mention string) []string {
+	i, ok := v.mentionAt[strings.TrimSpace(mention)]
+	if !ok {
+		return nil
+	}
+	return v.mentionEnts[v.mentionOff[i]:v.mentionOff[i+1]]
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"cnprobase/internal/par"
+	"cnprobase/internal/serving"
 	"cnprobase/internal/taxonomy"
 )
 
@@ -29,60 +30,20 @@ import (
 // lengths are checked against the bytes actually present before
 // allocation.
 func Load(r io.Reader, opts Options) (*State, error) {
-	br := bufio.NewReader(r)
-	var hdr [16]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("snapshot: read header: %w", err)
-	}
-	if string(hdr[:8]) != Magic {
-		return nil, fmt.Errorf("snapshot: bad magic %q", hdr[:8])
-	}
-	version := binary.LittleEndian.Uint32(hdr[8:12])
-	if version != Version {
-		return nil, fmt.Errorf("snapshot: unsupported format version %d (supported: %d)", version, Version)
-	}
-	stripes := binary.LittleEndian.Uint32(hdr[12:16])
-	if stripes == 0 || stripes > maxStripes {
-		return nil, fmt.Errorf("snapshot: implausible stripe count %d", stripes)
-	}
-
-	metaPayload, err := readSection(br, sectionMeta, 0)
+	meta, taxPayloads, menPayloads, err := readPayloads(r)
 	if err != nil {
 		return nil, err
 	}
-	var meta Meta
-	if err := json.Unmarshal(metaPayload, &meta); err != nil {
-		return nil, fmt.Errorf("snapshot: decode meta: %w", err)
-	}
-	taxPayloads := make([][]byte, stripes)
-	for i := range taxPayloads {
-		if taxPayloads[i], err = readSection(br, sectionTaxonomy, uint32(i)); err != nil {
-			return nil, err
-		}
-	}
-	menPayloads := make([][]byte, stripes)
-	for i := range menPayloads {
-		if menPayloads[i], err = readSection(br, sectionMentions, uint32(i)); err != nil {
-			return nil, err
-		}
-	}
-	var end [8]byte
-	if _, err := io.ReadFull(br, end[:]); err != nil {
-		return nil, fmt.Errorf("snapshot: read end marker: %w", err)
-	}
-	if string(end[:]) != EndMagic {
-		return nil, fmt.Errorf("snapshot: bad end marker %q", end[:])
-	}
-
 	tax := taxonomy.NewSharded(opts.Shards)
 	mentions := taxonomy.NewMentionIndex()
 	pool := par.NewPool(workerCount(opts.Workers))
-	for _, err := range par.MapBatches(pool, int(stripes), func(lo, hi int) error {
+	for _, err := range par.MapBatches(pool, len(taxPayloads), func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
-			if err := decodeTaxStripe(tax, taxPayloads[i]); err != nil {
+			err := decodeTaxStripe(taxPayloads[i], tax.ImportKind, tax.InsertEdge)
+			if err != nil {
 				return fmt.Errorf("snapshot: taxonomy stripe %d: %w", i, err)
 			}
-			if err := decodeMentionStripe(mentions, menPayloads[i]); err != nil {
+			if err := decodeMentionStripe(menPayloads[i], mentions.Add); err != nil {
 				return fmt.Errorf("snapshot: mention stripe %d: %w", i, err)
 			}
 		}
@@ -94,6 +55,125 @@ func Load(r io.Reader, opts Options) (*State, error) {
 	}
 	tax.Finalize()
 	return &State{Taxonomy: tax, Mentions: mentions, Meta: meta}, nil
+}
+
+// LoadView reads a snapshot and compiles it straight into an immutable
+// serving.View, never materializing the mutable sharded store: stripes
+// decode in parallel into raw parts which a serving.Builder freezes
+// once. The resulting View answers every query exactly like a store
+// restored with Load (pinned by the serving-equivalence tests), and
+// opts.Shards is meaningless here (there is no store to shard).
+// Malformed input yields an error, never a panic, with the same
+// validation Load applies.
+func LoadView(r io.Reader, opts Options) (*serving.View, Meta, error) {
+	meta, taxPayloads, menPayloads, err := readPayloads(r)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	type parts struct {
+		kinds    []taxonomy.KindEntry
+		edges    []taxonomy.Edge
+		mentions []taxonomy.MentionEntry
+	}
+	stripes := make([]parts, len(taxPayloads))
+	pool := par.NewPool(workerCount(opts.Workers))
+	for _, err := range par.MapBatches(pool, len(taxPayloads), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			p := &stripes[i]
+			err := decodeTaxStripe(taxPayloads[i],
+				func(name string, k taxonomy.NodeKind) {
+					p.kinds = append(p.kinds, taxonomy.KindEntry{Name: name, Kind: k})
+				},
+				func(e taxonomy.Edge) error { // structural validation happens in Builder.InsertEdge
+					p.edges = append(p.edges, e)
+					return nil
+				})
+			if err != nil {
+				return fmt.Errorf("snapshot: taxonomy stripe %d: %w", i, err)
+			}
+			err = decodeMentionStripe(menPayloads[i], func(mention, id string) {
+				n := len(p.mentions)
+				if n > 0 && p.mentions[n-1].Mention == mention {
+					p.mentions[n-1].IDs = append(p.mentions[n-1].IDs, id)
+					return
+				}
+				p.mentions = append(p.mentions, taxonomy.MentionEntry{Mention: mention, IDs: []string{id}})
+			})
+			if err != nil {
+				return fmt.Errorf("snapshot: mention stripe %d: %w", i, err)
+			}
+		}
+		return nil
+	}) {
+		if err != nil {
+			return nil, Meta{}, err
+		}
+	}
+	b := serving.NewBuilder()
+	for i := range stripes {
+		for _, k := range stripes[i].kinds {
+			b.ImportKind(k.Name, k.Kind)
+		}
+		for _, e := range stripes[i].edges {
+			if err := b.InsertEdge(e); err != nil {
+				return nil, Meta{}, fmt.Errorf("snapshot: %w", err)
+			}
+		}
+		for _, m := range stripes[i].mentions {
+			b.AddMentionEntry(m)
+		}
+	}
+	return b.Build(), meta, nil
+}
+
+// readPayloads reads and CRC-verifies the framed byte stream shared by
+// Load and LoadView: header, meta section, one payload per taxonomy
+// and mention stripe, end marker.
+func readPayloads(r io.Reader) (meta Meta, taxPayloads, menPayloads [][]byte, err error) {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return Meta{}, nil, nil, fmt.Errorf("snapshot: read header: %w", err)
+	}
+	if string(hdr[:8]) != Magic {
+		return Meta{}, nil, nil, fmt.Errorf("snapshot: bad magic %q", hdr[:8])
+	}
+	version := binary.LittleEndian.Uint32(hdr[8:12])
+	if version != Version {
+		return Meta{}, nil, nil, fmt.Errorf("snapshot: unsupported format version %d (supported: %d)", version, Version)
+	}
+	stripes := binary.LittleEndian.Uint32(hdr[12:16])
+	if stripes == 0 || stripes > maxStripes {
+		return Meta{}, nil, nil, fmt.Errorf("snapshot: implausible stripe count %d", stripes)
+	}
+
+	metaPayload, err := readSection(br, sectionMeta, 0)
+	if err != nil {
+		return Meta{}, nil, nil, err
+	}
+	if err := json.Unmarshal(metaPayload, &meta); err != nil {
+		return Meta{}, nil, nil, fmt.Errorf("snapshot: decode meta: %w", err)
+	}
+	taxPayloads = make([][]byte, stripes)
+	for i := range taxPayloads {
+		if taxPayloads[i], err = readSection(br, sectionTaxonomy, uint32(i)); err != nil {
+			return Meta{}, nil, nil, err
+		}
+	}
+	menPayloads = make([][]byte, stripes)
+	for i := range menPayloads {
+		if menPayloads[i], err = readSection(br, sectionMentions, uint32(i)); err != nil {
+			return Meta{}, nil, nil, err
+		}
+	}
+	var end [8]byte
+	if _, err := io.ReadFull(br, end[:]); err != nil {
+		return Meta{}, nil, nil, fmt.Errorf("snapshot: read end marker: %w", err)
+	}
+	if string(end[:]) != EndMagic {
+		return Meta{}, nil, nil, fmt.Errorf("snapshot: bad end marker %q", end[:])
+	}
+	return meta, taxPayloads, menPayloads, nil
 }
 
 // readSection reads one framed section, enforcing the expected kind
@@ -226,12 +306,14 @@ const (
 	minIDBytes      = 1
 )
 
-// decodeTaxStripe applies one taxonomy section to the store through
-// the verbatim import accessors. Structural garbage that survives the
-// CRC (possible only for deliberately crafted input) is caught by the
-// cursor's bounds checks and the store's own validation (empty nodes,
+// decodeTaxStripe parses one taxonomy section, feeding each restored
+// kind and edge to the given callbacks — Load passes the store's
+// verbatim import accessors, LoadView collects raw parts for the
+// serving Builder. Structural garbage that survives the CRC (possible
+// only for deliberately crafted input) is caught by the cursor's
+// bounds checks and the consumer's own validation (empty nodes,
 // self-loops).
-func decodeTaxStripe(t *taxonomy.Taxonomy, payload []byte) error {
+func decodeTaxStripe(payload []byte, kind func(string, taxonomy.NodeKind), edge func(taxonomy.Edge) error) error {
 	r := &stripeReader{b: payload}
 	nKinds, err := r.count(minKindBytes)
 	if err != nil {
@@ -249,7 +331,7 @@ func decodeTaxStripe(t *taxonomy.Taxonomy, payload []byte) error {
 		if kb != byte(taxonomy.KindEntity) && kb != byte(taxonomy.KindConcept) {
 			return fmt.Errorf("invalid node kind %d for %q", kb, name)
 		}
-		t.ImportKind(name, taxonomy.NodeKind(kb))
+		kind(name, taxonomy.NodeKind(kb))
 	}
 	nEdges, err := r.count(minEdgeBytes)
 	if err != nil {
@@ -281,7 +363,7 @@ func decodeTaxStripe(t *taxonomy.Taxonomy, payload []byte) error {
 			return fmt.Errorf("implausible evidence count %d on isA(%q, %q)", count, e.Hypo, e.Hyper)
 		}
 		e.Count = int(count)
-		if err := t.InsertEdge(e); err != nil {
+		if err := edge(e); err != nil {
 			return err
 		}
 	}
@@ -291,8 +373,11 @@ func decodeTaxStripe(t *taxonomy.Taxonomy, payload []byte) error {
 	return nil
 }
 
-// decodeMentionStripe applies one mention section to the index.
-func decodeMentionStripe(m *taxonomy.MentionIndex, payload []byte) error {
+// decodeMentionStripe parses one mention section, feeding each
+// (mention, entity ID) pair to add — MentionIndex.Add for Load, a
+// parts collector for LoadView. IDs of one mention arrive
+// consecutively.
+func decodeMentionStripe(payload []byte, add func(mention, id string)) error {
 	r := &stripeReader{b: payload}
 	nMentions, err := r.count(minMentionBytes)
 	if err != nil {
@@ -323,7 +408,7 @@ func decodeMentionStripe(m *taxonomy.MentionIndex, payload []byte) error {
 			if id == "" {
 				return fmt.Errorf("empty entity ID under mention %q", mention)
 			}
-			m.Add(mention, id)
+			add(mention, id)
 		}
 	}
 	if r.remaining() != 0 {

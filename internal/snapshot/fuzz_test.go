@@ -42,8 +42,16 @@ func FuzzDecodeSnapshot(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		st, err := Load(bytes.NewReader(data), Options{Workers: 1})
+		view, _, viewErr := LoadView(bytes.NewReader(data), Options{Workers: 1})
+		if (err == nil) != (viewErr == nil) {
+			t.Fatalf("Load and LoadView disagree: store err=%v, view err=%v", err, viewErr)
+		}
 		if err != nil {
 			return // rejected: that is the expected path for noise
+		}
+		// Both loaders accepted: they must describe the same graph.
+		if a, b := st.Taxonomy.ComputeStats(), view.Stats(); a != b {
+			t.Fatalf("store and view stats differ: %+v != %+v", a, b)
 		}
 		// Accepted input must round-trip: the loaded state re-saves,
 		// reloads, and describes the same graph.

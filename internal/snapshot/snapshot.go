@@ -24,6 +24,12 @@
 // and corruption anywhere — truncation, bit flips, bogus counts — is
 // reported as an error, never a panic (fuzz-tested by
 // FuzzDecodeSnapshot).
+//
+// There are two decode paths: Load reassembles the mutable build
+// store (for JSON export, experiments, further building), and
+// LoadView compiles the snapshot straight into the immutable
+// serving.View the HTTP APIs answer from — the production serving
+// startup, which never materializes the store at all.
 package snapshot
 
 import (

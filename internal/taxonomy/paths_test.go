@@ -53,6 +53,96 @@ func TestPathToSelf(t *testing.T) {
 	}
 }
 
+// TestPathToSelfUnknownNode pins the self-path contract precisely: a
+// node is trivially its own ancestor even when the graph has never
+// seen it — the length-1 path is answered before any edge lookup.
+func TestPathToSelfUnknownNode(t *testing.T) {
+	tx := pathFixture(t)
+	if got := tx.PathToAncestor("从未出现", "从未出现"); len(got) != 1 || got[0] != "从未出现" {
+		t.Errorf("self path for unknown node = %v, want [从未出现]", got)
+	}
+}
+
+// TestPathDisconnectedComponents covers nodes living in separate
+// components: no path in either direction, no common ancestors, and a
+// marked island node (no edges at all) behaves the same.
+func TestPathDisconnectedComponents(t *testing.T) {
+	tx := pathFixture(t)
+	mustAdd(t, tx, "长江", "河流", SourceTag) // second component
+	mustAdd(t, tx, "河流", "地理实体", SourceTag)
+	tx.MarkEntity("孤岛实体") // marked but edge-free
+	if got := tx.PathToAncestor("刘德华", "地理实体"); got != nil {
+		t.Errorf("cross-component path = %v, want nil", got)
+	}
+	if got := tx.PathToAncestor("长江", "人物"); got != nil {
+		t.Errorf("cross-component path = %v, want nil", got)
+	}
+	if got := tx.CommonAncestors("刘德华", "长江"); len(got) != 0 {
+		t.Errorf("cross-component CommonAncestors = %v, want none", got)
+	}
+	if got := tx.CommonAncestors("刘德华", "孤岛实体"); len(got) != 0 {
+		t.Errorf("island CommonAncestors = %v, want none", got)
+	}
+	if got := tx.PathToAncestor("孤岛实体", "人物"); got != nil {
+		t.Errorf("island path = %v, want nil", got)
+	}
+}
+
+// TestCommonAncestorsDiamond pins the diamond shape: ancestors
+// reachable along multiple paths appear exactly once, and the
+// intersection keeps only what both sides reach.
+func TestCommonAncestorsDiamond(t *testing.T) {
+	tx := New()
+	// 底A → 左/右 → 顶 (the diamond); 底B → 右 only.
+	mustAdd(t, tx, "底A", "左", SourceTag)
+	mustAdd(t, tx, "底A", "右", SourceTag)
+	mustAdd(t, tx, "左", "顶", SourceTag)
+	mustAdd(t, tx, "右", "顶", SourceTag)
+	mustAdd(t, tx, "底B", "右", SourceTag)
+	tx.Finalize()
+
+	seen := map[string]int{}
+	for _, a := range tx.Ancestors("底A") {
+		seen[a]++
+	}
+	if seen["顶"] != 1 {
+		t.Errorf("diamond top appears %d times in Ancestors(底A), want exactly 1: %v", seen["顶"], tx.Ancestors("底A"))
+	}
+	got := tx.CommonAncestors("底A", "底B")
+	want := map[string]bool{"右": true, "顶": true}
+	if len(got) != len(want) {
+		t.Fatalf("CommonAncestors = %v, want 右 and 顶 only", got)
+	}
+	for _, c := range got {
+		if !want[c] {
+			t.Errorf("unexpected common ancestor %q (左 is not reachable from 底B)", c)
+		}
+	}
+	// The shortest path through the diamond has length 3 and both
+	// endpoints in place.
+	if p := tx.PathToAncestor("底A", "顶"); len(p) != 3 || p[0] != "底A" || p[2] != "顶" {
+		t.Errorf("diamond path = %v, want length 3 from 底A to 顶", p)
+	}
+}
+
+// TestPathsTolerateCycles: verification should prevent isA cycles, but
+// path queries must not hang or duplicate if one slips through.
+func TestPathsTolerateCycles(t *testing.T) {
+	tx := New()
+	mustAdd(t, tx, "甲", "乙", SourceTag)
+	mustAdd(t, tx, "乙", "丙", SourceTag)
+	mustAdd(t, tx, "丙", "甲", SourceTag) // cycle back
+	if got := tx.Ancestors("甲"); len(got) != 2 {
+		t.Errorf("Ancestors in a cycle = %v, want [乙 丙]", got)
+	}
+	if got := tx.PathToAncestor("甲", "丙"); len(got) != 3 {
+		t.Errorf("path through cycle = %v, want 甲→乙→丙", got)
+	}
+	if got := tx.CommonAncestors("甲", "乙"); len(got) == 0 {
+		t.Error("cycle members should share ancestors")
+	}
+}
+
 func TestCommonAncestors(t *testing.T) {
 	tx := pathFixture(t)
 	got := tx.CommonAncestors("刘德华", "张学友")

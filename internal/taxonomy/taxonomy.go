@@ -1,7 +1,11 @@
-// Package taxonomy implements the conceptual taxonomy store: the data
-// structure CN-Probase ultimately is. It holds entities, concepts and
-// provenance-tagged isA edges, maintains hypernym/hyponym indexes,
-// answers closure queries (with cycle guards) and serializes to JSON.
+// Package taxonomy implements the conceptual taxonomy *build* store:
+// the mutable structure the construction pipeline assembles into. It
+// holds entities, concepts and provenance-tagged isA edges, maintains
+// hypernym/hyponym indexes, answers closure queries (with cycle
+// guards) and serializes to JSON. For serving traffic, the finished
+// store is frozen into the immutable, lock-free view in
+// internal/serving (see serving.Compile); the query methods here have
+// View equivalents with equivalence pinned by tests.
 //
 // The store is sharded: nodes and edges are distributed over N
 // lock-protected shards keyed by a hash of the hyponym (edges, hypernym
