@@ -7,6 +7,7 @@
 //	cnprobase gen   -entities 8000 -out corpus.jsonl
 //	cnprobase build -in corpus.jsonl -out taxonomy.json [-no-neural] [-workers 8] [-shards 16]
 //	cnprobase build -in corpus.jsonl -save taxonomy.snap    # binary serving snapshot
+//	cnprobase build -in corpus.jsonl -cpuprofile cpu.pprof -memprofile mem.pprof
 //	cnprobase query -tax taxonomy.json -hypernyms 刘德华
 //	cnprobase query -tax taxonomy.json -hyponyms 演员 -limit 20
 //
@@ -23,6 +24,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"cnprobase"
 	"cnprobase/internal/encyclopedia"
@@ -87,16 +90,45 @@ func cmdBuild(args []string) {
 	noNeural := fs.Bool("no-neural", false, "skip the neural (abstract) extractor")
 	workers := fs.Int("workers", 0, "pipeline worker pool size (0 = one per CPU, 1 = sequential)")
 	shards := fs.Int("shards", 0, "taxonomy store shard count (0 = default)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the build to this file")
+	memProfile := fs.String("memprofile", "", "write a post-build heap profile to this file")
 	_ = fs.Parse(args)
+
+	// log.Fatalf skips defers, so the CPU profile is stopped through an
+	// idempotent closure every exit path runs — a failing build (often
+	// the very run being profiled) still leaves a valid profile.
+	stopCPUProfile := func() {}
+	fail := func(format string, args ...any) {
+		stopCPUProfile()
+		log.Fatalf(format, args...)
+	}
+	if *cpuProfile != "" {
+		pf, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("create %s: %v", *cpuProfile, err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			log.Fatalf("start cpu profile: %v", err)
+		}
+		stopped := false
+		stopCPUProfile = func() {
+			if !stopped {
+				stopped = true
+				pprof.StopCPUProfile()
+				pf.Close()
+			}
+		}
+		defer stopCPUProfile()
+	}
 
 	f, err := os.Open(*in)
 	if err != nil {
-		log.Fatalf("open %s: %v", *in, err)
+		fail("open %s: %v", *in, err)
 	}
 	corpus, err := cnprobase.ReadCorpus(f)
 	f.Close()
 	if err != nil {
-		log.Fatalf("read corpus: %v", err)
+		fail("read corpus: %v", err)
 	}
 	opts := cnprobase.DefaultOptions()
 	if *noNeural {
@@ -106,8 +138,9 @@ func cmdBuild(args []string) {
 	opts.Shards = *shards
 	res, err := cnprobase.Build(corpus, opts)
 	if err != nil {
-		log.Fatalf("build: %v", err)
+		fail("build: %v", err)
 	}
+	stopCPUProfile() // the build is what the CPU profile measures
 	st := res.Report.Stats
 	fmt.Printf("built taxonomy (%d workers, %d shards): %d entities, %d concepts, %d isA relations\n",
 		res.Report.Workers, res.Report.Shards, st.Entities, st.Concepts, st.IsARelations)
@@ -115,26 +148,40 @@ func cmdBuild(args []string) {
 		res.Report.Verification.Kept, res.Report.Verification.Input)
 	g, err := os.Create(*out)
 	if err != nil {
-		log.Fatalf("create %s: %v", *out, err)
+		fail("create %s: %v", *out, err)
 	}
 	defer g.Close()
 	if err := res.Taxonomy.WriteJSON(g); err != nil {
-		log.Fatalf("write taxonomy: %v", err)
+		fail("write taxonomy: %v", err)
 	}
 	fmt.Printf("wrote %s\n", *out)
 	if *save != "" {
 		s, err := os.Create(*save)
 		if err != nil {
-			log.Fatalf("create %s: %v", *save, err)
+			fail("create %s: %v", *save, err)
 		}
 		if err := cnprobase.SaveSnapshot(s, res); err != nil {
 			s.Close()
-			log.Fatalf("write snapshot: %v", err)
+			fail("write snapshot: %v", err)
 		}
 		if err := s.Close(); err != nil {
-			log.Fatalf("close %s: %v", *save, err)
+			fail("close %s: %v", *save, err)
 		}
 		fmt.Printf("wrote snapshot %s\n", *save)
+	}
+	if *memProfile != "" {
+		mf, err := os.Create(*memProfile)
+		if err != nil {
+			fail("create %s: %v", *memProfile, err)
+		}
+		runtime.GC() // settle the heap so the profile shows retained memory
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			fail("write heap profile: %v", err)
+		}
+		if err := mf.Close(); err != nil {
+			fail("close %s: %v", *memProfile, err)
+		}
+		fmt.Printf("wrote heap profile %s\n", *memProfile)
 	}
 }
 

@@ -8,6 +8,11 @@
 //	cnpserver -addr :8080 -tax taxonomy.json          # serve a JSON taxonomy
 //	cnpserver -addr :8080 -entities 4000              # build in-memory demo world
 //	cnpserver -entities 4000 -workers 8 -shards 32    # parallel demo build
+//	cnpserver -addr :8080 -load taxonomy.snap -pprof localhost:6060
+//
+// -pprof serves net/http/pprof on its own listener (never on the API
+// port); profile a live server with
+// `go tool pprof http://localhost:6060/debug/pprof/profile`.
 //
 // -load is the production path: the snapshot (written by
 // `cnprobase build -save`) decodes straight into the immutable serving
@@ -38,6 +43,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -58,8 +64,29 @@ func main() {
 		entities = flag.Int("entities", 4000, "demo world size when -load and -tax are empty")
 		workers  = flag.Int("workers", 0, "worker pool size for the demo build and snapshot decode (0 = one per CPU, 1 = sequential)")
 		shards   = flag.Int("shards", 0, "taxonomy store shard count for the demo build (0 = default)")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
 	)
 	flag.Parse()
+	if *pprofA != "" {
+		// A dedicated mux on a dedicated listener: profiling never
+		// shares a port (or a handler namespace) with the public API.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pln, err := net.Listen("tcp", *pprofA)
+		if err != nil {
+			log.Fatalf("pprof listen %s: %v", *pprofA, err)
+		}
+		log.Printf("pprof on http://%s/debug/pprof/", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, mux); err != nil {
+				log.Printf("pprof server stopped: %v", err)
+			}
+		}()
+	}
 	if *loadPath != "" && *taxPath != "" {
 		log.Fatal("-load and -tax are mutually exclusive")
 	}

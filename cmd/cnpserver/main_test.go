@@ -317,8 +317,15 @@ func TestSighupHotReload(t *testing.T) {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-	if !strings.Contains(stderr.String(), "view swapped") {
-		t.Errorf("reload not logged; stderr:\n%s", stderr.String())
+	// The swap is visible over HTTP before the server writes its log
+	// line, so poll for the line under the same deadline instead of
+	// reading the buffer once.
+	for !strings.Contains(stderr.String(), "view swapped") {
+		if time.Now().After(deadline) {
+			t.Errorf("reload not logged; stderr:\n%s", stderr.String())
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 

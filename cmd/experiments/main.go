@@ -7,6 +7,13 @@
 //
 //	experiments [-entities N] [-all] [-table1] [-table2] [-sources]
 //	            [-predicates] [-qa] [-neural] [-ablation] [-figure3]
+//	experiments -bench-build [-entities N] [-bench-out BENCH_BUILD.json]
+//
+// -bench-build skips the evaluation suite and instead measures the
+// build-side hot path — steady-state segmentation runes/s, end-to-end
+// pipeline pages/s (sequential and parallel), and allocations per cut —
+// writing the record to -bench-out as JSON (CI uploads it as the
+// BENCH_BUILD.json artifact, one data point per commit).
 package main
 
 import (
@@ -36,8 +43,14 @@ func main() {
 		figure3   = flag.Bool("figure3", false, "F3: separation algorithm walkthrough")
 		apiCalls  = flag.Int("api-calls", 20000, "Table II workload size")
 		questions = flag.Int("questions", 23472, "QA dataset size (paper: 23472)")
+		benchB    = flag.Bool("bench-build", false, "measure build throughput and emit JSON instead of running experiments")
+		benchOut  = flag.String("bench-out", "BENCH_BUILD.json", "output path for -bench-build")
 	)
 	flag.Parse()
+	if *benchB {
+		runBuildBench(*entities, *benchOut)
+		return
+	}
 	if !*all && !*table1 && !*table2 && !*sources && !*preds && !*qaFlag && !*neural && !*ablation && !*figure3 {
 		*all = true
 	}
@@ -106,4 +119,28 @@ func main() {
 		fmt.Print(out)
 	}
 	os.Exit(0)
+}
+
+// runBuildBench measures the build hot path and writes BENCH_BUILD.json.
+func runBuildBench(entities int, out string) {
+	fmt.Printf("== build throughput bench: %d entities ==\n", entities)
+	res, err := experiments.RunBuildBench(entities)
+	if err != nil {
+		log.Fatalf("bench-build: %v", err)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatalf("create %s: %v", out, err)
+	}
+	if err := res.WriteJSON(f); err != nil {
+		f.Close()
+		log.Fatalf("write %s: %v", out, err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("close %s: %v", out, err)
+	}
+	fmt.Printf("segmentation: %.0f runes/s, %.3f allocs/cut\n", res.RunesPerSec, res.AllocsPerCut)
+	fmt.Printf("build: %.1f pages/s (%d workers), %.1f pages/s (sequential)\n",
+		res.PagesPerSec, res.Workers, res.PagesPerSecSequential)
+	fmt.Printf("wrote %s\n", out)
 }

@@ -38,23 +38,32 @@ func corpusStats(c *encyclopedia.Corpus, boot *segment.Segmenter, p *par.Pool) *
 	stats := corpus.NewStats()
 	par.WindowFold(p, len(c.Pages), windowPages, func(lo, hi int) []pageCut {
 		out := make([]pageCut, 0, hi-lo)
+		// One shared backing array per batch: CutAppend grows it in
+		// place and each page keeps a capacity-clamped sub-slice, so the
+		// batch performs a handful of amortized allocations instead of
+		// one `[]string` per page.
+		toks := make([]string, 0, 32*(hi-lo))
 		for i := lo; i < hi; i++ {
 			page := &c.Pages[i]
 			var pc pageCut
 			if page.Abstract != "" {
-				pc.abstract = boot.Cut(page.Abstract)
+				a := len(toks)
+				toks = boot.CutAppend(toks, page.Abstract)
+				pc.abstract = toks[a:len(toks):len(toks)]
 			}
 			if page.Bracket != "" {
-				pc.bracket = boot.Cut(page.Bracket)
+				b := len(toks)
+				toks = boot.CutAppend(toks, page.Bracket)
+				pc.bracket = toks[b:len(toks):len(toks)]
 			}
 			out = append(out, pc)
 		}
 		return out
 	}, func(pc pageCut) {
-		if pc.abstract != nil {
+		if len(pc.abstract) > 0 {
 			stats.AddSentence(pc.abstract)
 		}
-		if pc.bracket != nil {
+		if len(pc.bracket) > 0 {
 			stats.AddSentence(pc.bracket)
 		}
 	})
@@ -73,12 +82,16 @@ func observeSupport(c *encyclopedia.Corpus, seg *segment.Segmenter, rec *ner.Rec
 	support := ner.NewSupport()
 	par.WindowFold(p, len(c.Pages), windowPages, func(lo, hi int) []obs {
 		out := make([]obs, 0, hi-lo)
+		// Batch-shared token backing array; see corpusStats.
+		toks := make([]string, 0, 32*(hi-lo))
 		for i := lo; i < hi; i++ {
 			page := &c.Pages[i]
 			if page.Abstract == "" {
 				continue
 			}
-			out = append(out, obs{tokens: seg.Cut(page.Abstract), spans: rec.Recognize(page.Abstract)})
+			a := len(toks)
+			toks = seg.CutAppend(toks, page.Abstract)
+			out = append(out, obs{tokens: toks[a:len(toks):len(toks)], spans: rec.Recognize(page.Abstract)})
 		}
 		return out
 	}, func(o obs) {

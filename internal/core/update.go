@@ -36,21 +36,28 @@ func (p *Pipeline) Update(prev *Result, delta *encyclopedia.Corpus) (*Result, er
 	workers := workerCount(p.opts.Workers)
 	pl := par.NewPool(workers)
 
-	// Extend corpus statistics with the new text. This stays sequential
-	// by design: prev.Segmenter reads prev.Stats, so each delta page's
-	// segmentation must see the counts contributed by the pages before
-	// it — cutting the whole batch up front would change the output.
-	// (Build's bootstrap segmenter has no such feedback, which is why
-	// its substrate pass can batch.)
+	// Extend corpus statistics with the new text, then refresh the
+	// segmenter's precomputed word costs once for the whole batch.
+	// Since costs were frozen into the dictionary at construction, the
+	// cuts inside this loop all use the pre-delta probabilities (batch
+	// granularity: the stats→segmenter feedback applies between crawl
+	// batches, not between pages of one batch), which also makes the
+	// loop order-free.
+	var toks []string // recycled; AddSentence clones first-seen keys
 	for i := range delta.Pages {
 		page := &delta.Pages[i]
 		if page.Abstract != "" {
-			prev.Stats.AddSentence(prev.Segmenter.Cut(page.Abstract))
+			toks = prev.Segmenter.CutAppend(toks[:0], page.Abstract)
+			prev.Stats.AddSentence(toks)
 		}
 		if page.Bracket != "" {
-			prev.Stats.AddSentence(prev.Segmenter.Cut(page.Bracket))
+			toks = prev.Segmenter.CutAppend(toks[:0], page.Bracket)
+			prev.Stats.AddSentence(toks)
 		}
 	}
+	// Everything downstream — delta extraction and union-wide NE
+	// evidence — segments with the delta's counts folded in.
+	prev.Segmenter.RefreshCosts()
 
 	// ---- generation over the delta ----
 	var fresh []extract.Candidate

@@ -15,6 +15,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 )
 
 // pairKey is an adjacency key for bigram counts. Using a struct key
@@ -39,16 +40,27 @@ func NewStats() *Stats {
 }
 
 // AddSentence records one segmented sentence: every word counts as a
-// unigram and every adjacent pair as a bigram.
+// unigram and every adjacent pair as a bigram. Tokens from the
+// zero-copy segmenter are substrings of whole page texts, so keys are
+// cloned on first insertion — Stats never pins its callers' backing
+// strings (the clone cost is bounded by vocabulary size, not corpus
+// size).
 func (s *Stats) AddSentence(words []string) {
 	for i, w := range words {
 		if w == "" {
 			continue
 		}
+		if _, ok := s.unigrams[w]; !ok {
+			w = strings.Clone(w)
+		}
 		s.unigrams[w]++
 		s.total++
 		if i+1 < len(words) && words[i+1] != "" {
-			s.bigrams[pairKey{w, words[i+1]}]++
+			k := pairKey{w, words[i+1]}
+			if _, ok := s.bigrams[k]; !ok {
+				k = pairKey{strings.Clone(k.a), strings.Clone(k.b)}
+			}
+			s.bigrams[k]++
 			s.pairs++
 		}
 	}

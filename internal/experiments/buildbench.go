@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"cnprobase/internal/core"
+	"cnprobase/internal/synth"
+)
+
+// BuildBenchResult is the machine-readable build-throughput record the
+// CI pipeline emits as BENCH_BUILD.json, so the hot-path trajectory
+// (segmentation speed, pipeline speed, allocation discipline) has one
+// data point per commit.
+type BuildBenchResult struct {
+	// Entities is the synthetic-world size the numbers were measured at.
+	Entities int `json:"entities"`
+	// Workers is the resolved pipeline worker count of the parallel run.
+	Workers int `json:"workers"`
+	// RunesPerSec is steady-state Viterbi segmentation throughput over
+	// the world's abstracts (pooled CutAppend path, single goroutine).
+	RunesPerSec float64 `json:"runes_per_sec"`
+	// PagesPerSec is end-to-end build throughput (generation +
+	// verification + assembly, neural stage off) at full parallelism.
+	PagesPerSec float64 `json:"pages_per_sec"`
+	// PagesPerSecSequential is the same build at Workers=1.
+	PagesPerSecSequential float64 `json:"pages_per_sec_sequential"`
+	// AllocsPerCut is the average number of heap allocations one
+	// steady-state CutAppend performs (0 is the contract).
+	AllocsPerCut float64 `json:"allocs_per_cut"`
+}
+
+// minMeasure is the minimum wall time each measurement loop runs for.
+const minMeasure = 300 * time.Millisecond
+
+// RunBuildBench measures build-side throughput over a fresh synthetic
+// world and returns the record. It is deliberately dependency-free
+// (no testing package) so cmd/experiments can emit BENCH_BUILD.json
+// from a plain binary.
+func RunBuildBench(entities int) (*BuildBenchResult, error) {
+	wcfg := synth.DefaultConfig()
+	if entities > 0 {
+		wcfg.Entities = entities
+	}
+	w, err := synth.Generate(wcfg)
+	if err != nil {
+		return nil, err
+	}
+	corpus := w.Corpus()
+
+	opts := core.DefaultOptions()
+	opts.EnableNeural = false // keep the measurement deterministic
+	res, err := core.New(opts).Build(corpus)
+	if err != nil {
+		return nil, err
+	}
+	out := &BuildBenchResult{Entities: wcfg.Entities, Workers: res.Report.Workers}
+
+	// --- segmentation throughput (runes/s) ---
+	seg := res.Segmenter
+	abstracts := make([]string, 0, corpus.Len())
+	totalRunes := 0
+	for i := range corpus.Pages {
+		if a := corpus.Pages[i].Abstract; a != "" {
+			abstracts = append(abstracts, a)
+			totalRunes += len([]rune(a))
+		}
+	}
+	var dst []string
+	for _, a := range abstracts { // warm the scratch pool and dst
+		dst = seg.CutAppend(dst[:0], a)
+	}
+	passes := 0
+	start := time.Now()
+	for time.Since(start) < minMeasure {
+		for _, a := range abstracts {
+			dst = seg.CutAppend(dst[:0], a)
+		}
+		passes++
+	}
+	out.RunesPerSec = float64(totalRunes) * float64(passes) / time.Since(start).Seconds()
+
+	// --- allocations per steady-state cut ---
+	const cuts = 2000
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < cuts; i++ {
+		dst = seg.CutAppend(dst[:0], abstracts[i%len(abstracts)])
+	}
+	runtime.ReadMemStats(&after)
+	out.AllocsPerCut = float64(after.Mallocs-before.Mallocs) / cuts
+
+	// --- end-to-end build throughput (pages/s) ---
+	measureBuild := func(workers int) (float64, error) {
+		o := opts
+		o.Workers = workers
+		builds := 0
+		start := time.Now()
+		for time.Since(start) < minMeasure {
+			if _, err := core.New(o).Build(corpus); err != nil {
+				return 0, err
+			}
+			builds++
+		}
+		return float64(corpus.Len()) * float64(builds) / time.Since(start).Seconds(), nil
+	}
+	if out.PagesPerSec, err = measureBuild(0); err != nil {
+		return nil, err
+	}
+	if out.PagesPerSecSequential, err = measureBuild(1); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteJSON emits the record as indented JSON.
+func (r *BuildBenchResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

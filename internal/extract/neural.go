@@ -22,12 +22,14 @@ type Neural struct {
 // same way).
 func BuildDistantDataset(c *encyclopedia.Corpus, bracketCands []Candidate, seg *segment.Segmenter) []copynet.Sample {
 	abstracts := make(map[string][]string) // entity ID → segmented abstract
+	var buf []string                       // recycled across pages; contentTokens copies out
 	for i := range c.Pages {
 		p := &c.Pages[i]
 		if p.Abstract == "" {
 			continue
 		}
-		abstracts[p.ID()] = contentTokens(seg.Cut(p.Abstract))
+		buf = seg.CutAppend(buf[:0], p.Abstract)
+		abstracts[p.ID()] = contentTokens(buf)
 	}
 	var out []copynet.Sample
 	for _, cand := range bracketCands {
@@ -88,7 +90,11 @@ func (n *Neural) Extract(page *encyclopedia.Page) []Candidate {
 	if page.Abstract == "" || n.seg == nil {
 		return nil
 	}
-	src := contentTokens(n.seg.Cut(page.Abstract))
+	bufp := cutBufPool.Get().(*[]string)
+	toks := n.seg.CutAppend((*bufp)[:0], page.Abstract)
+	src := contentTokens(toks)
+	*bufp = toks
+	cutBufPool.Put(bufp)
 	if len(src) == 0 {
 		return nil
 	}

@@ -2,12 +2,18 @@ package extract
 
 import (
 	"strings"
+	"sync"
 
 	"cnprobase/internal/corpus"
 	"cnprobase/internal/runes"
 	"cnprobase/internal/segment"
 	"cnprobase/internal/taxonomy"
 )
+
+// cutBufPool recycles token buffers for the segmenter calls the
+// extractors make from concurrent batch workers; the tokens themselves
+// are consumed (filtered/copied) before the buffer is returned.
+var cutBufPool = sync.Pool{New: func() any { return new([]string) }}
 
 // Separator implements the paper's separation algorithm (Section II,
 // Figure 3): given the noun compound inside an entity's disambiguation
@@ -55,13 +61,17 @@ type Tree struct {
 // its tree summary. Compounds of fewer than two words trivially yield
 // the word itself.
 func (s *Separator) Separate(compound string) Tree {
+	bufp := cutBufPool.Get().(*[]string)
+	toks := s.seg.CutAppend((*bufp)[:0], compound)
 	var words []string
-	for _, w := range s.seg.Cut(compound) {
+	for _, w := range toks {
 		if segment.IsContentToken(w) {
 			words = append(words, w)
 		}
 	}
-	t := Tree{Words: append([]string(nil), words...)}
+	*bufp = toks
+	cutBufPool.Put(bufp)
+	t := Tree{Words: words}
 	if len(words) == 0 {
 		return t
 	}

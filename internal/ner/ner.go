@@ -116,6 +116,9 @@ func New() *Recognizer {
 			r.givenChars[c] = true
 		}
 	}
+	// The suffix lexicon never changes after construction; compact it.
+	// knownEntities stays thawed: AddKnownEntity keeps extending it.
+	r.orgSuffix.Freeze()
 	return r
 }
 

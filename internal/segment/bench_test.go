@@ -1,0 +1,90 @@
+package segment
+
+import (
+	"strings"
+	"testing"
+
+	"cnprobase/internal/corpus"
+)
+
+// benchDict is a realistic mid-size dictionary: the test dictionary
+// plus generated two- and three-rune compounds so the trie has real
+// fan-out and the Viterbi lattice real ambiguity.
+func benchDict() []string {
+	base := []rune("中国香港男演员歌手词作金服首席战略官出生天地人物理学家研究所大清河市北南")
+	words := append([]string(nil), dict...)
+	for i := 0; i+1 < len(base); i++ {
+		words = append(words, string(base[i:i+2]))
+	}
+	for i := 0; i+2 < len(base); i += 2 {
+		words = append(words, string(base[i:i+3]))
+	}
+	return words
+}
+
+// benchText builds a dictionary-covered Han input of roughly n runes.
+func benchText(n int) string {
+	var sb strings.Builder
+	pieces := []string{"中国香港", "男演员", "歌手", "首席", "战略官", "出生", "物理学家", "研究所", "清河市"}
+	i := 0
+	for sb.Len() < n*3 {
+		sb.WriteString(pieces[i%len(pieces)])
+		i++
+	}
+	return sb.String()
+}
+
+// BenchmarkSegmentThroughput measures the steady-state hot build path:
+// dictionary-covered Han text through Viterbi Cut. runes/s is the
+// number every corpus pass (statistics, NE evidence, separation) is
+// bounded by; allocs/op is the GC pressure per sentence.
+func BenchmarkSegmentThroughput(b *testing.B) {
+	st := corpus.NewStats()
+	for i := 0; i < 50; i++ {
+		st.AddSentence([]string{"中国香港", "男演员", "歌手", "出生", "物理学家"})
+	}
+	sg := New(benchDict(), WithStats(st))
+	text := benchText(512)
+	nRunes := len([]rune(text))
+	var dst []string
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = sg.CutAppend(dst[:0], text)
+		if len(dst) == 0 {
+			b.Fatal("no tokens")
+		}
+	}
+	b.ReportMetric(float64(nRunes)*float64(b.N)/b.Elapsed().Seconds(), "runes/s")
+}
+
+// BenchmarkSegmentCut measures the plain Cut entry point (fresh output
+// slice per call), the path pre-existing callers use.
+func BenchmarkSegmentCut(b *testing.B) {
+	sg := New(benchDict())
+	text := benchText(512)
+	nRunes := len([]rune(text))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if toks := sg.Cut(text); len(toks) == 0 {
+			b.Fatal("no tokens")
+		}
+	}
+	b.ReportMetric(float64(nRunes)*float64(b.N)/b.Elapsed().Seconds(), "runes/s")
+}
+
+// BenchmarkSegmentMixed exercises span splitting too: Han text
+// interleaved with latin, digits and punctuation.
+func BenchmarkSegmentMixed(b *testing.B) {
+	sg := New(benchDict())
+	text := strings.Repeat("中国香港男演员Andy123，歌手。physics研究所 ", 24)
+	nRunes := len([]rune(text))
+	var dst []string
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = sg.CutAppend(dst[:0], text)
+	}
+	b.ReportMetric(float64(nRunes)*float64(b.N)/b.Elapsed().Seconds(), "runes/s")
+}

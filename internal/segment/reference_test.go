@@ -1,0 +1,252 @@
+package segment
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cnprobase/internal/corpus"
+)
+
+// slowSegment is the pre-optimization reference implementation of Cut,
+// retained verbatim as the correctness oracle for the zero-allocation
+// path: it materializes every candidate string, recomputes word costs
+// through wordCost instead of reading them off the trie weights, and
+// probes the dictionary separately for single runes. Any divergence
+// between it and Cut is a bug in the optimized path.
+func slowSegment(sg *Segmenter, text string) []string {
+	var out []string
+	for _, span := range splitSpans(text) {
+		if span.kind == spanHan {
+			out = append(out, slowCutHan(sg, []rune(span.text))...)
+		} else {
+			out = append(out, span.text)
+		}
+	}
+	return out
+}
+
+// slowCutHan is the old Viterbi decoder over a pure-Han rune span.
+func slowCutHan(sg *Segmenter, rs []rune) []string {
+	n := len(rs)
+	if n == 0 {
+		return nil
+	}
+	const inf = 1.7976931348623157e308 // math.MaxFloat64
+	best := make([]float64, n+1)
+	back := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		best[i] = inf
+	}
+	for i := 0; i < n; i++ {
+		if best[i] == inf {
+			continue
+		}
+		// Unknown single rune fallback keeps the lattice connected.
+		if c := best[i] + sg.wordCost(string(rs[i]), sg.dict.Contains(string(rs[i]))); c < best[i+1] {
+			best[i+1] = c
+			back[i+1] = i
+		}
+		for _, m := range sg.dict.MatchesFrom(rs, i) {
+			if m.Len < 2 {
+				continue // single-rune matches handled above
+			}
+			end := i + m.Len
+			w := string(rs[i:end])
+			if c := best[i] + sg.wordCost(w, true); c < best[end] {
+				best[end] = c
+				back[end] = i
+			}
+		}
+	}
+	var rev []string
+	for i := n; i > 0; {
+		j := back[i]
+		rev = append(rev, string(rs[j:i]))
+		i = j
+	}
+	out := make([]string, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// randomCorpusCase builds one randomized (dictionary, stats, texts)
+// triple: Han words over a small alphabet (so matches overlap heavily),
+// mixed into sentences with latin runs, digits, punctuation and
+// whitespace.
+func randomCorpusCase(rng *rand.Rand) (dict []string, st *corpus.Stats, texts []string) {
+	hanAlphabet := []rune("天地人你我他中国演员歌手学者出生香港北南山水")
+	randWord := func(min, max int) string {
+		n := min + rng.Intn(max-min+1)
+		rs := make([]rune, n)
+		for i := range rs {
+			rs[i] = hanAlphabet[rng.Intn(len(hanAlphabet))]
+		}
+		return string(rs)
+	}
+	nWords := 30 + rng.Intn(60)
+	for i := 0; i < nWords; i++ {
+		dict = append(dict, randWord(1, 4))
+	}
+	if rng.Intn(2) == 0 {
+		st = corpus.NewStats()
+		for i := 0; i < 40; i++ {
+			sent := make([]string, 0, 6)
+			for j := 0; j < 2+rng.Intn(5); j++ {
+				sent = append(sent, dict[rng.Intn(len(dict))])
+			}
+			st.AddSentence(sent)
+		}
+	}
+	other := []string{"Andy", "abc", "X1", "42", "２０１９"}
+	punct := []string{"，", "。", "、", "！", ",", "-", "…"}
+	space := []string{" ", "\t", "\n", "\r\n", ""}
+	nTexts := 20 + rng.Intn(20)
+	for i := 0; i < nTexts; i++ {
+		var sb strings.Builder
+		for j := 0; j < 1+rng.Intn(12); j++ {
+			switch rng.Intn(10) {
+			case 0:
+				sb.WriteString(other[rng.Intn(len(other))])
+			case 1:
+				sb.WriteString(punct[rng.Intn(len(punct))])
+			case 2:
+				sb.WriteString(space[rng.Intn(len(space))])
+			default:
+				if rng.Intn(3) == 0 {
+					sb.WriteString(randWord(1, 5)) // off-dictionary runs
+				} else {
+					sb.WriteString(dict[rng.Intn(len(dict))])
+				}
+			}
+		}
+		texts = append(texts, sb.String())
+	}
+	return dict, st, texts
+}
+
+// TestCutMatchesSlowReference is the equivalence property the tentpole
+// rests on: over randomized mixed Han/latin/punct corpora (several
+// seeds, with and without corpus statistics), the optimized Cut and
+// the recycled-buffer CutAppend produce token streams identical to the
+// retained reference implementation.
+func TestCutMatchesSlowReference(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		words, st, texts := randomCorpusCase(rng)
+		var opts []Option
+		if st != nil {
+			opts = append(opts, WithStats(st))
+		}
+		sg := New(words, opts...)
+		var recycled []string
+		for _, text := range texts {
+			want := slowSegment(sg, text)
+			got := sg.Cut(text)
+			assertSameTokens(t, seed, text, "Cut", got, want)
+			recycled = sg.CutAppend(recycled[:0], text)
+			assertSameTokens(t, seed, text, "CutAppend", recycled, want)
+		}
+	}
+}
+
+// TestCutMatchesSlowReferenceAfterAddWord pins that AddWord (which
+// thaws, re-inserts and re-freezes the dictionary trie) keeps the two
+// implementations in lockstep.
+func TestCutMatchesSlowReferenceAfterAddWord(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	words, _, texts := randomCorpusCase(rng)
+	sg := New(words)
+	sg.AddWord("天地人你我")
+	sg.AddWord("忘情水")
+	for _, text := range append(texts, "天地人你我忘情水") {
+		want := slowSegment(sg, text)
+		got := sg.Cut(text)
+		assertSameTokens(t, 1234, text, "Cut after AddWord", got, want)
+	}
+}
+
+// TestRefreshCostsTracksMutatedStats pins the batch-feedback contract:
+// costs are frozen at construction, so mutating the statistics leaves
+// segmentation unchanged until RefreshCosts, after which the optimized
+// path must again match the oracle (which reads the stats live).
+func TestRefreshCostsTracksMutatedStats(t *testing.T) {
+	// Dictionary with the classic 研究生/生命 ambiguity; the corpus
+	// initially favors 研究生+命, then shifts to 研究+生命.
+	words := []string{"研究", "研究生", "生命", "命", "起源"}
+	st := corpus.NewStats()
+	for i := 0; i < 40; i++ {
+		st.AddSentence([]string{"研究生", "命"})
+	}
+	sg := New(words, WithStats(st))
+	text := "研究生命起源"
+	assertTokens(t, sg.Cut(text), []string{"研究生", "命", "起源"})
+
+	for i := 0; i < 400; i++ {
+		st.AddSentence([]string{"研究", "生命", "起源"})
+	}
+	// Frozen costs: the shift is invisible until a refresh...
+	assertTokens(t, sg.Cut(text), []string{"研究生", "命", "起源"})
+	// ...and the oracle (live stats) already disagrees, so the two
+	// paths are only guaranteed to match after RefreshCosts.
+	sg.RefreshCosts()
+	assertTokens(t, sg.Cut(text), []string{"研究", "生命", "起源"})
+	assertSameTokens(t, 0, text, "Cut after RefreshCosts", sg.Cut(text), slowSegment(sg, text))
+}
+
+func assertSameTokens(t *testing.T, seed int64, text, label string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("seed %d %s(%q): got %v, reference %v", seed, label, text, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("seed %d %s(%q): got %v, reference %v", seed, label, text, got, want)
+		}
+	}
+}
+
+// TestCutAllocations pins the zero-allocation guarantee of the pooled
+// steady-state path, the segmentation analogue of serving's
+// TestQueryAllocations: CutAppend into a recycled destination over
+// dictionary-covered Han input must not touch the heap.
+func TestCutAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under the race detector")
+	}
+	sg := New(dict)
+	han := strings.Repeat("中国香港男演员蚂蚁金服首席战略官出生于香港", 8)
+	mixed := "中国香港男演员Andy123，歌手。出生于香港"
+	var dst []string
+	dst = sg.CutAppend(dst, han) // warm the scratch pool and dst
+	for name, text := range map[string]string{"han": han, "mixed": mixed} {
+		allocs := testing.AllocsPerRun(200, func() {
+			dst = sg.CutAppend(dst[:0], text)
+		})
+		if allocs != 0 {
+			t.Errorf("CutAppend(%s) allocates %.1f objects per op, want 0", name, allocs)
+		}
+	}
+}
+
+// TestCutTokensShareInputBytes pins the zero-copy token representation:
+// every token must be a substring of the input by position, not a
+// reconstructed copy.
+func TestCutTokensShareInputBytes(t *testing.T) {
+	sg := New(dict)
+	text := "中国香港男演员，Andy 出生于香港"
+	pos := 0
+	raw := strings.NewReplacer(" ", "", "\t", "", "\n", "", "\r", "").Replace(text)
+	for _, tok := range sg.Cut(text) {
+		idx := strings.Index(raw[pos:], tok)
+		if idx != 0 {
+			t.Fatalf("token %q not contiguous at offset %d of %q", tok, pos, raw)
+		}
+		pos += len(tok)
+	}
+	if pos != len(raw) {
+		t.Fatalf("tokens cover %d bytes of %d", pos, len(raw))
+	}
+}

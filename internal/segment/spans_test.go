@@ -1,0 +1,136 @@
+package segment
+
+import (
+	"strings"
+	"testing"
+)
+
+func spanTexts(t *testing.T, text string) (texts []string, kinds []spanKind) {
+	t.Helper()
+	for _, s := range splitSpans(text) {
+		texts = append(texts, s.text)
+		kinds = append(kinds, s.kind)
+	}
+	return texts, kinds
+}
+
+func assertSpans(t *testing.T, text string, wantTexts []string, wantKinds []spanKind) {
+	t.Helper()
+	texts, kinds := spanTexts(t, text)
+	if len(texts) != len(wantTexts) {
+		t.Fatalf("splitSpans(%q) = %q, want %q", text, texts, wantTexts)
+	}
+	for i := range wantTexts {
+		if texts[i] != wantTexts[i] {
+			t.Fatalf("splitSpans(%q) = %q, want %q", text, texts, wantTexts)
+		}
+		if wantKinds != nil && kinds[i] != wantKinds[i] {
+			t.Fatalf("splitSpans(%q) kind[%d] = %v, want %v", text, i, kinds[i], wantKinds[i])
+		}
+	}
+}
+
+func TestSplitSpansEmpty(t *testing.T) {
+	if spans := splitSpans(""); len(spans) != 0 {
+		t.Errorf("splitSpans(\"\") = %v, want empty", spans)
+	}
+	if spans := splitSpans(" \t\n\r"); len(spans) != 0 {
+		t.Errorf("splitSpans(whitespace) = %v, want empty", spans)
+	}
+}
+
+func TestSplitSpansCRLF(t *testing.T) {
+	// \r\n must behave exactly like \n: a dropped separator, never part
+	// of a token.
+	assertSpans(t, "演员\r\n歌手", []string{"演员", "歌手"}, []spanKind{spanHan, spanHan})
+	assertSpans(t, "abc\r\ndef", []string{"abc", "def"}, []spanKind{spanOther, spanOther})
+	assertSpans(t, "演员\rabc", []string{"演员", "abc"}, []spanKind{spanHan, spanOther})
+}
+
+func TestSplitSpansScriptBoundaries(t *testing.T) {
+	// Han/latin/digit boundaries: Han runs split from everything else,
+	// latin+digit runs stay whole.
+	assertSpans(t, "演员abc123歌手", []string{"演员", "abc123", "歌手"},
+		[]spanKind{spanHan, spanOther, spanHan})
+	assertSpans(t, "4K电视", []string{"4K", "电视"}, []spanKind{spanOther, spanHan})
+	assertSpans(t, "ｖ５中文２０１９", []string{"ｖ５", "中文", "２０１９"},
+		[]spanKind{spanOther, spanHan, spanOther})
+}
+
+func TestSplitSpansPunctuation(t *testing.T) {
+	// Leading/trailing punctuation, and each punct rune its own span.
+	assertSpans(t, "（演员）", []string{"（", "演员", "）"},
+		[]spanKind{spanPunct, spanHan, spanPunct})
+	assertSpans(t, "。。", []string{"。", "。"}, []spanKind{spanPunct, spanPunct})
+	assertSpans(t, "，abc！", []string{"，", "abc", "！"},
+		[]spanKind{spanPunct, spanOther, spanPunct})
+	assertSpans(t, "——", []string{"—", "—"}, []spanKind{spanPunct, spanPunct})
+}
+
+func TestSplitSpansOffsetsCoverInput(t *testing.T) {
+	// The byte-offset ranges must be in order, non-overlapping, and
+	// cover exactly the non-whitespace bytes.
+	for _, text := range []string{
+		"中国香港男演员、歌手、词作人",
+		"  leading and trailing  ",
+		"《无间道》(2002)主演：刘德华、梁朝伟",
+		"mix中ed文script字s",
+		"\xffinvalid\xfe字节",
+	} {
+		var rebuilt strings.Builder
+		prev := int32(0)
+		for _, sr := range appendSpans(nil, text) {
+			if sr.start < prev || sr.end <= sr.start || int(sr.end) > len(text) {
+				t.Fatalf("appendSpans(%q): bad range [%d,%d) after %d", text, sr.start, sr.end, prev)
+			}
+			for _, r := range text[prev:sr.start] {
+				if !isSpace(r) {
+					t.Fatalf("appendSpans(%q): dropped non-space %q", text, r)
+				}
+			}
+			rebuilt.WriteString(text[sr.start:sr.end])
+			prev = sr.end
+		}
+		for _, r := range text[prev:] {
+			if !isSpace(r) {
+				t.Fatalf("appendSpans(%q): dropped non-space tail %q", text, r)
+			}
+		}
+		want := strings.NewReplacer(" ", "", "\t", "", "\n", "", "\r", "").Replace(text)
+		if rebuilt.String() != want {
+			t.Fatalf("appendSpans(%q) rebuilt %q, want %q", text, rebuilt.String(), want)
+		}
+	}
+}
+
+// FuzzCut asserts the segmenter's fundamental invariant on arbitrary
+// byte strings: concatenating the tokens reproduces the input minus
+// whitespace, and no token is empty.
+func FuzzCut(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"中国香港男演员、歌手",
+		"演员Andy123，歌手。",
+		"出生 于\t中国\r\n香港",
+		"《无间道》",
+		"\xff\xfe字节",
+		strings.Repeat("蚂蚁金服首席战略官", 5),
+	} {
+		f.Add(seed)
+	}
+	sg := New(dict)
+	strip := strings.NewReplacer(" ", "", "\t", "", "\n", "", "\r", "")
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := sg.Cut(s)
+		var joined strings.Builder
+		for _, tok := range toks {
+			if tok == "" {
+				t.Fatalf("Cut(%q) produced an empty token: %q", s, toks)
+			}
+			joined.WriteString(tok)
+		}
+		if want := strip.Replace(s); joined.String() != want {
+			t.Errorf("Cut(%q) tokens %q rebuild %q, want %q", s, toks, joined.String(), want)
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package trie
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// mapTrie is the pre-arena pointer implementation, retained verbatim
+// as the benchmark reference so the node-layout win (flat arena +
+// sorted edge runs vs map[rune]*node pointer chasing) is measured in
+// isolation rather than only through end-to-end build numbers.
+type mapNode struct {
+	children map[rune]*mapNode
+	terminal bool
+	weight   float64
+}
+
+type mapTrie struct{ root *mapNode }
+
+func newMapTrie() *mapTrie { return &mapTrie{root: &mapNode{}} }
+
+func (t *mapTrie) insert(word string, weight float64) {
+	n := t.root
+	for _, r := range word {
+		child, ok := n.children[r]
+		if !ok {
+			if n.children == nil {
+				n.children = make(map[rune]*mapNode)
+			}
+			child = &mapNode{}
+			n.children[r] = child
+		}
+		n = child
+	}
+	n.terminal = true
+	if weight > n.weight {
+		n.weight = weight
+	}
+}
+
+func (t *mapTrie) matchesFrom(rs []rune, start int, buf []Match) []Match {
+	n := t.root
+	for i := start; i < len(rs); i++ {
+		child, ok := n.children[rs[i]]
+		if !ok {
+			break
+		}
+		n = child
+		if n.terminal {
+			buf = append(buf, Match{Len: i - start + 1, Weight: n.weight})
+		}
+	}
+	return buf
+}
+
+// benchWords generates a dictionary with realistic Han fan-out: 1–4
+// rune words over a 40-character alphabet.
+func benchWords(n int) []string {
+	rng := rand.New(rand.NewSource(7))
+	alphabet := []rune("中国香港男演员歌手词作金服首席战略官出生天地人你我他物理学家研究所大清河市北南东西山水")
+	words := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		l := 1 + rng.Intn(4)
+		rs := make([]rune, l)
+		for j := range rs {
+			rs[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		words = append(words, string(rs))
+	}
+	return words
+}
+
+// benchInput builds the query text from dictionary words so MatchesFrom
+// walks real paths instead of failing on the first rune.
+func benchInput(words []string, n int) []rune {
+	rng := rand.New(rand.NewSource(11))
+	rs := make([]rune, 0, n)
+	for len(rs) < n {
+		rs = append(rs, []rune(words[rng.Intn(len(words))])...)
+	}
+	return rs[:n]
+}
+
+// BenchmarkTrieMatchesFrom compares the retained map-trie reference
+// against the arena trie on the segmenter's inner-loop query: all
+// dictionary matches starting at each position of a long Han text.
+func BenchmarkTrieMatchesFrom(b *testing.B) {
+	words := benchWords(20000)
+	rs := benchInput(words, 4096)
+
+	mt := newMapTrie()
+	at := New()
+	for _, w := range words {
+		mt.insert(w, 1)
+		at.Insert(w)
+	}
+	at.Freeze()
+
+	var buf []Match
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = mt.matchesFrom(rs, i%len(rs), buf[:0])
+		}
+	})
+	b.Run("arena", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = at.MatchesFromAppend(rs, i%len(rs), buf[:0])
+		}
+	})
+}
+
+// BenchmarkTrieInsert measures dictionary construction cost for both
+// layouts (the arena pays sorted-insert, the map pays per-node maps).
+func BenchmarkTrieInsert(b *testing.B) {
+	words := benchWords(20000)
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mt := newMapTrie()
+			for _, w := range words {
+				mt.insert(w, 1)
+			}
+		}
+	})
+	b.Run("arena", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			at := New()
+			for _, w := range words {
+				at.Insert(w)
+			}
+			at.Freeze()
+		}
+	})
+}

@@ -139,6 +139,159 @@ func TestWalkEarlyStop(t *testing.T) {
 	}
 }
 
+func TestFreezePreservesQueries(t *testing.T) {
+	words := []string{"中", "中国", "中国人", "国人", "演员", "男演员", "a", "ab"}
+	tr := New()
+	for i, w := range words {
+		tr.InsertWeighted(w, float64(i+1))
+	}
+	check := func(label string) {
+		t.Helper()
+		if tr.Size() != len(words) {
+			t.Fatalf("%s: Size = %d, want %d", label, tr.Size(), len(words))
+		}
+		for i, w := range words {
+			if !tr.Contains(w) {
+				t.Errorf("%s: Contains(%q) = false", label, w)
+			}
+			if wgt, ok := tr.Weight(w); !ok || wgt != float64(i+1) {
+				t.Errorf("%s: Weight(%q) = %v,%v, want %d,true", label, w, wgt, ok, i+1)
+			}
+		}
+		if tr.Contains("国") || tr.HasPrefix("b") {
+			t.Errorf("%s: phantom membership after freeze", label)
+		}
+		rs := []rune("中国人民")
+		ms := tr.MatchesFrom(rs, 0)
+		if len(ms) != 3 || ms[0].Len != 1 || ms[1].Len != 2 || ms[2].Len != 3 {
+			t.Errorf("%s: MatchesFrom = %v", label, ms)
+		}
+		if got := tr.LongestFrom(rs, 0); got != 3 {
+			t.Errorf("%s: LongestFrom = %d, want 3", label, got)
+		}
+	}
+	check("before freeze")
+	tr.Freeze()
+	if !tr.Frozen() {
+		t.Fatal("Frozen() = false after Freeze")
+	}
+	check("after freeze")
+	tr.Freeze() // idempotent
+	check("after double freeze")
+
+	// Weight-only insert of an existing word must not thaw.
+	tr.InsertWeighted("中国", 99)
+	if !tr.Frozen() {
+		t.Error("weight-only insert thawed the trie")
+	}
+	if w, _ := tr.Weight("中国"); w != 99 {
+		t.Errorf("Weight(中国) = %v, want 99", w)
+	}
+
+	// A structural insert thaws, and everything still works.
+	tr.Insert("国家")
+	if tr.Frozen() {
+		t.Error("structural insert left the trie frozen")
+	}
+	if !tr.Contains("国家") || !tr.Contains("中国人") {
+		t.Error("membership broken after thaw")
+	}
+	tr.Freeze()
+	if !tr.Contains("国家") || tr.Size() != len(words)+1 {
+		t.Error("membership broken after re-freeze")
+	}
+}
+
+func TestMatchesFromAppendReusesBuffer(t *testing.T) {
+	tr := New()
+	for _, w := range []string{"中", "中国", "中国人", "国人"} {
+		tr.Insert(w)
+	}
+	tr.Freeze()
+	rs := []rune("中国人民")
+	buf := make([]Match, 0, 8)
+	first := tr.MatchesFromAppend(rs, 0, buf)
+	if len(first) != 3 {
+		t.Fatalf("matches = %v", first)
+	}
+	second := tr.MatchesFromAppend(rs, 0, first[:0])
+	if &second[0] != &first[0] {
+		t.Error("append-style MatchesFrom reallocated a sufficient buffer")
+	}
+	// And it appends rather than overwriting past content.
+	tail := tr.MatchesFromAppend(rs, 1, second)
+	if len(tail) != len(second)+1 {
+		t.Fatalf("append grew %d -> %d, want +1", len(second), len(tail))
+	}
+}
+
+func TestWalkSeesFrozenTrie(t *testing.T) {
+	tr := New()
+	words := []string{"a", "ab", "abc", "b", "中文"}
+	for _, w := range words {
+		tr.Insert(w)
+	}
+	tr.Freeze()
+	var got []string
+	tr.Walk(func(w string, _ float64) bool {
+		got = append(got, w)
+		return true
+	})
+	sort.Strings(got)
+	sort.Strings(words)
+	if len(got) != len(words) {
+		t.Fatalf("Walk after Freeze visited %v, want %v", got, words)
+	}
+	for i := range words {
+		if got[i] != words[i] {
+			t.Fatalf("Walk after Freeze visited %v, want %v", got, words)
+		}
+	}
+}
+
+// TestQuickFrozenEquivalence pins that freezing never changes any query
+// result: random dictionaries, random probes, frozen vs thawed.
+func TestQuickFrozenEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	alphabet := []rune("天地人你我他中国演员")
+	randWord := func() string {
+		n := 1 + rng.Intn(5)
+		rs := make([]rune, n)
+		for i := range rs {
+			rs[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return string(rs)
+	}
+	for trial := 0; trial < 20; trial++ {
+		thawed, frozen := New(), New()
+		for i := 0; i < 80; i++ {
+			w := randWord()
+			thawed.InsertWeighted(w, float64(i))
+			frozen.InsertWeighted(w, float64(i))
+		}
+		frozen.Freeze()
+		for probe := 0; probe < 100; probe++ {
+			s := []rune(randWord() + randWord())
+			if a, b := thawed.LongestFrom(s, 0), frozen.LongestFrom(s, 0); a != b {
+				t.Fatalf("LongestFrom diverged: %d vs %d on %q", a, b, string(s))
+			}
+			am, bm := thawed.MatchesFrom(s, 0), frozen.MatchesFrom(s, 0)
+			if len(am) != len(bm) {
+				t.Fatalf("MatchesFrom diverged on %q: %v vs %v", string(s), am, bm)
+			}
+			for i := range am {
+				if am[i] != bm[i] {
+					t.Fatalf("MatchesFrom diverged on %q: %v vs %v", string(s), am, bm)
+				}
+			}
+			w := randWord()
+			if thawed.Contains(w) != frozen.Contains(w) || thawed.HasPrefix(w) != frozen.HasPrefix(w) {
+				t.Fatalf("Contains/HasPrefix diverged on %q", w)
+			}
+		}
+	}
+}
+
 // TestQuickInsertedAlwaysContained is a property test: anything
 // inserted must be contained, and membership implies a prefix.
 func TestQuickInsertedAlwaysContained(t *testing.T) {
