@@ -9,23 +9,37 @@
 //	cnpserver -addr :8080 -entities 4000              # build in-memory demo world
 //	cnpserver -entities 4000 -workers 8 -shards 32    # parallel demo build
 //	cnpserver -addr :8080 -load taxonomy.snap -pprof localhost:6060
+//	cnpserver -addr :8080 -load taxonomy.snap -ingest localhost:7070
 //
 // -pprof serves net/http/pprof on its own listener (never on the API
 // port); profile a live server with
 // `go tool pprof http://localhost:6060/debug/pprof/profile`.
 //
-// -load is the production path: the snapshot (written by
+// -ingest serves the continuous-ingestion admin endpoint on its own
+// listener (never the API port): POST JSONL pages to /ingest and a
+// single updater goroutine folds each batch into the taxonomy
+// incrementally (O(delta) per batch), freezes the result and swaps the
+// serving view atomically — zero-downtime never-ending extraction.
+// Ingestion needs the mutable build state, so with -load the snapshot
+// must carry the evidence section (any snapshot saved by this version)
+// and is decoded into the build store rather than view-only; -tax
+// taxonomies cannot ingest.
+//
+// -load is the production serving path: the snapshot (written by
 // `cnprobase build -save`) decodes straight into the immutable serving
-// view — the mutable build store is never materialized — so the server
-// is query-ready in milliseconds. All requests are answered from that
-// lock-free view.
+// view — the mutable build store is never materialized (unless -ingest
+// asks for it) — so the server is query-ready in milliseconds. All
+// requests are answered from that lock-free view.
 //
 // Signals:
 //
 //	SIGHUP           — hot reload: re-read the -load snapshot and swap
 //	                   the serving view atomically; in-flight requests
 //	                   finish on the old view, zero downtime. Ignored
-//	                   (with a log line) when not serving a snapshot.
+//	                   (with a log line) when not serving a snapshot,
+//	                   and when -ingest is active (the ingester's live
+//	                   state owns the view; a file reload would be
+//	                   silently reverted by the next batch).
 //	SIGINT, SIGTERM  — graceful shutdown; logs per-endpoint request
 //	                   counts and p50/p99 latency before exiting.
 //
@@ -65,6 +79,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker pool size for the demo build and snapshot decode (0 = one per CPU, 1 = sequential)")
 		shards   = flag.Int("shards", 0, "taxonomy store shard count for the demo build (0 = default)")
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
+		ingestA  = flag.String("ingest", "", "serve the POST /ingest admin endpoint on this address (e.g. localhost:7070); off when empty")
 	)
 	flag.Parse()
 	if *pprofA != "" {
@@ -91,8 +106,29 @@ func main() {
 		log.Fatal("-load and -tax are mutually exclusive")
 	}
 
-	var view *cnprobase.ServingView
+	var (
+		view *cnprobase.ServingView
+		res  *cnprobase.Result // mutable build state; only kept when -ingest needs it
+	)
 	switch {
+	case *loadPath != "" && *ingestA != "":
+		// Ingestion needs the mutable store + evidence, so decode the
+		// full Result instead of the view-only fast path.
+		start := time.Now()
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			log.Fatalf("load snapshot %s: %v", *loadPath, err)
+		}
+		res, err = cnprobase.LoadSnapshotSharded(f, *workers, *shards)
+		f.Close()
+		if err != nil {
+			log.Fatalf("load snapshot %s: %v", *loadPath, err)
+		}
+		view = res.Freeze()
+		st := view.Stats()
+		log.Printf("loaded snapshot (with build store) in %v: %d entities, %d concepts, %d isA, %d mentions",
+			time.Since(start).Round(time.Millisecond),
+			st.Entities, st.Concepts, st.IsARelations, view.MentionCount())
 	case *loadPath != "":
 		var err error
 		if view, err = loadView(*loadPath, *workers); err != nil {
@@ -117,8 +153,8 @@ func main() {
 				}
 			}
 		}
-		res := &cnprobase.Result{Taxonomy: tax, Mentions: mentions}
-		view = res.Freeze()
+		jsonRes := &cnprobase.Result{Taxonomy: tax, Mentions: mentions}
+		view = jsonRes.Freeze()
 	default:
 		log.Printf("building demo world with %d entities...", *entities)
 		start := time.Now()
@@ -131,7 +167,7 @@ func main() {
 		opts := cnprobase.DefaultOptions()
 		opts.Workers = *workers
 		opts.Shards = *shards
-		res, err := cnprobase.Build(w.Corpus(), opts)
+		res, err = cnprobase.Build(w.Corpus(), opts)
 		if err != nil {
 			log.Fatalf("build: %v", err)
 		}
@@ -145,6 +181,31 @@ func main() {
 	srv := cnprobase.NewViewServer(view)
 	httpServer := &http.Server{Handler: srv.Handler()}
 
+	if *ingestA != "" {
+		if res == nil {
+			log.Fatalf("-ingest needs the mutable build state: use -load with an evidence-carrying snapshot or the demo build (-tax cannot ingest)")
+		}
+		uopts := cnprobase.DefaultOptions()
+		uopts.EnableNeural = false // updates skip the neural stage anyway
+		uopts.Workers = *workers
+		ing, err := cnprobase.NewIngester(res, uopts, srv)
+		if err != nil {
+			log.Fatalf("ingest: %v", err)
+		}
+		// A dedicated mux on a dedicated listener, like -pprof: batch
+		// ingestion never shares a port with the public API.
+		iln, err := net.Listen("tcp", *ingestA)
+		if err != nil {
+			log.Fatalf("ingest listen %s: %v", *ingestA, err)
+		}
+		fmt.Printf("ingesting on %s\n", iln.Addr())
+		go func() {
+			if err := http.Serve(iln, ing.Handler()); err != nil {
+				log.Printf("ingest server stopped: %v", err)
+			}
+		}()
+	}
+
 	// SIGHUP hot-swaps the serving view from the snapshot file; INT and
 	// TERM drain connections and trigger the shutdown latency report.
 	// shutdownDone closes only after Shutdown has finished draining, so
@@ -157,6 +218,14 @@ func main() {
 			if sig == syscall.SIGHUP {
 				if *loadPath == "" {
 					log.Printf("SIGHUP ignored: hot reload requires -load")
+					continue
+				}
+				if *ingestA != "" {
+					// The ingester's mutable Result is the source of
+					// truth for the serving view; swapping the file's
+					// view in would be silently reverted by the next
+					// batch. Refuse rather than race two writers.
+					log.Printf("SIGHUP ignored: -ingest owns the live state; restart the server to load a different snapshot")
 					continue
 				}
 				fresh, err := loadView(*loadPath, *workers)

@@ -329,6 +329,163 @@ func TestSighupHotReload(t *testing.T) {
 	}
 }
 
+// startServerWithIngest launches the binary with an ingestion listener
+// and waits for both the serving and the ingesting address lines.
+func startServerWithIngest(t *testing.T, stderr *syncBuffer, args ...string) (apiBase, ingestBase string) {
+	t.Helper()
+	cmd := exec.Command(serverBinary(t),
+		append([]string{"-addr", "127.0.0.1:0", "-ingest", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start server: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+	type addrs struct{ api, ingest string }
+	addrCh := make(chan addrs, 1)
+	go func() {
+		var got addrs
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.LastIndex(line, " on "); i >= 0 {
+				switch {
+				case strings.HasPrefix(line, "serving "):
+					got.api = strings.TrimSpace(line[i+4:])
+				case strings.HasPrefix(line, "ingesting "):
+					got.ingest = strings.TrimSpace(line[i+4:])
+				}
+			}
+			if got.api != "" && got.ingest != "" {
+				addrCh <- got
+				return
+			}
+		}
+		close(addrCh)
+	}()
+	select {
+	case got, ok := <-addrCh:
+		if !ok {
+			t.Fatalf("server exited before announcing its addresses; stderr:\n%s", stderr.String())
+		}
+		return "http://" + got.api, "http://" + got.ingest
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for the server to announce its addresses")
+	}
+	panic("unreachable")
+}
+
+// TestIngestEndpointServesNewEdges drives continuous ingestion over
+// HTTP: a running server (started from an evidence-carrying snapshot)
+// accepts a JSONL crawl batch on the -ingest listener and serves the
+// new edges on the API listener without restarting — the ingestion
+// counterpart of the SIGHUP hot-reload test.
+func TestIngestEndpointServesNewEdges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test: compiles and runs the binary")
+	}
+	snap, res := writeSnapshot(t)
+	var stderr syncBuffer
+	apiBase, ingestBase := startServerWithIngest(t, &stderr, "-load", snap)
+
+	get := func(path string, into any) {
+		t.Helper()
+		resp, err := http.Get(apiBase + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+				t.Fatalf("decode %s: %v", path, err)
+			}
+		}
+	}
+
+	// An existing, surviving concept keeps the delta's tag candidate
+	// through verification.
+	concept := res.Kept[0].Hyper
+	const newTitle = "热更新摄取实体"
+	var ent struct {
+		Hypernyms []string `json:"hypernyms"`
+	}
+	get("/api/getConcept?entity="+newTitle, &ent)
+	if len(ent.Hypernyms) != 0 {
+		t.Fatalf("new entity visible before ingestion: %v", ent.Hypernyms)
+	}
+
+	page, err := json.Marshal(map[string]any{"title": newTitle, "tags": []string{concept}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ingestBase+"/ingest", "application/x-ndjson", bytes.NewReader(append(page, '\n')))
+	if err != nil {
+		t.Fatalf("POST /ingest: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d: %s\nstderr:\n%s", resp.StatusCode, body, stderr.String())
+	}
+	var rep struct {
+		Pages int `json:"pages"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil || rep.Pages != 1 {
+		t.Fatalf("ingest response %s (err %v), want pages=1", body, err)
+	}
+
+	// The swap happens before the ingest response returns, so the API
+	// serves the new edge immediately — no restart, no downtime.
+	get("/api/getConcept?entity="+newTitle, &ent)
+	found := false
+	for _, h := range ent.Hypernyms {
+		if h == concept {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("getConcept(%q) = %v after ingest, want %q; stderr:\n%s", newTitle, ent.Hypernyms, concept, stderr.String())
+	}
+	var men struct {
+		Entities []string `json:"entities"`
+	}
+	get("/api/men2ent?mention="+newTitle, &men)
+	if len(men.Entities) == 0 {
+		t.Errorf("men2ent(%q) empty after ingest", newTitle)
+	}
+}
+
+// TestIngestRequiresMutableState pins the flag contract: -ingest with
+// -tax has no build state to update and must refuse at startup.
+func TestIngestRequiresMutableState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test: compiles and runs the binary")
+	}
+	taxPath := filepath.Join(t.TempDir(), "t.json")
+	_, res := writeSnapshot(t)
+	f, err := os.Create(taxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Taxonomy.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	out, err := exec.Command(serverBinary(t), "-addr", "127.0.0.1:0", "-ingest", "127.0.0.1:0", "-tax", taxPath).CombinedOutput()
+	if err == nil {
+		t.Fatalf("-ingest with -tax accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "-ingest needs the mutable build state") {
+		t.Errorf("unexpected error output: %s", out)
+	}
+}
+
 // TestShutdownLogsLatency pins the satellite: on SIGTERM the server
 // drains and logs per-endpoint p50/p99 latency before exiting.
 func TestShutdownLogsLatency(t *testing.T) {

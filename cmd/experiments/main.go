@@ -8,12 +8,20 @@
 //	experiments [-entities N] [-all] [-table1] [-table2] [-sources]
 //	            [-predicates] [-qa] [-neural] [-ablation] [-figure3]
 //	experiments -bench-build [-entities N] [-bench-out BENCH_BUILD.json]
+//	experiments -bench-update [-entities N] [-update-batches K] [-bench-update-out BENCH_UPDATE.json]
 //
 // -bench-build skips the evaluation suite and instead measures the
 // build-side hot path — steady-state segmentation runes/s, end-to-end
 // pipeline pages/s (sequential and parallel), and allocations per cut —
 // writing the record to -bench-out as JSON (CI uploads it as the
 // BENCH_BUILD.json artifact, one data point per commit).
+//
+// -bench-update measures incremental-update cost: build over the first
+// 1/(K+1) of the world, fold the rest in as K fixed-size delta batches
+// through Update, and record per-batch wall time and pages/s. The
+// emitted BENCH_UPDATE.json documents the O(delta) claim: last-batch
+// cost stays within ~1.5× of the first even as the accumulated corpus
+// grows ~(K+1)×.
 package main
 
 import (
@@ -45,10 +53,18 @@ func main() {
 		questions = flag.Int("questions", 23472, "QA dataset size (paper: 23472)")
 		benchB    = flag.Bool("bench-build", false, "measure build throughput and emit JSON instead of running experiments")
 		benchOut  = flag.String("bench-out", "BENCH_BUILD.json", "output path for -bench-build")
+		benchU    = flag.Bool("bench-update", false, "measure incremental-update cost across batches and emit JSON instead of running experiments")
+		benchUOut = flag.String("bench-update-out", "BENCH_UPDATE.json", "output path for -bench-update")
+		updateK   = flag.Int("update-batches", 10, "number of fixed-size delta batches for -bench-update")
 	)
 	flag.Parse()
-	if *benchB {
-		runBuildBench(*entities, *benchOut)
+	if *benchB || *benchU {
+		if *benchB {
+			runBuildBench(*entities, *benchOut)
+		}
+		if *benchU {
+			runUpdateBench(*entities, *updateK, *benchUOut)
+		}
 		return
 	}
 	if !*all && !*table1 && !*table2 && !*sources && !*preds && !*qaFlag && !*neural && !*ablation && !*figure3 {
@@ -142,5 +158,32 @@ func runBuildBench(entities int, out string) {
 	fmt.Printf("segmentation: %.0f runes/s, %.3f allocs/cut\n", res.RunesPerSec, res.AllocsPerCut)
 	fmt.Printf("build: %.1f pages/s (%d workers), %.1f pages/s (sequential)\n",
 		res.PagesPerSec, res.Workers, res.PagesPerSecSequential)
+	fmt.Printf("wrote %s\n", out)
+}
+
+// runUpdateBench measures per-batch incremental-update cost and writes
+// BENCH_UPDATE.json.
+func runUpdateBench(entities, batches int, out string) {
+	fmt.Printf("== incremental update bench: %d entities, %d batches ==\n", entities, batches)
+	res, err := experiments.RunUpdateBench(entities, batches)
+	if err != nil {
+		log.Fatalf("bench-update: %v", err)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatalf("create %s: %v", out, err)
+	}
+	if err := res.WriteJSON(f); err != nil {
+		f.Close()
+		log.Fatalf("write %s: %v", out, err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("close %s: %v", out, err)
+	}
+	for _, b := range res.Batches {
+		fmt.Printf("batch %2d: %4d pages in %7.1fms (%.0f pages/s, reverified %d/%d) — corpus now %d pages\n",
+			b.Batch, b.Pages, b.Seconds*1000, b.PagesPerSec, b.Reverified, b.CandidateUnion, b.AccumulatedPages)
+	}
+	fmt.Printf("per-page cost last/first = %.2fx while corpus grew %.1fx\n", res.LastOverFirst, res.GrowthFactor)
 	fmt.Printf("wrote %s\n", out)
 }

@@ -116,7 +116,12 @@ func Build(c *Corpus, opts Options) (*Result, error) {
 
 // Update incrementally extends a prior Build result with newly crawled
 // pages (the never-ending extraction mode of the substrate the paper's
-// system runs on). The prior taxonomy is extended in place.
+// system runs on). The prior taxonomy is extended in place. Update
+// cost is proportional to the delta: only new text is segmented and
+// recognized, the persistent verification evidence on the Result folds
+// forward, and only fresh candidates plus those whose evidence changed
+// are re-verified. Results restored with LoadSnapshot (evidence-
+// carrying snapshots) accept Update too.
 func Update(prev *Result, delta *Corpus, opts Options) (*Result, error) {
 	return core.New(opts).Update(prev, delta)
 }
@@ -155,9 +160,27 @@ func NewAPIServer(t *Taxonomy, m *MentionIndex) *APIServer { return api.NewServe
 // mutable build store.
 func NewViewServer(v *ServingView) *APIServer { return api.NewViewServer(v) }
 
+// Ingester is the continuous-ingestion admin endpoint: POST JSONL
+// pages to /ingest and a single updater goroutine folds each batch
+// into the taxonomy via Update, freezes the result and swaps the
+// serving view atomically — zero-downtime never-ending extraction.
+// Serve its Handler on a dedicated listener (cnpserver -ingest), never
+// the public API port.
+type Ingester = api.Ingester
+
+// NewIngester starts the updater goroutine over a mutable build Result
+// (a fresh Build, or a snapshot loaded with LoadSnapshot whose
+// evidence section is present) publishing to srv. opts configures the
+// incremental update passes exactly like Update.
+func NewIngester(res *Result, opts Options, srv *APIServer) (*Ingester, error) {
+	return api.NewIngester(res, core.New(opts), srv)
+}
+
 // SaveSnapshot writes the complete serving state of a build — the
-// taxonomy with full edge provenance, the mention index, and the build
-// report — as a versioned, checksummed binary snapshot. A server can
+// taxonomy with full edge provenance, the mention index, the build
+// report, and (when the Result carries it) the persistent update
+// substrate: verification evidence, kept candidates and corpus
+// statistics — as a versioned, checksummed binary snapshot. A server can
 // LoadSnapshot the file and be query-ready in milliseconds instead of
 // re-running the pipeline (build once, serve many). Encoding fans out
 // over the same worker count the build used; the bytes are identical
@@ -184,19 +207,29 @@ func SaveSnapshot(w io.Writer, res *Result) error {
 	} else {
 		meta.Stats = res.Taxonomy.ComputeStats()
 	}
-	st := &snapshot.State{Taxonomy: res.Taxonomy, Mentions: res.Mentions, Meta: meta}
+	st := &snapshot.State{
+		Taxonomy: res.Taxonomy,
+		Mentions: res.Mentions,
+		Meta:     meta,
+		Evidence: res.Evidence,
+		Kept:     res.Kept,
+		Stats:    res.Stats,
+	}
 	return snapshot.Save(w, st, snapshot.Options{Workers: workers})
 }
 
 // LoadSnapshot reads a snapshot written by SaveSnapshot and
-// reassembles a Result ready for serving: taxonomy (finalized, so
-// every query answers exactly like the freshly built original),
-// mention index, and the saved build report with Stats recomputed from
-// the loaded graph. The corpus and pipeline substrates are not part of
-// a snapshot, so the Result serves queries but cannot seed an
-// incremental Update (rebuild from the corpus for that). Decoding uses
-// default concurrency and store settings; use LoadSnapshotSharded to
-// tune them.
+// reassembles a Result ready for serving *and* further building:
+// taxonomy (finalized, so every query answers exactly like the freshly
+// built original), mention index, the saved build report with Stats
+// recomputed from the loaded graph, and — for snapshots carrying the
+// version-2 evidence section — the persistent verification evidence,
+// kept candidate set and corpus statistics, so the Result accepts
+// incremental Update (the segmenter is rebuilt from the dictionary and
+// the restored statistics on first use). Legacy version-1 snapshots
+// load without evidence; such Results serve queries but refuse Update.
+// Decoding uses default concurrency and store settings; use
+// LoadSnapshotSharded to tune them.
 func LoadSnapshot(r io.Reader) (*Result, error) { return LoadSnapshotSharded(r, 0, 0) }
 
 // LoadSnapshotSharded is LoadSnapshot with explicit concurrency and
@@ -220,7 +253,14 @@ func LoadSnapshotSharded(r io.Reader, workers, shards int) (*Result, error) {
 	}
 	rep.Shards = st.Taxonomy.ShardCount()
 	rep.Stats = st.Taxonomy.ComputeStats()
-	return &Result{Taxonomy: st.Taxonomy, Mentions: st.Mentions, Report: rep}, nil
+	return &Result{
+		Taxonomy: st.Taxonomy,
+		Mentions: st.Mentions,
+		Report:   rep,
+		Evidence: st.Evidence,
+		Kept:     st.Kept,
+		Stats:    st.Stats,
+	}, nil
 }
 
 // LoadSnapshotView reads a snapshot written by SaveSnapshot and

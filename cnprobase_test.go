@@ -3,6 +3,7 @@ package cnprobase
 import (
 	"bytes"
 	"fmt"
+	"reflect"
 	"testing"
 )
 
@@ -152,10 +153,67 @@ func TestFacadeSnapshotRoundTrip(t *testing.T) {
 			t.Fatalf("Lookup(%q) = %v, want %v", n, b, a)
 		}
 	}
-	// A snapshot-loaded Result has no corpus, so incremental Update
-	// must refuse cleanly rather than misbehave.
-	if _, err := Update(loaded, res.Corpus, smallOptions()); err == nil {
-		t.Error("Update on a snapshot-loaded Result should fail (no corpus)")
+	// The evidence section came back too: the loaded Result is
+	// Update-capable.
+	if loaded.Evidence == nil || loaded.Stats == nil || len(loaded.Kept) == 0 {
+		t.Error("snapshot did not restore the update substrate (evidence/stats/kept)")
+	}
+}
+
+// TestFacadeUpdateAfterSnapshotLoad is the round-trip the evidence
+// section exists for: save a build, load it, and feed the loaded
+// Result the next crawl batch — the updated taxonomy must match what
+// updating the original in-memory Result produces.
+func TestFacadeUpdateAfterSnapshotLoad(t *testing.T) {
+	wcfg := DefaultWorldConfig()
+	wcfg.Entities = 500
+	w, err := GenerateWorld(wcfg)
+	if err != nil {
+		t.Fatalf("GenerateWorld: %v", err)
+	}
+	corpus := w.Corpus()
+	half := corpus.Len() / 2
+	first := &Corpus{Pages: corpus.Pages[:half]}
+	delta := &Corpus{Pages: corpus.Pages[half:]}
+	opts := smallOptions()
+	opts.EnableNeural = false
+	res, err := Build(first, opts)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := SaveSnapshot(&buf, res); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	loaded, err := LoadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+
+	// A Result without evidence (e.g. assembled from a JSON taxonomy)
+	// must still refuse cleanly.
+	bare := &Result{Taxonomy: loaded.Taxonomy, Mentions: loaded.Mentions, Report: loaded.Report}
+	if _, err := Update(bare, delta, opts); err == nil {
+		t.Error("Update on an evidence-less Result should fail")
+	}
+
+	updLoaded, err := Update(loaded, delta, opts)
+	if err != nil {
+		t.Fatalf("Update after snapshot load: %v", err)
+	}
+	updOrig, err := Update(res, delta, opts)
+	if err != nil {
+		t.Fatalf("Update on original: %v", err)
+	}
+	if a, b := updOrig.Taxonomy.Edges(), updLoaded.Taxonomy.Edges(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("loaded-then-updated taxonomy diverged from original-then-updated: %d vs %d edges", len(a), len(b))
+	}
+	if !reflect.DeepEqual(updOrig.Kept, updLoaded.Kept) {
+		t.Fatalf("kept sets diverged: %d vs %d", len(updOrig.Kept), len(updLoaded.Kept))
+	}
+	newPage := &delta.Pages[0]
+	if len(updLoaded.Mentions.Lookup(newPage.Title)) == 0 {
+		t.Errorf("mention %q not indexed after post-load update", newPage.Title)
 	}
 }
 

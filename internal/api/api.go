@@ -214,7 +214,12 @@ type statsResponse struct {
 	Latency []EndpointLatency `json:"latency,omitempty"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "stats requires GET")
+		return
+	}
 	writeJSON(w, statsResponse{Stats: s.Counters(), Latency: s.LatencyReport()})
 }
 

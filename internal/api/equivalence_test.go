@@ -228,6 +228,36 @@ func TestErrorResponsesAreJSON(t *testing.T) {
 	}
 }
 
+// TestStatsMethodNotAllowed pins the /api/stats method contract: like
+// men2entBatch, a wrong method gets a JSON 405 with an Allow header
+// rather than being silently served.
+func TestStatsMethodNotAllowed(t *testing.T) {
+	_, ts := testServer(t)
+	for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
+		req, err := http.NewRequest(method, ts.URL+"/api/stats", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkJSONError(t, resp, http.StatusMethodNotAllowed)
+		if allow := resp.Header.Get("Allow"); allow != http.MethodGet {
+			t.Errorf("%s: Allow = %q, want GET", method, allow)
+		}
+	}
+	// GET still works.
+	resp, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /api/stats status = %d, want 200", resp.StatusCode)
+	}
+}
+
 // checkJSONError asserts status, JSON Content-Type, and a non-empty
 // {"error": ...} body, then closes the response.
 func checkJSONError(t *testing.T, resp *http.Response, wantStatus int) {

@@ -1,0 +1,164 @@
+// Continuous ingestion: the admin endpoint a live server exposes so
+// crawl batches flow into the taxonomy without a restart. POST bodies
+// are JSONL pages (the encyclopedia dump format); a single updater
+// goroutine serializes batches through core.Update, freezes the
+// updated Result into a fresh serving view and swaps it into the API
+// server atomically — in-flight queries finish on the old view, new
+// queries see the new edges, zero downtime. The endpoint is meant for
+// a dedicated listener (cnpserver -ingest), never the public API port.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"cnprobase/internal/core"
+	"cnprobase/internal/encyclopedia"
+)
+
+// MaxIngestBytes caps one /ingest request body, so an oversized batch
+// is rejected while reading rather than after being decoded.
+const MaxIngestBytes = 64 << 20
+
+// IngestResponse is the /ingest success payload: the batch size, how
+// long the update took, and the post-update taxonomy shape.
+type IngestResponse struct {
+	Pages        int     `json:"pages"`
+	TookMs       float64 `json:"took_ms"`
+	Entities     int     `json:"entities"`
+	Concepts     int     `json:"concepts"`
+	IsARelations int     `json:"isa_relations"`
+}
+
+type ingestReply struct {
+	resp IngestResponse
+	err  error
+}
+
+type ingestReq struct {
+	delta *encyclopedia.Corpus
+	reply chan ingestReply
+}
+
+// Ingester owns the single updater goroutine. All mutation of the
+// Result happens on that goroutine — handlers only enqueue batches and
+// wait for the outcome — so concurrent POSTs serialize and the
+// serving view is swapped exactly once per batch.
+type Ingester struct {
+	pipeline *core.Pipeline
+	srv      *Server
+	reqs     chan ingestReq
+	stop     chan struct{}
+	done     chan struct{}
+	closing  sync.Once
+}
+
+// NewIngester starts the updater goroutine over a mutable build
+// Result. The Result must carry the update substrate (evidence and
+// statistics — a fresh build, or a snapshot with the evidence
+// section); srv is the API server whose view each batch swap
+// publishes to.
+func NewIngester(res *core.Result, pipeline *core.Pipeline, srv *Server) (*Ingester, error) {
+	if res == nil || res.Taxonomy == nil {
+		return nil, fmt.Errorf("api: ingester needs a build Result")
+	}
+	if res.Evidence == nil || res.Stats == nil {
+		return nil, fmt.Errorf("api: ingestion needs the update substrate; rebuild, or load a snapshot that carries evidence")
+	}
+	ing := &Ingester{
+		pipeline: pipeline,
+		srv:      srv,
+		reqs:     make(chan ingestReq),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go ing.run(res)
+	return ing, nil
+}
+
+// run is the updater goroutine: one batch at a time through Update,
+// then freeze + swap.
+func (ing *Ingester) run(res *core.Result) {
+	defer close(ing.done)
+	for {
+		select {
+		case <-ing.stop:
+			return
+		case req := <-ing.reqs:
+			start := time.Now()
+			updated, err := ing.pipeline.Update(res, req.delta)
+			if err != nil {
+				// The old view keeps serving; the batch is reported
+				// failed to the caller.
+				req.reply <- ingestReply{err: err}
+				continue
+			}
+			res = updated
+			ing.srv.SwapView(res.Freeze())
+			st := res.Report.Stats
+			req.reply <- ingestReply{resp: IngestResponse{
+				Pages:        req.delta.Len(),
+				TookMs:       float64(time.Since(start).Microseconds()) / 1000,
+				Entities:     st.Entities,
+				Concepts:     st.Concepts,
+				IsARelations: st.IsARelations,
+			}}
+		}
+	}
+}
+
+// Close stops the updater goroutine and waits for it to exit. Requests
+// arriving afterwards are rejected with 503. Safe to call more than
+// once.
+func (ing *Ingester) Close() {
+	ing.closing.Do(func() { close(ing.stop) })
+	<-ing.done
+}
+
+// Handler returns the admin mux with the /ingest endpoint registered.
+func (ing *Ingester) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", ing.handleIngest)
+	return mux
+}
+
+func (ing *Ingester) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "ingest requires POST with JSONL pages")
+		return
+	}
+	delta, err := encyclopedia.ReadJSONL(http.MaxBytesReader(w, r.Body, MaxIngestBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "body must be JSONL pages: "+err.Error())
+		return
+	}
+	if delta.Len() == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	for i := range delta.Pages {
+		if strings.TrimSpace(delta.Pages[i].Title) == "" {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("page %d has a blank title", i+1))
+			return
+		}
+	}
+	req := ingestReq{delta: delta, reply: make(chan ingestReply, 1)}
+	select {
+	case ing.reqs <- req:
+	case <-ing.stop:
+		writeError(w, http.StatusServiceUnavailable, "ingester is shut down")
+		return
+	}
+	rep := <-req.reply
+	if rep.err != nil {
+		writeError(w, http.StatusInternalServerError, "update failed: "+rep.err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = json.NewEncoder(w).Encode(rep.resp)
+}

@@ -72,6 +72,13 @@ type Options struct {
 	// no-verification ablation.
 	Verify verify.Options
 
+	// ForceFullReverify makes Update invalidate every verification
+	// cache and re-derive all candidate decisions from the persistent
+	// evidence — the O(total) reference path the O(delta) incremental
+	// path is equivalence-tested against. Build is unaffected (it is
+	// always a full pass).
+	ForceFullReverify bool
+
 	// DeriveSubconcepts toggles morphological-head and subsumption
 	// derivation of subconcept-concept edges.
 	DeriveSubconcepts bool
@@ -141,8 +148,13 @@ type Result struct {
 	// experiments).
 	Segmenter *segment.Segmenter
 	Stats     *corpus.Stats
-	// Corpus is the input corpus; Update extends it with delta pages.
-	Corpus *encyclopedia.Corpus
+	// Evidence is the persistent verification evidence over the kept
+	// candidate set. Update folds each delta batch into it and
+	// re-verifies only the affected candidates, so incremental cost is
+	// proportional to the delta — raw pages are never retained or
+	// copied. Snapshots round-trip it, which is what lets a
+	// snapshot-loaded Result accept Update.
+	Evidence *verify.Evidence
 }
 
 // Pipeline executes the CN-Probase construction.
@@ -264,18 +276,6 @@ func (p *Pipeline) Build(c *encyclopedia.Corpus) (*Result, error) {
 		return nil, err
 	}
 	merged := extract.Dedupe(all)
-	for _, cand := range merged {
-		for _, src := range []taxonomy.Source{taxonomy.SourceBracket, taxonomy.SourceAbstract, taxonomy.SourceInfobox, taxonomy.SourceTag} {
-			if cand.Source&src != 0 {
-				r := rep.PerSource[src]
-				if r == nil {
-					r = &SourceReport{}
-					rep.PerSource[src] = r
-				}
-				r.Generated++
-			}
-		}
-	}
 	if err := evidence.Wait(); err != nil {
 		return nil, err
 	}
@@ -286,15 +286,12 @@ func (p *Pipeline) Build(c *encyclopedia.Corpus) (*Result, error) {
 	}
 	kept, vrep := verify.Verify(merged, ctx, seg, vopts)
 	rep.Verification = vrep
-	for _, cand := range kept {
-		for _, src := range []taxonomy.Source{taxonomy.SourceBracket, taxonomy.SourceAbstract, taxonomy.SourceInfobox, taxonomy.SourceTag} {
-			if cand.Source&src != 0 {
-				if r := rep.PerSource[src]; r != nil {
-					r.Kept++
-				}
-			}
-		}
-	}
+	rep.PerSource = perSourceCounts(merged, kept)
+	// Trim the evidence to the surviving candidate set: between crawl
+	// batches the persistent evidence always describes kept pairs, so
+	// the next Update's verification sees exactly the union of kept
+	// and fresh candidates.
+	ctx.RemoveCandidates(diffCandidates(merged, kept))
 
 	// ---- taxonomy assembly into the sharded store ----
 	tax := taxonomy.NewSharded(p.opts.Shards)
@@ -316,7 +313,7 @@ func (p *Pipeline) Build(c *encyclopedia.Corpus) (*Result, error) {
 		return nil, fmt.Errorf("core: assembling taxonomy: %w", err)
 	}
 	if p.opts.DeriveSubconcepts {
-		rep.DerivedSubconcepts = deriveSubconcepts(tax, seg, p.opts)
+		rep.DerivedSubconcepts = deriveSubconcepts(tax, seg, ctx, p.opts)
 	}
 	tax.Finalize()
 	rep.Stats = tax.ComputeStats()
@@ -329,8 +326,39 @@ func (p *Pipeline) Build(c *encyclopedia.Corpus) (*Result, error) {
 		Kept:       kept,
 		Segmenter:  seg,
 		Stats:      stats,
-		Corpus:     c,
+		Evidence:   ctx,
 	}, nil
+}
+
+// perSourceCounts tallies, per generation source, how many candidates
+// of the current merged set exist and how many survived verification.
+// Update recomputes it each batch, so the counters always describe the
+// current candidate union rather than the original build.
+func perSourceCounts(merged, kept []extract.Candidate) map[taxonomy.Source]*SourceReport {
+	out := make(map[taxonomy.Source]*SourceReport)
+	sources := []taxonomy.Source{taxonomy.SourceBracket, taxonomy.SourceAbstract, taxonomy.SourceInfobox, taxonomy.SourceTag}
+	tally := func(cands []extract.Candidate, kept bool) {
+		for _, cand := range cands {
+			for _, src := range sources {
+				if cand.Source&src == 0 {
+					continue
+				}
+				r := out[src]
+				if r == nil {
+					r = &SourceReport{}
+					out[src] = r
+				}
+				if kept {
+					r.Kept++
+				} else {
+					r.Generated++
+				}
+			}
+		}
+	}
+	tally(merged, false)
+	tally(kept, true)
+	return out
 }
 
 // bracketStage runs the separation algorithm over every page bracket in

@@ -7,6 +7,7 @@ import (
 	"cnprobase/internal/runes"
 	"cnprobase/internal/segment"
 	"cnprobase/internal/taxonomy"
+	"cnprobase/internal/verify"
 )
 
 // deriveSubconcepts adds subconcept-concept isA edges (the paper's
@@ -18,8 +19,12 @@ import (
 //   - subsumption: concept c1 whose hyponym set is (nearly) contained
 //     in a much larger concept c2's set is its subconcept.
 //
-// Returns the number of derived edges added.
-func deriveSubconcepts(tax *taxonomy.Taxonomy, seg *segment.Segmenter, opts Options) int {
+// Returns the number of derived edges added. The subsumption rule
+// reads its entity extents from the persistent evidence indexes
+// (maintained incrementally by the update path) instead of copying
+// hyponym lists out of the store, so the per-batch cost of
+// re-derivation stays small.
+func deriveSubconcepts(tax *taxonomy.Taxonomy, seg *segment.Segmenter, ev *verify.Evidence, opts Options) int {
 	concepts := conceptNodes(tax)
 	added := 0
 	// ---- morphological heads ----
@@ -45,15 +50,20 @@ func deriveSubconcepts(tax *taxonomy.Taxonomy, seg *segment.Segmenter, opts Opti
 		}
 	}
 	// ---- subsumption ----
-	added += deriveSubsumption(tax, concepts, opts)
+	added += deriveSubsumption(tax, ev, opts)
 	return added
 }
 
 // deriveSubsumption adds c1 isA c2 whenever hyponyms(c1) are almost all
-// inside hyponyms(c2) and c2 is substantially larger. The candidate
-// pairs are limited to concepts sharing at least one hyponym, found via
-// an inverted index, so the cost is proportional to co-occurrence.
-func deriveSubsumption(tax *taxonomy.Taxonomy, concepts []string, opts Options) int {
+// inside hyponyms(c2) and c2 is substantially larger. The evaluation
+// is incremental: candidate pairs come from the evidence's entity
+// co-occurrence index, restricted to pairs with a side whose entity
+// extent changed since the last derivation pass — a pair with both
+// sides untouched has the same overlap, sizes and ratio it had last
+// time, so re-testing it cannot change the outcome (derived edges only
+// accumulate). The first pass after a build or a snapshot load sees
+// every concept dirty and therefore evaluates everything.
+func deriveSubsumption(tax *taxonomy.Taxonomy, ev *verify.Evidence, opts Options) int {
 	minRatio := opts.SubsumeMinRatio
 	if minRatio <= 0 {
 		minRatio = 0.75
@@ -62,41 +72,18 @@ func deriveSubsumption(tax *taxonomy.Taxonomy, concepts []string, opts Options) 
 	if minSize <= 0 {
 		minSize = 8
 	}
-	hypos := make(map[string]map[string]bool, len(concepts))
-	for _, c := range concepts {
-		set := make(map[string]bool)
-		for _, h := range tax.Hyponyms(c, 0) {
-			if tax.Kind(h) == taxonomy.KindEntity {
-				set[h] = true
-			}
-		}
-		hypos[c] = set
-	}
-	// Inverted index: entity → concepts.
-	byEntity := make(map[string][]string)
-	for c, set := range hypos {
-		if len(set) < minSize {
-			continue
-		}
-		for e := range set {
-			byEntity[e] = append(byEntity[e], c)
-		}
-	}
-	overlap := make(map[[2]string]int)
-	for _, cs := range byEntity {
-		sort.Strings(cs)
-		for i := 0; i < len(cs); i++ {
-			for j := 0; j < len(cs); j++ {
-				if i != j {
-					overlap[[2]string{cs[i], cs[j]}]++
-				}
-			}
+	hypos := func(c string) map[string]bool { return ev.EntityHyponyms(c) }
+	cand := make(map[[2]string]bool)
+	for a := range ev.TakeEntityDirtyConcepts() {
+		for b := range ev.EntityPartners(a) {
+			cand[[2]string{a, b}] = true
+			cand[[2]string{b, a}] = true
 		}
 	}
 	added := 0
 	// Deterministic iteration over pairs.
-	keys := make([][2]string, 0, len(overlap))
-	for k := range overlap {
+	keys := make([][2]string, 0, len(cand))
+	for k := range cand {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
@@ -107,11 +94,15 @@ func deriveSubsumption(tax *taxonomy.Taxonomy, concepts []string, opts Options) 
 	})
 	for _, k := range keys {
 		c1, c2 := k[0], k[1]
-		n1, n2 := len(hypos[c1]), len(hypos[c2])
-		if n1 == 0 || n2 < 2*n1 {
+		n1, n2 := len(hypos(c1)), len(hypos(c2))
+		if n1 < minSize || n2 < minSize {
+			continue // both sides need real extents
+		}
+		if n2 < 2*n1 {
 			continue // need a clear size gap: generalization, not synonymy
 		}
-		if float64(overlap[k])/float64(n1) < minRatio {
+		overlap := ev.EntityOverlap(c1, c2)
+		if float64(overlap)/float64(n1) < minRatio {
 			continue
 		}
 		if morphRelated(c1, c2) {
@@ -120,7 +111,7 @@ func deriveSubsumption(tax *taxonomy.Taxonomy, concepts []string, opts Options) 
 		if tax.HasIsA(c1, c2) || tax.IsAncestor(c2, c1) {
 			continue // avoid duplicates and 2-cycles
 		}
-		if err := tax.AddIsA(c1, c2, taxonomy.SourceSubsume, float64(overlap[k])/float64(n1)); err == nil {
+		if err := tax.AddIsA(c1, c2, taxonomy.SourceSubsume, float64(overlap)/float64(n1)); err == nil {
 			tax.MarkConcept(c1)
 			added++
 		}

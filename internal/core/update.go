@@ -5,8 +5,9 @@ import (
 
 	"cnprobase/internal/encyclopedia"
 	"cnprobase/internal/extract"
-	"cnprobase/internal/ner"
+	"cnprobase/internal/lexicon"
 	"cnprobase/internal/par"
+	"cnprobase/internal/segment"
 	"cnprobase/internal/verify"
 )
 
@@ -15,14 +16,26 @@ import (
 // CN-DBpedia pipeline CN-Probase sits on. The existing taxonomy is
 // extended in place (and also returned).
 //
-// The delta pass reuses the original run's substrates — segmenter,
-// corpus statistics (updated with the new text) and curated predicate
-// list — and re-runs verification over the union candidate set so the
-// incompatibility statistics see both old and new evidence. The neural
+// Update cost is proportional to the delta, not the accumulated
+// corpus. The delta pass reuses the original run's substrates —
+// segmenter, corpus statistics (updated with the new text) and curated
+// predicate list — and folds the batch into the persistent
+// verification evidence carried on the Result: only delta abstracts
+// are segmented and recognized, and only fresh candidates plus the
+// affected subset (candidates whose hyper/hypo evidence actually
+// changed) are re-verified, while every other candidate keeps its
+// cached decision. Raw pages are never retained or copied. The neural
 // extractor is skipped during updates; bracket, infobox and tag
 // extraction cover the delta. Per-page work (segmentation, extraction,
 // NE recognition) fans out over the same bounded worker pool Build
 // uses, sized by Options.Workers.
+//
+// Results restored from an evidence-carrying snapshot accept Update;
+// their segmenter is rebuilt from the dictionary plus the restored
+// statistics on first use. Options.ForceFullReverify selects the
+// O(total) full re-verification reference path instead of the
+// incremental one; both produce identical results (pinned by
+// TestUpdateIncrementalMatchesFullReverify).
 func (p *Pipeline) Update(prev *Result, delta *encyclopedia.Corpus) (*Result, error) {
 	if prev == nil || prev.Taxonomy == nil {
 		return nil, fmt.Errorf("core: Update needs a prior Result")
@@ -30,8 +43,15 @@ func (p *Pipeline) Update(prev *Result, delta *encyclopedia.Corpus) (*Result, er
 	if delta == nil || len(delta.Pages) == 0 {
 		return prev, nil
 	}
-	if prev.Corpus == nil {
-		return nil, fmt.Errorf("core: prior Result lacks its corpus; rebuild with this version")
+	if prev.Evidence == nil || prev.Stats == nil {
+		return nil, fmt.Errorf("core: prior Result lacks verification evidence; rebuild with this version or load a snapshot that carries it")
+	}
+	if prev.Segmenter == nil {
+		// Snapshot-loaded Results carry statistics but no segmenter;
+		// rebuild it the way Build constructs its final segmenter.
+		dict := lexicon.BaseDictionary()
+		dict = append(dict, p.opts.ExtraDictionary...)
+		prev.Segmenter = segment.New(dict, segment.WithStats(prev.Stats))
 	}
 	workers := workerCount(p.opts.Workers)
 	pl := par.NewPool(workers)
@@ -55,8 +75,8 @@ func (p *Pipeline) Update(prev *Result, delta *encyclopedia.Corpus) (*Result, er
 			prev.Stats.AddSentence(toks)
 		}
 	}
-	// Everything downstream — delta extraction and union-wide NE
-	// evidence — segments with the delta's counts folded in.
+	// Everything downstream — delta extraction and delta NE evidence —
+	// segments with the delta's counts folded in.
 	prev.Segmenter.RefreshCosts()
 
 	// ---- generation over the delta ----
@@ -75,18 +95,36 @@ func (p *Pipeline) Update(prev *Result, delta *encyclopedia.Corpus) (*Result, er
 	if p.opts.EnableTags {
 		fresh = append(fresh, p.tagStage(delta, pl)...)
 	}
+	// Malformed crawl pages (blank titles yield empty-node candidates)
+	// must not abort the update after the evidence and statistics have
+	// already been extended — drop anything the taxonomy would reject
+	// up front, so a bad batch can never leave the Result half-mutated.
+	fresh = dropInvalid(fresh)
 
-	// ---- verification over the union ----
-	union := &encyclopedia.Corpus{Pages: append(append([]encyclopedia.Page(nil), prev.Corpus.Pages...), delta.Pages...)}
-	merged := extract.Dedupe(append(append([]extract.Candidate(nil), prev.Kept...), fresh...))
-	rec := ner.New()
-	support := observeSupport(union, prev.Segmenter, rec, pl)
-	ctx := verify.NewContext(union, merged, support, rec)
+	// ---- evidence fold: only the delta is segmented and recognized ----
+	deltaSupport := observeSupport(delta, prev.Segmenter, prev.Evidence.Recognizer, pl)
+	prev.Evidence.FoldSupport(deltaSupport)
+	prev.Evidence.AddPages(delta.Pages)
+
+	// ---- verification over the union candidate set ----
+	// The candidate set is previously kept pairs plus the fresh delta.
+	// Both sides are deduplicated and sorted, so the union is a linear
+	// merge; only the fresh pairs enter the evidence (kept pairs are
+	// already in it), and the dirty tracking confines re-verification
+	// to the affected subset unless the reference path is forced.
+	freshDedup := extract.Dedupe(fresh)
+	merged := mergeCandidates(prev.Kept, freshDedup)
+	prev.Evidence.AddCandidates(freshDedup)
+	if p.opts.ForceFullReverify {
+		prev.Evidence.MarkAllDirty()
+	}
 	vopts := p.opts.Verify
 	if vopts.Workers == 0 {
 		vopts.Workers = workers // inherit the pipeline pool size by default
 	}
-	kept, vrep := verify.Verify(merged, ctx, prev.Segmenter, vopts)
+	kept, vrep := verify.VerifyDelta(merged, prev.Evidence, prev.Segmenter, vopts)
+	// Between batches the evidence describes the kept set only.
+	prev.Evidence.RemoveCandidates(diffCandidates(merged, kept))
 
 	// ---- taxonomy extension ----
 	for i := range delta.Pages {
@@ -101,31 +139,27 @@ func (p *Pipeline) Update(prev *Result, delta *encyclopedia.Corpus) (*Result, er
 			}
 		}
 	}
-	// Remove previously-kept edges that the union-wide verification now
-	// rejects, then add everything kept.
-	keptSet := make(map[[2]string]bool, len(kept))
-	for _, c := range kept {
-		keptSet[[2]string{c.Hypo, c.Hyper}] = true
+	// Remove previously-kept edges that re-verification now rejects,
+	// then insert the delta's evidence: brand-new kept pairs, plus
+	// re-generated pairs whose fresh occurrence reinforces an existing
+	// edge. Unaffected edges are left alone.
+	for _, c := range diffCandidates(prev.Kept, kept) {
+		prev.Taxonomy.RemoveIsA(c.Hypo, c.Hyper)
 	}
-	for _, c := range prev.Kept {
-		if !keptSet[[2]string{c.Hypo, c.Hyper}] {
-			prev.Taxonomy.RemoveIsA(c.Hypo, c.Hyper)
-		}
-	}
-	if err := assembleEdges(prev.Taxonomy, kept, pl); err != nil {
+	if err := assembleEdges(prev.Taxonomy, updateInserts(kept, freshDedup, prev.Kept), pl); err != nil {
 		return nil, fmt.Errorf("core: updating taxonomy: %w", err)
 	}
 	if p.opts.DeriveSubconcepts {
-		prev.Report.DerivedSubconcepts += deriveSubconcepts(prev.Taxonomy, prev.Segmenter, p.opts)
+		prev.Report.DerivedSubconcepts += deriveSubconcepts(prev.Taxonomy, prev.Segmenter, prev.Evidence, p.opts)
 	}
 	prev.Taxonomy.Finalize()
 
-	prev.Corpus = union
 	prev.Candidates = merged
 	prev.Kept = kept
-	prev.Report.Pages = union.Len()
+	prev.Report.Pages += len(delta.Pages)
 	prev.Report.Workers = workers
 	prev.Report.Verification = vrep
+	prev.Report.PerSource = perSourceCounts(merged, kept)
 	prev.Report.Stats = prev.Taxonomy.ComputeStats()
 	return prev, nil
 }

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"cnprobase/internal/encyclopedia"
 	"cnprobase/internal/synth"
+	"cnprobase/internal/taxonomy"
 )
 
 func TestUpdateExtendsTaxonomy(t *testing.T) {
@@ -90,6 +92,116 @@ func TestUpdateIncrementalEqualsRebuildApproximately(t *testing.T) {
 	if ratio < 0.85 || ratio > 1.15 {
 		t.Errorf("incremental/full edge ratio = %.3f (inc=%d full=%d)",
 			ratio, updated.Taxonomy.EdgeCount(), full.Taxonomy.EdgeCount())
+	}
+}
+
+// TestUpdateIncrementalMatchesFullReverify pins the O(delta) update
+// path against the O(total) reference: folding K batches through the
+// incremental evidence (cached decisions, affected-subset
+// re-verification) must produce exactly the taxonomy, mention index,
+// kept set and report that full re-verification over the union
+// produces at every batch.
+func TestUpdateIncrementalMatchesFullReverify(t *testing.T) {
+	cfg := synth.DefaultConfig()
+	cfg.Entities = 900
+	w, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	corpus := w.Corpus()
+	slice := func(lo, hi int) *encyclopedia.Corpus {
+		c := &encyclopedia.Corpus{}
+		c.Pages = append(c.Pages, corpus.Pages[lo:hi]...)
+		return c
+	}
+	const batches = 4
+	chunk := corpus.Len() / (batches + 1)
+
+	fullOpts := fastOptions()
+	fullOpts.ForceFullReverify = true
+	inc := New(fastOptions())
+	full := New(fullOpts)
+	resInc, err := inc.Build(slice(0, chunk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resFull, err := full.Build(slice(0, chunk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 1; b <= batches; b++ {
+		lo, hi := b*chunk, (b+1)*chunk
+		if b == batches {
+			hi = corpus.Len()
+		}
+		if _, err := inc.Update(resInc, slice(lo, hi)); err != nil {
+			t.Fatalf("batch %d incremental: %v", b, err)
+		}
+		if _, err := full.Update(resFull, slice(lo, hi)); err != nil {
+			t.Fatalf("batch %d full: %v", b, err)
+		}
+		if !reflect.DeepEqual(resInc.Kept, resFull.Kept) {
+			t.Fatalf("batch %d: kept sets diverged (%d vs %d)", b, len(resInc.Kept), len(resFull.Kept))
+		}
+		if !reflect.DeepEqual(resInc.Taxonomy.Edges(), resFull.Taxonomy.Edges()) {
+			t.Fatalf("batch %d: taxonomies diverged", b)
+		}
+		if resInc.Report.Stats != resFull.Report.Stats {
+			t.Fatalf("batch %d: stats diverged: %+v vs %+v", b, resInc.Report.Stats, resFull.Report.Stats)
+		}
+		if !reflect.DeepEqual(resInc.Report.PerSource, resFull.Report.PerSource) {
+			t.Fatalf("batch %d: per-source reports diverged", b)
+		}
+		ri, rf := resInc.Report.Verification, resFull.Report.Verification
+		if ri.Input != rf.Input || ri.Kept != rf.Kept || ri.IncompatiblePairs != rf.IncompatiblePairs ||
+			!reflect.DeepEqual(ri.Rejected, rf.Rejected) {
+			t.Fatalf("batch %d: verification reports diverged: %+v vs %+v", b, ri, rf)
+		}
+		// The incremental pass must actually be incremental: later
+		// batches re-verify a strict subset of the candidate union.
+		if b == batches && ri.Reverified >= ri.Input {
+			t.Errorf("batch %d reverified %d of %d candidates; expected a strict subset", b, ri.Reverified, ri.Input)
+		}
+	}
+	// Mention indexes agree on every node of the final taxonomy.
+	for _, n := range resInc.Taxonomy.Nodes() {
+		if a, b := resInc.Mentions.Lookup(n), resFull.Mentions.Lookup(n); !reflect.DeepEqual(a, b) {
+			t.Fatalf("mention divergence on %q: %v vs %v", n, a, b)
+		}
+	}
+}
+
+// TestUpdateRefreshesPerSource is the regression test for the stale
+// per-source counters: after an update the Generated/Kept columns must
+// describe the current candidate union, not the original build.
+func TestUpdateRefreshesPerSource(t *testing.T) {
+	w := buildSmallWorld(t, 600)
+	corpus := w.Corpus()
+	half := corpus.Len() / 2
+	first := &encyclopedia.Corpus{Pages: corpus.Pages[:half]}
+	delta := &encyclopedia.Corpus{Pages: corpus.Pages[half:]}
+
+	p := New(fastOptions())
+	res, err := p.Build(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := res.Report.PerSource[taxonomy.SourceTag]
+	if before == nil || before.Generated == 0 {
+		t.Fatal("build produced no tag candidates; fixture too small")
+	}
+	beforeGenerated := before.Generated
+	if _, err := p.Update(res, delta); err != nil {
+		t.Fatal(err)
+	}
+	after := res.Report.PerSource[taxonomy.SourceTag]
+	if after == nil || after.Generated <= beforeGenerated {
+		t.Fatalf("tag Generated %d → %v; update did not fold the delta's per-source counts in", beforeGenerated, after)
+	}
+	// The counters must equal a from-scratch tally over the current
+	// candidate union and kept set.
+	if want := perSourceCounts(res.Candidates, res.Kept); !reflect.DeepEqual(res.Report.PerSource, want) {
+		t.Errorf("PerSource = %+v, want recomputed %+v", res.Report.PerSource, want)
 	}
 }
 

@@ -15,6 +15,7 @@
 package ner
 
 import (
+	"sort"
 	"strings"
 
 	"cnprobase/internal/lexicon"
@@ -257,6 +258,10 @@ func NewSupport() *Support {
 // Observe records the tokens of one segmented sentence together with
 // the recognizer's spans over the raw sentence: every token counts
 // toward total, and tokens covered by an NE span count toward ne.
+// Tokens from the zero-copy segmenter are substrings of whole page
+// texts, so keys are cloned on first insertion — a long-lived
+// accumulator (the persistent update evidence) never pins its
+// callers' backing strings.
 func (s *Support) Observe(tokens []string, spans []Span) {
 	neText := make(map[string]bool, len(spans))
 	for _, sp := range spans {
@@ -267,8 +272,15 @@ func (s *Support) Observe(tokens []string, spans []Span) {
 		if !runes.AllHan(t) {
 			continue
 		}
+		isNE := neText[t]
+		if _, ok := s.total[t]; !ok {
+			t = strings.Clone(t)
+		}
 		s.total[t]++
-		if neText[t] {
+		if isNE {
+			if _, ok := s.ne[t]; !ok {
+				t = strings.Clone(t)
+			}
 			s.ne[t]++
 		}
 	}
@@ -295,6 +307,60 @@ func (s *Support) S1(w string) float64 {
 
 // Observed reports whether w was seen at all.
 func (s *Support) Observed(w string) bool { return s.total[w] > 0 }
+
+// Merge folds another accumulator's observations into s. Counts only
+// add, so merging per-batch accumulators in any order produces the
+// same totals as observing everything into one accumulator.
+func (s *Support) Merge(o *Support) {
+	if o == nil {
+		return
+	}
+	for w, n := range o.total {
+		s.total[w] += n
+	}
+	for w, n := range o.ne {
+		s.ne[w] += n
+	}
+}
+
+// Words returns every word s has observed, in unspecified order.
+func (s *Support) Words() []string {
+	out := make([]string, 0, len(s.total))
+	for w := range s.total {
+		out = append(out, w)
+	}
+	return out
+}
+
+// SupportEntry is one word's observation counts, as exported for
+// serialization.
+type SupportEntry struct {
+	Word  string
+	NE    int
+	Total int
+}
+
+// Entries returns the observation counts sorted by word, for
+// deterministic serialization.
+func (s *Support) Entries() []SupportEntry {
+	out := make([]SupportEntry, 0, len(s.total))
+	for w, t := range s.total {
+		out = append(out, SupportEntry{Word: w, NE: s.ne[w], Total: t})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Word < out[j].Word })
+	return out
+}
+
+// Import adds previously exported counts for one word — the
+// deserialization counterpart of Entries.
+func (s *Support) Import(w string, ne, total int) {
+	if total > 0 {
+		s.total[w] += total
+	}
+	if ne > 0 {
+		s.ne[w] += ne
+	}
+}
 
 func min(a, b int) int {
 	if a < b {

@@ -2,6 +2,7 @@ package snapshot
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -10,9 +11,13 @@ import (
 	"math"
 	"strings"
 
+	"cnprobase/internal/corpus"
+	"cnprobase/internal/extract"
+	"cnprobase/internal/ner"
 	"cnprobase/internal/par"
 	"cnprobase/internal/serving"
 	"cnprobase/internal/taxonomy"
+	"cnprobase/internal/verify"
 )
 
 // Load reads a snapshot written by Save and reassembles the serving
@@ -30,9 +35,13 @@ import (
 // lengths are checked against the bytes actually present before
 // allocation.
 func Load(r io.Reader, opts Options) (*State, error) {
-	meta, taxPayloads, menPayloads, err := readPayloads(r)
+	meta, taxPayloads, menPayloads, evidencePayload, err := readPayloads(r)
 	if err != nil {
 		return nil, err
+	}
+	ev, kept, stats, err := decodeEvidence(evidencePayload)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: evidence section: %w", err)
 	}
 	tax := taxonomy.NewSharded(opts.Shards)
 	mentions := taxonomy.NewMentionIndex()
@@ -54,7 +63,7 @@ func Load(r io.Reader, opts Options) (*State, error) {
 		}
 	}
 	tax.Finalize()
-	return &State{Taxonomy: tax, Mentions: mentions, Meta: meta}, nil
+	return &State{Taxonomy: tax, Mentions: mentions, Meta: meta, Evidence: ev, Kept: kept, Stats: stats}, nil
 }
 
 // LoadView reads a snapshot and compiles it straight into an immutable
@@ -66,9 +75,15 @@ func Load(r io.Reader, opts Options) (*State, error) {
 // Malformed input yields an error, never a panic, with the same
 // validation Load applies.
 func LoadView(r io.Reader, opts Options) (*serving.View, Meta, error) {
-	meta, taxPayloads, menPayloads, err := readPayloads(r)
+	meta, taxPayloads, menPayloads, evidencePayload, err := readPayloads(r)
 	if err != nil {
 		return nil, Meta{}, err
+	}
+	// The serving view has no update path, so the evidence section is
+	// validated (it was CRC-checked with the rest) but not
+	// materialized.
+	if err := validateEvidence(evidencePayload); err != nil {
+		return nil, Meta{}, fmt.Errorf("snapshot: evidence section: %w", err)
 	}
 	type parts struct {
 		kinds    []taxonomy.KindEntry
@@ -128,52 +143,58 @@ func LoadView(r io.Reader, opts Options) (*serving.View, Meta, error) {
 
 // readPayloads reads and CRC-verifies the framed byte stream shared by
 // Load and LoadView: header, meta section, one payload per taxonomy
-// and mention stripe, end marker.
-func readPayloads(r io.Reader) (meta Meta, taxPayloads, menPayloads [][]byte, err error) {
+// and mention stripe, the evidence section (version 2; nil for legacy
+// version-1 files), end marker.
+func readPayloads(r io.Reader) (meta Meta, taxPayloads, menPayloads [][]byte, evidencePayload []byte, err error) {
 	br := bufio.NewReader(r)
 	var hdr [16]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return Meta{}, nil, nil, fmt.Errorf("snapshot: read header: %w", err)
+		return Meta{}, nil, nil, nil, fmt.Errorf("snapshot: read header: %w", err)
 	}
 	if string(hdr[:8]) != Magic {
-		return Meta{}, nil, nil, fmt.Errorf("snapshot: bad magic %q", hdr[:8])
+		return Meta{}, nil, nil, nil, fmt.Errorf("snapshot: bad magic %q", hdr[:8])
 	}
 	version := binary.LittleEndian.Uint32(hdr[8:12])
-	if version != Version {
-		return Meta{}, nil, nil, fmt.Errorf("snapshot: unsupported format version %d (supported: %d)", version, Version)
+	if version != Version && version != versionLegacy {
+		return Meta{}, nil, nil, nil, fmt.Errorf("snapshot: unsupported format version %d (supported: %d, %d)", version, versionLegacy, Version)
 	}
 	stripes := binary.LittleEndian.Uint32(hdr[12:16])
 	if stripes == 0 || stripes > maxStripes {
-		return Meta{}, nil, nil, fmt.Errorf("snapshot: implausible stripe count %d", stripes)
+		return Meta{}, nil, nil, nil, fmt.Errorf("snapshot: implausible stripe count %d", stripes)
 	}
 
 	metaPayload, err := readSection(br, sectionMeta, 0)
 	if err != nil {
-		return Meta{}, nil, nil, err
+		return Meta{}, nil, nil, nil, err
 	}
 	if err := json.Unmarshal(metaPayload, &meta); err != nil {
-		return Meta{}, nil, nil, fmt.Errorf("snapshot: decode meta: %w", err)
+		return Meta{}, nil, nil, nil, fmt.Errorf("snapshot: decode meta: %w", err)
 	}
 	taxPayloads = make([][]byte, stripes)
 	for i := range taxPayloads {
 		if taxPayloads[i], err = readSection(br, sectionTaxonomy, uint32(i)); err != nil {
-			return Meta{}, nil, nil, err
+			return Meta{}, nil, nil, nil, err
 		}
 	}
 	menPayloads = make([][]byte, stripes)
 	for i := range menPayloads {
 		if menPayloads[i], err = readSection(br, sectionMentions, uint32(i)); err != nil {
-			return Meta{}, nil, nil, err
+			return Meta{}, nil, nil, nil, err
+		}
+	}
+	if version >= Version {
+		if evidencePayload, err = readSection(br, sectionEvidence, 0); err != nil {
+			return Meta{}, nil, nil, nil, err
 		}
 	}
 	var end [8]byte
 	if _, err := io.ReadFull(br, end[:]); err != nil {
-		return Meta{}, nil, nil, fmt.Errorf("snapshot: read end marker: %w", err)
+		return Meta{}, nil, nil, nil, fmt.Errorf("snapshot: read end marker: %w", err)
 	}
 	if string(end[:]) != EndMagic {
-		return Meta{}, nil, nil, fmt.Errorf("snapshot: bad end marker %q", end[:])
+		return Meta{}, nil, nil, nil, fmt.Errorf("snapshot: bad end marker %q", end[:])
 	}
-	return meta, taxPayloads, menPayloads, nil
+	return meta, taxPayloads, menPayloads, evidencePayload, nil
 }
 
 // readSection reads one framed section, enforcing the expected kind
@@ -371,6 +392,183 @@ func decodeTaxStripe(payload []byte, kind func(string, taxonomy.NodeKind), edge 
 		return fmt.Errorf("%d trailing bytes after last edge", r.remaining())
 	}
 	return nil
+}
+
+// Minimum encoded sizes for evidence-section count validation: a kept
+// candidate is two 1-byte empty strings + source byte + 8 score bytes;
+// an entity is two 1-byte strings + attr count byte; an attribute is a
+// 1-byte predicate + 8 value bytes; a support entry is a 1-byte word +
+// two count bytes.
+const (
+	minKeptBytes    = 11
+	minEntityBytes  = 3
+	minAttrBytes    = 9
+	minSupportBytes = 3
+)
+
+// decodeEvidence parses the version-2 evidence section and rebuilds
+// the persistent update substrate: the kept candidate set, a
+// verify.Evidence re-derived from it (entity evidence imported, edge
+// evidence re-counted through AddCandidates, caches marked cold so the
+// first Update recomputes decisions), and the corpus statistics. A nil
+// or flag-0 payload (legacy file, or saved without evidence) yields
+// all-nil — the Result then serves queries but refuses Update.
+func decodeEvidence(payload []byte) (*verify.Evidence, []extract.Candidate, *corpus.Stats, error) {
+	return parseEvidence(payload, true)
+}
+
+// validateEvidence walks the section with the exact same checks but
+// materializes nothing — the view-only serving path must accept and
+// reject precisely the inputs Load does (the fuzz target pins the
+// agreement) without paying for the update substrate's index maps.
+func validateEvidence(payload []byte) error {
+	_, _, _, err := parseEvidence(payload, false)
+	return err
+}
+
+func parseEvidence(payload []byte, materialize bool) (*verify.Evidence, []extract.Candidate, *corpus.Stats, error) {
+	if payload == nil {
+		return nil, nil, nil, nil
+	}
+	r := &stripeReader{b: payload}
+	flag, err := r.byte()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if flag == 0 {
+		if r.remaining() != 0 {
+			return nil, nil, nil, fmt.Errorf("%d trailing bytes after absent-evidence flag", r.remaining())
+		}
+		return nil, nil, nil, nil
+	}
+	if flag != 1 {
+		return nil, nil, nil, fmt.Errorf("invalid evidence flag %d", flag)
+	}
+	nKept, err := r.count(minKeptBytes)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var kept []extract.Candidate
+	if materialize {
+		kept = make([]extract.Candidate, 0, nKept)
+	}
+	for i := 0; i < nKept; i++ {
+		var c extract.Candidate
+		if c.Hypo, err = r.str(); err != nil {
+			return nil, nil, nil, err
+		}
+		if c.Hyper, err = r.str(); err != nil {
+			return nil, nil, nil, err
+		}
+		if c.Hypo == "" || c.Hyper == "" {
+			return nil, nil, nil, fmt.Errorf("empty node in kept candidate %d", i)
+		}
+		src, err := r.byte()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		c.Source = taxonomy.Source(src)
+		bits, err := r.u64()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		c.Score = math.Float64frombits(bits)
+		if materialize {
+			kept = append(kept, c)
+		}
+	}
+	var ev *verify.Evidence
+	if materialize {
+		ev = verify.NewEvidence(ner.NewSupport(), ner.New())
+	}
+	nEnts, err := r.count(minEntityBytes)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for i := 0; i < nEnts; i++ {
+		id, err := r.str()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		title, err := r.str()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if id == "" || title == "" {
+			return nil, nil, nil, fmt.Errorf("empty entity in evidence entry %d", i)
+		}
+		nAttrs, err := r.count(minAttrBytes)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		var attrs map[string]float64
+		if materialize && nAttrs > 0 {
+			attrs = make(map[string]float64, nAttrs)
+		}
+		for j := 0; j < nAttrs; j++ {
+			pred, err := r.str()
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			bits, err := r.u64()
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			if materialize {
+				attrs[pred] = math.Float64frombits(bits)
+			}
+		}
+		if materialize {
+			ev.ImportEntity(id, title, attrs)
+		}
+	}
+	nSup, err := r.count(minSupportBytes)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for i := 0; i < nSup; i++ {
+		word, err := r.str()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ne, err := r.uvarint()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		total, err := r.uvarint()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if ne > math.MaxInt32 || total > math.MaxInt32 {
+			return nil, nil, nil, fmt.Errorf("implausible support counts (%d, %d) for %q", ne, total, word)
+		}
+		if materialize {
+			ev.Support.Import(word, int(ne), int(total))
+		}
+	}
+	statsLen, err := r.uvarint()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if statsLen > uint64(r.remaining()) {
+		return nil, nil, nil, fmt.Errorf("statistics length %d exceeds remaining %d bytes", statsLen, r.remaining())
+	}
+	// The statistics blob must parse in both modes: Load rejects a
+	// shape-invalid blob, and the view path has to agree.
+	stats, err := corpus.ReadStats(bytes.NewReader(r.b[r.off : r.off+int(statsLen)]))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	r.off += int(statsLen)
+	if r.remaining() != 0 {
+		return nil, nil, nil, fmt.Errorf("%d trailing bytes after statistics", r.remaining())
+	}
+	if !materialize {
+		return nil, nil, nil, nil
+	}
+	ev.AddCandidates(kept)
+	ev.MarkAllDirty()
+	return ev, kept, stats, nil
 }
 
 // decodeMentionStripe parses one mention section, feeding each

@@ -2,6 +2,7 @@ package snapshot
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -58,6 +59,11 @@ func Save(w io.Writer, st *State, opts Options) error {
 		return out
 	}))
 
+	evidencePayload, err := encodeEvidence(st)
+	if err != nil {
+		return err
+	}
+
 	bw := bufio.NewWriter(w)
 	var hdr [16]byte
 	copy(hdr[:8], Magic)
@@ -78,6 +84,9 @@ func Save(w io.Writer, st *State, opts Options) error {
 		if err := writeSection(bw, sectionMentions, uint32(i), p); err != nil {
 			return err
 		}
+	}
+	if err := writeSection(bw, sectionEvidence, 0, evidencePayload); err != nil {
+		return err
 	}
 	if _, err := bw.WriteString(EndMagic); err != nil {
 		return fmt.Errorf("snapshot: write end marker: %w", err)
@@ -159,6 +168,56 @@ func encodeMentionStripe(entries []taxonomy.MentionEntry) []byte {
 		}
 	}
 	return b
+}
+
+// encodeEvidence encodes the version-2 evidence section: a presence
+// flag, the kept candidate set, the page-derived evidence (sorted by
+// entity ID, attributes sorted by predicate), the NE support counts
+// (sorted by word) and the corpus statistics (their canonical JSON
+// form). Everything is sorted at encode time, so evidence bytes are as
+// deterministic as the graph stripes.
+func encodeEvidence(st *State) ([]byte, error) {
+	if st.Evidence == nil || st.Stats == nil {
+		return []byte{0}, nil
+	}
+	b := []byte{1}
+	b = binary.AppendUvarint(b, uint64(len(st.Kept)))
+	for _, c := range st.Kept {
+		b = appendString(b, c.Hypo)
+		b = appendString(b, c.Hyper)
+		b = append(b, byte(c.Source))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(c.Score))
+	}
+	ents := st.Evidence.ExportEntities()
+	b = binary.AppendUvarint(b, uint64(len(ents)))
+	for _, e := range ents {
+		b = appendString(b, e.ID)
+		b = appendString(b, e.Title)
+		b = binary.AppendUvarint(b, uint64(len(e.Attrs)))
+		preds := make([]string, 0, len(e.Attrs))
+		for p := range e.Attrs {
+			preds = append(preds, p)
+		}
+		sort.Strings(preds)
+		for _, p := range preds {
+			b = appendString(b, p)
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(e.Attrs[p]))
+		}
+	}
+	entries := st.Evidence.Support.Entries()
+	b = binary.AppendUvarint(b, uint64(len(entries)))
+	for _, s := range entries {
+		b = appendString(b, s.Word)
+		b = binary.AppendUvarint(b, uint64(s.NE))
+		b = binary.AppendUvarint(b, uint64(s.Total))
+	}
+	var stats bytes.Buffer
+	if _, err := st.Stats.WriteTo(&stats); err != nil {
+		return nil, fmt.Errorf("snapshot: encode statistics: %w", err)
+	}
+	b = binary.AppendUvarint(b, uint64(stats.Len()))
+	b = append(b, stats.Bytes()...)
+	return b, nil
 }
 
 // appendString encodes s as uvarint length + raw bytes.

@@ -1,0 +1,132 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"cnprobase/internal/core"
+	"cnprobase/internal/synth"
+)
+
+// buildResult runs the pipeline so the state carries the full update
+// substrate (evidence, kept candidates, statistics).
+func buildResult(tb testing.TB, entities int) *core.Result {
+	tb.Helper()
+	cfg := synth.DefaultConfig()
+	cfg.Entities = entities
+	w, err := synth.Generate(cfg)
+	if err != nil {
+		tb.Fatalf("synth.Generate: %v", err)
+	}
+	opts := core.DefaultOptions()
+	opts.EnableNeural = false
+	res, err := core.New(opts).Build(w.Corpus())
+	if err != nil {
+		tb.Fatalf("Build: %v", err)
+	}
+	return res
+}
+
+// TestEvidenceRoundTrip pins the version-2 evidence section: a state
+// saved with evidence loads with the kept candidate set, support
+// counts and corpus statistics intact.
+func TestEvidenceRoundTrip(t *testing.T) {
+	res := buildResult(t, 300)
+	st := &State{
+		Taxonomy: res.Taxonomy,
+		Mentions: res.Mentions,
+		Meta:     Meta{Pages: res.Report.Pages, Stats: res.Report.Stats},
+		Evidence: res.Evidence,
+		Kept:     res.Kept,
+		Stats:    res.Stats,
+	}
+	loaded, err := Load(bytes.NewReader(saveBytes(t, st, Options{Workers: 1})), Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if loaded.Evidence == nil || loaded.Stats == nil {
+		t.Fatal("evidence section did not round-trip")
+	}
+	if len(loaded.Kept) != len(res.Kept) {
+		t.Fatalf("kept = %d candidates, want %d", len(loaded.Kept), len(res.Kept))
+	}
+	for i, c := range res.Kept {
+		if loaded.Kept[i] != c {
+			t.Fatalf("kept[%d] = %+v, want %+v", i, loaded.Kept[i], c)
+		}
+	}
+	// Support and statistics fold back exactly.
+	for _, e := range res.Evidence.Support.Entries() {
+		if got := loaded.Evidence.Support.S1(e.Word); got != res.Evidence.Support.S1(e.Word) {
+			t.Fatalf("S1(%q) = %v after load, want %v", e.Word, got, res.Evidence.Support.S1(e.Word))
+		}
+	}
+	if got, want := loaded.Stats.Tokens(), res.Stats.Tokens(); got != want {
+		t.Fatalf("stats tokens = %d, want %d", got, want)
+	}
+	if got, want := loaded.Stats.VocabSize(), res.Stats.VocabSize(); got != want {
+		t.Fatalf("stats vocab = %d, want %d", got, want)
+	}
+}
+
+// TestSaveWithoutEvidence: states without the update substrate (e.g.
+// hand-assembled or re-saved from a legacy file) save with an
+// absent-evidence flag and load back with nil evidence.
+func TestSaveWithoutEvidence(t *testing.T) {
+	st := handState(t)
+	loaded, err := Load(bytes.NewReader(saveBytes(t, st, Options{Workers: 1})), Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if loaded.Evidence != nil || loaded.Kept != nil || loaded.Stats != nil {
+		t.Fatal("evidence materialized from an evidence-less snapshot")
+	}
+	requireEqualState(t, st, loaded)
+}
+
+// stripToV1 rewrites a version-2 snapshot into the version-1 layout:
+// drop the evidence section and patch the header version. Section
+// framing makes this a linear walk.
+func stripToV1(tb testing.TB, data []byte) []byte {
+	tb.Helper()
+	out := append([]byte(nil), data[:16]...)
+	binary.LittleEndian.PutUint32(out[8:12], 1)
+	off := 16
+	for off+13 <= len(data)-8 {
+		kind := data[off]
+		length := binary.LittleEndian.Uint64(data[off+5 : off+13])
+		end := off + 13 + int(length) + 4
+		if end > len(data) {
+			tb.Fatalf("malformed section at %d", off)
+		}
+		if kind != sectionEvidence {
+			out = append(out, data[off:end]...)
+		}
+		off = end
+	}
+	return append(out, data[off:]...) // end marker
+}
+
+// TestLoadsLegacyV1 pins backward compatibility: a version-1 file
+// (no evidence section) still loads — queries work, evidence is nil —
+// through both Load and LoadView.
+func TestLoadsLegacyV1(t *testing.T) {
+	st := handState(t)
+	v1 := stripToV1(t, saveBytes(t, st, Options{Workers: 1}))
+	loaded, err := Load(bytes.NewReader(v1), Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("Load(v1): %v", err)
+	}
+	if loaded.Evidence != nil {
+		t.Error("legacy snapshot produced evidence")
+	}
+	requireEqualState(t, st, loaded)
+	view, _, err := LoadView(bytes.NewReader(v1), Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("LoadView(v1): %v", err)
+	}
+	if a, b := loaded.Taxonomy.ComputeStats(), view.Stats(); a != b {
+		t.Fatalf("store and view stats differ on v1: %+v != %+v", a, b)
+	}
+}

@@ -36,7 +36,10 @@ import (
 	"encoding/json"
 	"runtime"
 
+	"cnprobase/internal/corpus"
+	"cnprobase/internal/extract"
 	"cnprobase/internal/taxonomy"
+	"cnprobase/internal/verify"
 )
 
 // Format constants. The magic and end marker frame the file; Version
@@ -49,10 +52,18 @@ const (
 	Magic = "CNPBSNP1"
 	// EndMagic closes every snapshot file (truncation tripwire).
 	EndMagic = "CNPBEND1"
-	// Version is the current format version.
-	Version = 1
+	// Version is the current format version. Version 2 appends an
+	// evidence section (kept candidates, page-derived verification
+	// evidence, NE support, corpus statistics) after the mention
+	// stripes, which is what lets a snapshot-loaded Result accept
+	// incremental Update. Version-1 files are still read; they simply
+	// restore no evidence.
+	Version = 2
+	// versionLegacy is the pre-evidence layout the loader still
+	// accepts.
+	versionLegacy = 1
 	// Stripes is the number of hash partitions per index (taxonomy,
-	// mentions) in a version-1 snapshot.
+	// mentions).
 	Stripes = 16
 )
 
@@ -61,6 +72,7 @@ const (
 	sectionMeta     byte = 1
 	sectionTaxonomy byte = 2
 	sectionMentions byte = 3
+	sectionEvidence byte = 4
 )
 
 // maxStripes bounds the stripe count a loader accepts from a header.
@@ -82,11 +94,25 @@ type Meta struct {
 	Report json.RawMessage `json:"report,omitempty"`
 }
 
-// State is the complete serving state a snapshot round-trips.
+// State is the complete serving state a snapshot round-trips, plus —
+// since version 2 — the substrate a Result needs to accept incremental
+// Update after loading: the persistent verification evidence, the kept
+// candidate set it describes, and the corpus statistics the segmenter
+// is rebuilt from. The three travel together: Save writes the evidence
+// section only when Evidence and Stats are both present.
 type State struct {
 	Taxonomy *taxonomy.Taxonomy
 	Mentions *taxonomy.MentionIndex
 	Meta     Meta
+
+	// Evidence is the persistent incremental-update evidence; nil when
+	// the snapshot predates version 2 or was saved without it.
+	Evidence *verify.Evidence
+	// Kept is the post-verification candidate set the evidence
+	// describes.
+	Kept []extract.Candidate
+	// Stats is the corpus unigram/bigram statistics.
+	Stats *corpus.Stats
 }
 
 // Options tunes snapshot I/O concurrency and the loaded store shape.

@@ -123,6 +123,12 @@ type shard struct {
 	hypers map[string][]string // hypo → hypernyms, keyed by shard(hypo)
 	hypos  map[string][]string // hyper → hyponyms, keyed by shard(hyper)
 	kinds  map[string]NodeKind // keyed by shard(node)
+	// unsortedHypers / unsortedHypos track adjacency lists appended to
+	// since the last Finalize, so re-finalizing after an incremental
+	// update sorts only the touched lists instead of every list in the
+	// store. Removals keep list order, so they never mark.
+	unsortedHypers map[string]bool
+	unsortedHypos  map[string]bool
 }
 
 // merged holds the cross-shard indexes Finalize builds. gen records
@@ -155,10 +161,12 @@ func NewSharded(n int) *Taxonomy {
 	t := &Taxonomy{shards: make([]shard, n)}
 	for i := range t.shards {
 		t.shards[i] = shard{
-			edges:  make(map[edgeKey]*Edge),
-			hypers: make(map[string][]string),
-			hypos:  make(map[string][]string),
-			kinds:  make(map[string]NodeKind),
+			edges:          make(map[edgeKey]*Edge),
+			hypers:         make(map[string][]string),
+			hypos:          make(map[string][]string),
+			kinds:          make(map[string]NodeKind),
+			unsortedHypers: make(map[string]bool),
+			unsortedHypos:  make(map[string]bool),
 		}
 	}
 	return t
@@ -295,7 +303,9 @@ func (t *Taxonomy) AddIsA(hypo, hyper string, src Source, score float64) error {
 	}
 	sa.edges[k] = &Edge{Hypo: hypo, Hyper: hyper, Sources: src, Score: score, Count: 1}
 	sa.hypers[hypo] = append(sa.hypers[hypo], hyper)
+	sa.unsortedHypers[hypo] = true
 	sb.hypos[hyper] = append(sb.hypos[hyper], hypo)
+	sb.unsortedHypos[hyper] = true
 	if sb.kinds[hyper] == KindUnknown {
 		sb.kinds[hyper] = KindConcept
 	}
@@ -327,7 +337,9 @@ func (t *Taxonomy) InsertEdge(e Edge) error {
 		cp := e
 		sa.edges[k] = &cp
 		sa.hypers[e.Hypo] = append(sa.hypers[e.Hypo], e.Hyper)
+		sa.unsortedHypers[e.Hypo] = true
 		sb.hypos[e.Hyper] = append(sb.hypos[e.Hyper], e.Hypo)
+		sb.unsortedHypos[e.Hyper] = true
 	}
 	if sb.kinds[e.Hyper] == KindUnknown {
 		sb.kinds[e.Hyper] = KindConcept
@@ -337,6 +349,11 @@ func (t *Taxonomy) InsertEdge(e Edge) error {
 }
 
 // RemoveIsA deletes the edge if present and reports whether it existed.
+// Concept endpoints left without any remaining edge are demoted: their
+// kinds entry is dropped, so a concept whose last hyponym is retracted
+// by re-verification stops counting toward Stats.Concepts instead of
+// drifting the count upward across update batches. Entities (marked
+// via MarkEntity) always survive retraction.
 func (t *Taxonomy) RemoveIsA(hypo, hyper string) bool {
 	sa, sb, unlock := t.lockPair(hypo, hyper)
 	defer unlock()
@@ -354,6 +371,16 @@ func (t *Taxonomy) RemoveIsA(hypo, hyper string) bool {
 		sb.hypos[hyper] = hs
 	} else {
 		delete(sb.hypos, hyper)
+	}
+	// Demote orphaned concepts. A node's adjacency both ways lives in
+	// its own shard (hypers is keyed by the hyponym side, hypos by the
+	// hypernym side), so each endpoint check stays inside the shard
+	// lock already held.
+	if sb.kinds[hyper] == KindConcept && len(sb.hypos[hyper]) == 0 && len(sb.hypers[hyper]) == 0 {
+		delete(sb.kinds, hyper)
+	}
+	if sa.kinds[hypo] == KindConcept && len(sa.hypers[hypo]) == 0 && len(sa.hypos[hypo]) == 0 {
+		delete(sa.kinds, hypo)
 	}
 	t.invalidate()
 	return true
@@ -599,12 +626,17 @@ func (t *Taxonomy) Finalize() {
 	for i := range t.shards {
 		sh := &t.shards[i]
 		sh.mu.Lock()
-		for _, hs := range sh.hypers {
-			sort.Strings(hs)
+		// Only lists appended to since the last Finalize can be out of
+		// order (removals preserve order), so re-finalizing after an
+		// incremental update costs O(touched), not O(store).
+		for n := range sh.unsortedHypers {
+			sort.Strings(sh.hypers[n])
 		}
-		for _, hs := range sh.hypos {
-			sort.Strings(hs)
+		for n := range sh.unsortedHypos {
+			sort.Strings(sh.hypos[n])
 		}
+		sh.unsortedHypers = make(map[string]bool)
+		sh.unsortedHypos = make(map[string]bool)
 		sh.mu.Unlock()
 	}
 	t.final.Store(&merged{gen: gen, nodes: t.computeNodes(), stats: t.computeStats()})

@@ -2,6 +2,7 @@ package taxonomy
 
 import (
 	"bytes"
+	"fmt"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -79,6 +80,73 @@ func TestRemoveIsA(t *testing.T) {
 	}
 	if tx.HasIsA("a", "b") || len(tx.Hypernyms("a")) != 0 || len(tx.Hyponyms("b", 0)) != 0 {
 		t.Error("edge not fully removed from indexes")
+	}
+}
+
+// TestRemoveIsADemotesOrphanedConcepts pins the concept-count drift
+// bug: retracting a concept's last edge must drop its implicit concept
+// marking, so Stats.Concepts does not creep upward across update
+// batches. Entities and concepts that still participate in edges
+// survive.
+func TestRemoveIsADemotesOrphanedConcepts(t *testing.T) {
+	tx := New()
+	tx.MarkEntity("实体甲")
+	mustAdd(t, tx, "实体甲", "概念", SourceTag)
+	if got := tx.ComputeStats().Concepts; got != 1 {
+		t.Fatalf("Concepts = %d, want 1", got)
+	}
+	if !tx.RemoveIsA("实体甲", "概念") {
+		t.Fatal("RemoveIsA returned false")
+	}
+	if got := tx.Kind("概念"); got != KindUnknown {
+		t.Errorf("orphaned concept kind = %v, want demoted to unknown", got)
+	}
+	if got := tx.ComputeStats().Concepts; got != 0 {
+		t.Errorf("Concepts after retraction = %d, want 0", got)
+	}
+	// The entity endpoint survives retraction.
+	if got := tx.Kind("实体甲"); got != KindEntity {
+		t.Errorf("entity kind after retraction = %v, want entity", got)
+	}
+	if got := tx.ComputeStats().Entities; got != 1 {
+		t.Errorf("Entities = %d, want 1", got)
+	}
+
+	// A concept that still appears as a hyponym elsewhere (subconcept
+	// edge) is not demoted when it loses its last hyponym.
+	mustAdd(t, tx, "男演员", "演员", SourceMorph)
+	mustAdd(t, tx, "实体甲", "男演员", SourceTag)
+	if !tx.RemoveIsA("实体甲", "男演员") {
+		t.Fatal("RemoveIsA returned false")
+	}
+	if got := tx.Kind("男演员"); got != KindConcept {
+		t.Errorf("男演员 kind = %v, want concept (still a hyponym of 演员)", got)
+	}
+}
+
+// TestStatsStableAcrossRetractionBatches simulates the update loop:
+// edges added and retracted over several batches must leave the
+// concept count describing only concepts that still have edges.
+func TestStatsStableAcrossRetractionBatches(t *testing.T) {
+	tx := New()
+	tx.MarkEntity("常驻实体")
+	mustAdd(t, tx, "常驻实体", "常驻概念", SourceTag)
+	base := tx.ComputeStats()
+	for batch := 0; batch < 5; batch++ {
+		hypo := fmt.Sprintf("临时实体%d", batch)
+		hyper := fmt.Sprintf("临时概念%d", batch)
+		tx.MarkEntity(hypo)
+		mustAdd(t, tx, hypo, hyper, SourceTag)
+		if got := tx.ComputeStats().Concepts; got != base.Concepts+1 {
+			t.Fatalf("batch %d: Concepts = %d, want %d", batch, got, base.Concepts+1)
+		}
+		// Union-wide re-verification retracts the batch's edge again.
+		if !tx.RemoveIsA(hypo, hyper) {
+			t.Fatalf("batch %d: RemoveIsA returned false", batch)
+		}
+		if got := tx.ComputeStats().Concepts; got != base.Concepts {
+			t.Fatalf("batch %d: Concepts drifted to %d, want %d", batch, got, base.Concepts)
+		}
 	}
 }
 

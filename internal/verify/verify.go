@@ -15,13 +15,7 @@
 //     must not occur in a non-head position of the hyponym.
 package verify
 
-import (
-	"math"
-
-	"cnprobase/internal/encyclopedia"
-	"cnprobase/internal/extract"
-	"cnprobase/internal/ner"
-)
+import "math"
 
 // Options holds the thresholds of the three strategies, with toggles so
 // ablations can disable each independently.
@@ -68,90 +62,6 @@ func DefaultOptions() Options {
 	}
 }
 
-// Context carries the evidence the strategies consult. Build it with
-// NewContext once per corpus + candidate set.
-type Context struct {
-	// EntityAttrs maps entity ID → normalized infobox-predicate
-	// distribution v_att(e).
-	EntityAttrs map[string]map[string]float64
-	// ConceptAttrs maps concept → aggregated v_att(c) over its
-	// candidate hyponyms.
-	ConceptAttrs map[string]map[string]float64
-	// Hyponyms maps concept → candidate hyponym set.
-	Hyponyms map[string]map[string]bool
-	// Support provides the corpus NE statistic s1.
-	Support *ner.Support
-	// Recognizer classifies isolated words.
-	Recognizer *ner.Recognizer
-	// EntityTitles is the set of page titles (taxonomy NE evidence s2).
-	EntityTitles map[string]bool
-	// titleEdges / hyperEdges count taxonomy occurrences of a word as
-	// an entity title vs as a hypernym, for s2.
-	titleEdges map[string]int
-	hyperEdges map[string]int
-}
-
-// NewContext assembles verification evidence from the corpus and the
-// merged candidate set.
-func NewContext(c *encyclopedia.Corpus, cands []extract.Candidate, support *ner.Support, rec *ner.Recognizer) *Context {
-	ctx := &Context{
-		EntityAttrs:  make(map[string]map[string]float64),
-		ConceptAttrs: make(map[string]map[string]float64),
-		Hyponyms:     make(map[string]map[string]bool),
-		Support:      support,
-		Recognizer:   rec,
-		EntityTitles: make(map[string]bool),
-		titleEdges:   make(map[string]int),
-		hyperEdges:   make(map[string]int),
-	}
-	titleByID := make(map[string]string, len(c.Pages))
-	for i := range c.Pages {
-		p := &c.Pages[i]
-		ctx.EntityTitles[p.Title] = true
-		titleByID[p.ID()] = p.Title
-		if len(p.Infobox) == 0 {
-			continue
-		}
-		dist := make(map[string]float64, len(p.Infobox))
-		for _, t := range p.Infobox {
-			dist[t.Predicate]++
-		}
-		normalize(dist)
-		ctx.EntityAttrs[p.ID()] = dist
-	}
-	for _, cand := range cands {
-		hs := ctx.Hyponyms[cand.Hyper]
-		if hs == nil {
-			hs = make(map[string]bool)
-			ctx.Hyponyms[cand.Hyper] = hs
-		}
-		hs[cand.Hypo] = true
-		ctx.hyperEdges[cand.Hyper]++
-		if t, ok := titleByID[cand.Hypo]; ok {
-			ctx.titleEdges[t]++
-		}
-	}
-	// Aggregate concept attribute distributions.
-	for concept, hypos := range ctx.Hyponyms {
-		agg := make(map[string]float64)
-		n := 0
-		for h := range hypos {
-			if d, ok := ctx.EntityAttrs[h]; ok {
-				for k, v := range d {
-					agg[k] += v
-				}
-				n++
-			}
-		}
-		if n == 0 {
-			continue
-		}
-		normalize(agg)
-		ctx.ConceptAttrs[concept] = agg
-	}
-	return ctx
-}
-
 func normalize(d map[string]float64) {
 	sum := 0.0
 	for _, v := range d {
@@ -163,25 +73,6 @@ func normalize(d map[string]float64) {
 	for k := range d {
 		d[k] /= sum
 	}
-}
-
-// S2 is the taxonomy NE support of the paper: the fraction of a word's
-// taxonomy occurrences in which it behaves as an entity (a page title
-// appearing as a hyponym) rather than as a concept (a hypernym).
-func (ctx *Context) S2(w string) float64 {
-	te, he := ctx.titleEdges[w], ctx.hyperEdges[w]
-	if !ctx.EntityTitles[w] || te+he == 0 {
-		return 0
-	}
-	return float64(te) / float64(te+he)
-}
-
-// NESupport combines corpus and taxonomy support with the paper's
-// noisy-or (Equation 2): s(H) = 1 − (1−s1)(1−s2).
-func (ctx *Context) NESupport(h string) float64 {
-	s1 := ctx.Support.S1(h)
-	s2 := ctx.S2(h)
-	return 1 - (1-s1)*(1-s2)
 }
 
 // cosine returns the cosine similarity of two sparse distributions.

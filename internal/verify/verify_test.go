@@ -21,7 +21,7 @@ func cand(hypo, hyper string) extract.Candidate {
 }
 
 // emptyContext builds a minimal context with no corpus evidence.
-func emptyContext(cands []extract.Candidate) *Context {
+func emptyContext(cands []extract.Candidate) *Evidence {
 	return NewContext(&encyclopedia.Corpus{}, cands, ner.NewSupport(), ner.New())
 }
 
