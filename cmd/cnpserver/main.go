@@ -25,6 +25,15 @@
 // and is decoded into the build store rather than view-only; -tax
 // taxonomies cannot ingest.
 //
+// -wal makes ingestion durable (requires -load and -ingest): every
+// accepted batch is appended to a checksummed write-ahead log and
+// fsynced before it is applied, startup replays the log tail past the
+// snapshot's LSN, and a background compactor (period -compact-every)
+// rewrites the -load snapshot and truncates the log below it. A 200
+// from /ingest therefore survives SIGKILL:
+//
+//	cnpserver -load taxonomy.snap -ingest localhost:7070 -wal wal/
+//
 // -load is the production serving path: the snapshot (written by
 // `cnprobase build -save`) decodes straight into the immutable serving
 // view — the mutable build store is never materialized (unless -ingest
@@ -80,8 +89,13 @@ func main() {
 		shards   = flag.Int("shards", 0, "taxonomy store shard count for the demo build (0 = default)")
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
 		ingestA  = flag.String("ingest", "", "serve the POST /ingest admin endpoint on this address (e.g. localhost:7070); off when empty")
+		walDir   = flag.String("wal", "", "write-ahead-log directory for durable ingestion (requires -load and -ingest); startup replays the log tail past the snapshot's LSN")
+		compactE = flag.Duration("compact-every", time.Minute, "how often the durable ingester snapshots and truncates the WAL (0 disables background compaction)")
 	)
 	flag.Parse()
+	if *walDir != "" && (*loadPath == "" || *ingestA == "") {
+		log.Fatal("-wal requires -load (the snapshot the compactor rewrites) and -ingest")
+	}
 	if *pprofA != "" {
 		// A dedicated mux on a dedicated listener: profiling never
 		// shares a port (or a handler namespace) with the public API.
@@ -107,8 +121,10 @@ func main() {
 	}
 
 	var (
-		view *cnprobase.ServingView
-		res  *cnprobase.Result // mutable build state; only kept when -ingest needs it
+		view    *cnprobase.ServingView
+		res     *cnprobase.Result // mutable build state; only kept when -ingest needs it
+		walLog  *cnprobase.WAL    // open write-ahead log when -wal is set
+		snapLSN uint64            // WAL position the loaded snapshot covers
 	)
 	switch {
 	case *loadPath != "" && *ingestA != "":
@@ -119,10 +135,31 @@ func main() {
 		if err != nil {
 			log.Fatalf("load snapshot %s: %v", *loadPath, err)
 		}
-		res, err = cnprobase.LoadSnapshotSharded(f, *workers, *shards)
+		res, snapLSN, err = cnprobase.LoadSnapshotLSN(f, *workers, *shards)
 		f.Close()
 		if err != nil {
 			log.Fatalf("load snapshot %s: %v", *loadPath, err)
+		}
+		if *walDir != "" {
+			// Recovery: fold in every batch the snapshot missed. The
+			// replayed state is exactly what the previous process had
+			// acknowledged (each batch was fsynced before its 200).
+			walLog, err = cnprobase.OpenWAL(*walDir)
+			if err != nil {
+				log.Fatalf("open wal %s: %v", *walDir, err)
+			}
+			ropts := cnprobase.DefaultOptions()
+			ropts.EnableNeural = false
+			ropts.Workers = *workers
+			var stats cnprobase.ReplayStats
+			res, stats, err = cnprobase.ReplayWAL(res, walLog, snapLSN, ropts)
+			if err != nil {
+				log.Fatalf("replay wal %s: %v", *walDir, err)
+			}
+			if stats.Applied+stats.Skipped > 0 {
+				log.Printf("replayed %d wal batches past LSN %d (%d skipped), now at LSN %d",
+					stats.Applied, snapLSN, stats.Skipped, stats.LastLSN)
+			}
 		}
 		view = res.Freeze()
 		st := view.Stats()
@@ -181,6 +218,7 @@ func main() {
 	srv := cnprobase.NewViewServer(view)
 	httpServer := &http.Server{Handler: srv.Handler()}
 
+	var ing *cnprobase.Ingester
 	if *ingestA != "" {
 		if res == nil {
 			log.Fatalf("-ingest needs the mutable build state: use -load with an evidence-carrying snapshot or the demo build (-tax cannot ingest)")
@@ -188,7 +226,17 @@ func main() {
 		uopts := cnprobase.DefaultOptions()
 		uopts.EnableNeural = false // updates skip the neural stage anyway
 		uopts.Workers = *workers
-		ing, err := cnprobase.NewIngester(res, uopts, srv)
+		var err error
+		if walLog != nil {
+			ing, err = cnprobase.NewDurableIngester(res, uopts, srv, cnprobase.DurableIngestConfig{
+				WAL:          walLog,
+				SnapshotPath: *loadPath,
+				SnapshotLSN:  snapLSN,
+				CompactEvery: *compactE,
+			})
+		} else {
+			ing, err = cnprobase.NewIngester(res, uopts, srv)
+		}
 		if err != nil {
 			log.Fatalf("ingest: %v", err)
 		}
@@ -241,6 +289,11 @@ func main() {
 			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 			_ = httpServer.Shutdown(ctx)
 			cancel()
+			if ing != nil {
+				// Flushes and fsyncs the WAL; batches still queued are
+				// refused with 503, so every 200 ever sent is on disk.
+				ing.Close()
+			}
 			close(shutdownDone)
 			return
 		}

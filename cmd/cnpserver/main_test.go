@@ -331,7 +331,7 @@ func TestSighupHotReload(t *testing.T) {
 
 // startServerWithIngest launches the binary with an ingestion listener
 // and waits for both the serving and the ingesting address lines.
-func startServerWithIngest(t *testing.T, stderr *syncBuffer, args ...string) (apiBase, ingestBase string) {
+func startServerWithIngest(t *testing.T, stderr *syncBuffer, args ...string) (apiBase, ingestBase string, proc *exec.Cmd) {
 	t.Helper()
 	cmd := exec.Command(serverBinary(t),
 		append([]string{"-addr", "127.0.0.1:0", "-ingest", "127.0.0.1:0"}, args...)...)
@@ -374,7 +374,7 @@ func startServerWithIngest(t *testing.T, stderr *syncBuffer, args ...string) (ap
 		if !ok {
 			t.Fatalf("server exited before announcing its addresses; stderr:\n%s", stderr.String())
 		}
-		return "http://" + got.api, "http://" + got.ingest
+		return "http://" + got.api, "http://" + got.ingest, cmd
 	case <-time.After(30 * time.Second):
 		t.Fatal("timed out waiting for the server to announce its addresses")
 	}
@@ -392,7 +392,7 @@ func TestIngestEndpointServesNewEdges(t *testing.T) {
 	}
 	snap, res := writeSnapshot(t)
 	var stderr syncBuffer
-	apiBase, ingestBase := startServerWithIngest(t, &stderr, "-load", snap)
+	apiBase, ingestBase, _ := startServerWithIngest(t, &stderr, "-load", snap)
 
 	get := func(path string, into any) {
 		t.Helper()
@@ -458,6 +458,141 @@ func TestIngestEndpointServesNewEdges(t *testing.T) {
 	get("/api/men2ent?mention="+newTitle, &men)
 	if len(men.Entities) == 0 {
 		t.Errorf("men2ent(%q) empty after ingest", newTitle)
+	}
+}
+
+// copyFile duplicates a file into dir under name.
+func copyFile(t *testing.T, src, dir, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatalf("read %s: %v", src, err)
+	}
+	dst := filepath.Join(dir, name)
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatalf("write %s: %v", dst, err)
+	}
+	return dst
+}
+
+// postPage ingests one single-page batch and returns the HTTP status.
+func postPage(t *testing.T, ingestBase, title, concept string) int {
+	t.Helper()
+	page, err := json.Marshal(map[string]any{"title": title, "tags": []string{concept}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ingestBase+"/ingest", "application/x-ndjson", bytes.NewReader(append(page, '\n')))
+	if err != nil {
+		t.Fatalf("POST /ingest %q: %v", title, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestCrashRecoveryEquivalence is the end-to-end durability pin: drive
+// K batches into a WAL-backed server, SIGKILL it mid-stream (after the
+// second acknowledgment), restart it from the same snapshot + WAL,
+// finish the stream, and require its API responses to be byte-identical
+// to a reference server that ingested the same K batches without ever
+// crashing. Every /ingest 200 was fsynced before it was sent, so the
+// kill must cost nothing.
+func TestCrashRecoveryEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test: compiles and runs the binary")
+	}
+	snap, res := writeSnapshot(t)
+	concept := res.Kept[0].Hyper
+	dir := t.TempDir()
+	refSnap := copyFile(t, snap, dir, "ref.snap")
+	crashSnap := copyFile(t, snap, dir, "crash.snap")
+	walDir := filepath.Join(dir, "wal")
+	titles := []string{"崩溃恢复一", "崩溃恢复二", "崩溃恢复三", "崩溃恢复四"}
+
+	// Reference: volatile ingester, never crashes, sees all 4 batches.
+	var refErr syncBuffer
+	refAPI, refIngest, _ := startServerWithIngest(t, &refErr, "-load", refSnap)
+	for _, title := range titles {
+		if code := postPage(t, refIngest, title, concept); code != http.StatusOK {
+			t.Fatalf("reference ingest %q status = %d; stderr:\n%s", title, code, refErr.String())
+		}
+	}
+
+	// Crash server: WAL-backed, killed after acknowledging 2 of 4.
+	var crashErr syncBuffer
+	_, crashIngest, proc := startServerWithIngest(t, &crashErr,
+		"-load", crashSnap, "-wal", walDir, "-compact-every", "0")
+	for _, title := range titles[:2] {
+		if code := postPage(t, crashIngest, title, concept); code != http.StatusOK {
+			t.Fatalf("pre-crash ingest %q status = %d; stderr:\n%s", title, code, crashErr.String())
+		}
+	}
+	if err := proc.Process.Kill(); err != nil { // SIGKILL: no shutdown hooks run
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	_, _ = proc.Process.Wait()
+
+	// Restart from the same snapshot + WAL; the tail replays, then the
+	// stream finishes.
+	var recoverErr syncBuffer
+	recAPI, recIngest, _ := startServerWithIngest(t, &recoverErr,
+		"-load", crashSnap, "-wal", walDir, "-compact-every", "0")
+	if !strings.Contains(recoverErr.String(), "replayed 2 wal batches") {
+		t.Fatalf("restart did not replay the 2 acknowledged batches; stderr:\n%s", recoverErr.String())
+	}
+	for _, title := range titles[2:] {
+		if code := postPage(t, recIngest, title, concept); code != http.StatusOK {
+			t.Fatalf("post-recovery ingest %q status = %d; stderr:\n%s", title, code, recoverErr.String())
+		}
+	}
+
+	// Byte-identical equivalence across the three public APIs: the
+	// crashed-and-recovered server must be indistinguishable from the
+	// one that never died.
+	probes := []string{"/api/getEntity?concept=" + concept}
+	for _, title := range titles {
+		probes = append(probes,
+			"/api/getConcept?entity="+title,
+			"/api/men2ent?mention="+title)
+	}
+	fetch := func(base, probe string) []byte {
+		t.Helper()
+		resp, err := http.Get(base + probe)
+		if err != nil {
+			t.Fatalf("GET %s: %v", probe, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", probe, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", probe, err)
+		}
+		return body
+	}
+	for _, probe := range probes {
+		want := fetch(refAPI, probe)
+		got := fetch(recAPI, probe)
+		if !bytes.Equal(got, want) {
+			t.Errorf("recovered server diverges on %s:\n  recovered: %s\n  reference: %s", probe, got, want)
+		}
+	}
+}
+
+// TestWalFlagValidation pins the -wal flag contract: it needs both the
+// snapshot to compact into and the ingest listener.
+func TestWalFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test: compiles and runs the binary")
+	}
+	out, err := exec.Command(serverBinary(t), "-addr", "127.0.0.1:0", "-wal", t.TempDir()).CombinedOutput()
+	if err == nil {
+		t.Fatalf("-wal without -load/-ingest accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "-wal requires") {
+		t.Errorf("unexpected error output: %s", out)
 	}
 }
 

@@ -9,6 +9,7 @@
 //	            [-predicates] [-qa] [-neural] [-ablation] [-figure3]
 //	experiments -bench-build [-entities N] [-bench-out BENCH_BUILD.json]
 //	experiments -bench-update [-entities N] [-update-batches K] [-bench-update-out BENCH_UPDATE.json]
+//	experiments -bench-recovery [-entities N] [-recovery-batches K] [-bench-recovery-out BENCH_RECOVERY.json]
 //
 // -bench-build skips the evaluation suite and instead measures the
 // build-side hot path — steady-state segmentation runes/s, end-to-end
@@ -22,6 +23,14 @@
 // emitted BENCH_UPDATE.json documents the O(delta) claim: last-batch
 // cost stays within ~1.5× of the first even as the accumulated corpus
 // grows ~(K+1)×.
+//
+// -bench-recovery measures durable-ingest cold-start cost: save a base
+// snapshot, append K JSONL batches to a real on-disk WAL, and after
+// each batch time a full recovery (snapshot load + WAL replay); then
+// compact and time the restart the fresh snapshot buys. The emitted
+// BENCH_RECOVERY.json documents that replay cost grows with the
+// un-compacted tail and compaction collapses it back to snapshot-load
+// time.
 package main
 
 import (
@@ -56,14 +65,20 @@ func main() {
 		benchU    = flag.Bool("bench-update", false, "measure incremental-update cost across batches and emit JSON instead of running experiments")
 		benchUOut = flag.String("bench-update-out", "BENCH_UPDATE.json", "output path for -bench-update")
 		updateK   = flag.Int("update-batches", 10, "number of fixed-size delta batches for -bench-update")
+		benchR    = flag.Bool("bench-recovery", false, "measure snapshot+WAL recovery cost and emit JSON instead of running experiments")
+		benchROut = flag.String("bench-recovery-out", "BENCH_RECOVERY.json", "output path for -bench-recovery")
+		recoverK  = flag.Int("recovery-batches", 8, "number of WAL batches for -bench-recovery")
 	)
 	flag.Parse()
-	if *benchB || *benchU {
+	if *benchB || *benchU || *benchR {
 		if *benchB {
 			runBuildBench(*entities, *benchOut)
 		}
 		if *benchU {
 			runUpdateBench(*entities, *updateK, *benchUOut)
+		}
+		if *benchR {
+			runRecoveryBench(*entities, *recoverK, *benchROut)
 		}
 		return
 	}
@@ -185,5 +200,33 @@ func runUpdateBench(entities, batches int, out string) {
 			b.Batch, b.Pages, b.Seconds*1000, b.PagesPerSec, b.Reverified, b.CandidateUnion, b.AccumulatedPages)
 	}
 	fmt.Printf("per-page cost last/first = %.2fx while corpus grew %.1fx\n", res.LastOverFirst, res.GrowthFactor)
+	fmt.Printf("wrote %s\n", out)
+}
+
+// runRecoveryBench measures snapshot+WAL cold-start cost and writes
+// BENCH_RECOVERY.json.
+func runRecoveryBench(entities, batches int, out string) {
+	fmt.Printf("== recovery bench: %d entities, %d wal batches ==\n", entities, batches)
+	res, err := experiments.RunRecoveryBench(entities, batches)
+	if err != nil {
+		log.Fatalf("bench-recovery: %v", err)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatalf("create %s: %v", out, err)
+	}
+	if err := res.WriteJSON(f); err != nil {
+		f.Close()
+		log.Fatalf("write %s: %v", out, err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("close %s: %v", out, err)
+	}
+	for _, p := range res.Points {
+		fmt.Printf("tail %2d batches (%7d wal bytes): load %6.1fms + replay %7.1fms = %7.1fms\n",
+			p.Batches, p.WALBytes, p.LoadSeconds*1000, p.ReplaySeconds*1000, p.RecoverySeconds*1000)
+	}
+	fmt.Printf("compacted restart: %.1fms (%d snapshot bytes) — full tail was %.1fx slower\n",
+		res.CompactedRecoverySeconds*1000, res.CompactedSnapshotBytes, res.TailOverCompacted)
 	fmt.Printf("wrote %s\n", out)
 }

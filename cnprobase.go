@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"cnprobase/internal/api"
 	"cnprobase/internal/baselines"
@@ -40,6 +41,7 @@ import (
 	"cnprobase/internal/snapshot"
 	"cnprobase/internal/synth"
 	"cnprobase/internal/taxonomy"
+	"cnprobase/internal/wal"
 )
 
 // Re-exported types. Aliases keep the internal packages unimportable
@@ -171,9 +173,68 @@ type Ingester = api.Ingester
 // NewIngester starts the updater goroutine over a mutable build Result
 // (a fresh Build, or a snapshot loaded with LoadSnapshot whose
 // evidence section is present) publishing to srv. opts configures the
-// incremental update passes exactly like Update.
+// incremental update passes exactly like Update. Ingestion through
+// this constructor is volatile — accepted batches live only in process
+// memory until the next SaveSnapshot; use NewDurableIngester for
+// crash-safe ingestion.
 func NewIngester(res *Result, opts Options, srv *APIServer) (*Ingester, error) {
 	return api.NewIngester(res, core.New(opts), srv)
+}
+
+// WAL is the segmented, checksummed, fsync-on-commit write-ahead log
+// durable ingestion runs on (docs/WAL.md specifies the format).
+type WAL = wal.Log
+
+// ReplayStats summarizes a WAL replay (batches applied and skipped,
+// last log position reached).
+type ReplayStats = api.ReplayStats
+
+// OpenWAL opens (creating if needed) the write-ahead log directory and
+// repairs a torn tail left by a crash mid-append.
+func OpenWAL(dir string) (*WAL, error) {
+	return wal.Open(dir, wal.Options{})
+}
+
+// ReplayWAL folds the log's records past `after` — the LSN the loaded
+// snapshot covers (LoadSnapshotLSN returns it) — into res, recovering
+// the exact state the crashed process had acknowledged. opts
+// configures the update passes exactly like Update.
+func ReplayWAL(res *Result, l *WAL, after uint64, opts Options) (*Result, ReplayStats, error) {
+	return api.ReplayWAL(res, core.New(opts), l, after)
+}
+
+// DurableIngestConfig configures crash-safe ingestion: the open WAL
+// new batches commit to, the snapshot file the background compactor
+// rewrites (usually the file the server loaded from), the LSN that
+// snapshot already covers, the compaction period (0 disables the
+// background compactor) and the queue bound beyond which /ingest
+// answers 429 (0 selects the default).
+type DurableIngestConfig struct {
+	WAL          *WAL
+	SnapshotPath string
+	SnapshotLSN  uint64
+	CompactEvery time.Duration
+	Queue        int
+}
+
+// NewDurableIngester starts the updater goroutine with a write-ahead
+// log: every accepted batch is appended and fsynced before it is
+// applied, so a 200 from /ingest survives a crash — restart with
+// LoadSnapshotLSN + OpenWAL + ReplayWAL to recover. The ingester owns
+// cfg.WAL (Close flushes and closes it) and, when cfg.CompactEvery is
+// set, periodically rewrites cfg.SnapshotPath with an LSN-stamped
+// snapshot and truncates the log below it.
+func NewDurableIngester(res *Result, opts Options, srv *APIServer, cfg DurableIngestConfig) (*Ingester, error) {
+	return api.NewDurableIngester(res, core.New(opts), srv, api.IngesterConfig{
+		WAL:          cfg.WAL,
+		SnapshotPath: cfg.SnapshotPath,
+		SnapshotLSN:  cfg.SnapshotLSN,
+		CompactEvery: cfg.CompactEvery,
+		Queue:        cfg.Queue,
+		SaveSnapshot: func(w io.Writer, r *core.Result, lsn uint64) error {
+			return saveSnapshotLSN(w, r, lsn)
+		},
+	})
 }
 
 // SaveSnapshot writes the complete serving state of a build — the
@@ -188,6 +249,20 @@ func NewIngester(res *Result, opts Options, srv *APIServer) (*Ingester, error) {
 // logical taxonomy are directly comparable. The on-disk layout is
 // specified in docs/SNAPSHOT.md.
 func SaveSnapshot(w io.Writer, res *Result) error {
+	return saveSnapshotLSN(w, res, 0)
+}
+
+// SaveSnapshotLSN is SaveSnapshot with the write-ahead-log position
+// stamped into the snapshot metadata: the saved state covers every
+// WAL record up to and including lsn, so recovery replays strictly
+// after it. An LSN of zero writes byte-identical output to
+// SaveSnapshot. The durable ingest plane's compactor saves through
+// this path.
+func SaveSnapshotLSN(w io.Writer, res *Result, lsn uint64) error {
+	return saveSnapshotLSN(w, res, lsn)
+}
+
+func saveSnapshotLSN(w io.Writer, res *Result, lsn uint64) error {
 	if res == nil || res.Taxonomy == nil {
 		return fmt.Errorf("cnprobase: SaveSnapshot needs a Result with a taxonomy")
 	}
@@ -207,6 +282,7 @@ func SaveSnapshot(w io.Writer, res *Result) error {
 	} else {
 		meta.Stats = res.Taxonomy.ComputeStats()
 	}
+	meta.LSN = lsn
 	st := &snapshot.State{
 		Taxonomy: res.Taxonomy,
 		Mentions: res.Mentions,
@@ -238,14 +314,23 @@ func LoadSnapshot(r io.Reader) (*Result, error) { return LoadSnapshotSharded(r, 
 // is the shard count of the assembled taxonomy store (0 = default).
 // Either setting yields the same loaded state.
 func LoadSnapshotSharded(r io.Reader, workers, shards int) (*Result, error) {
+	res, _, err := LoadSnapshotLSN(r, workers, shards)
+	return res, err
+}
+
+// LoadSnapshotLSN is LoadSnapshotSharded returning, in addition, the
+// write-ahead-log position the snapshot covers (zero for snapshots
+// saved outside the durable ingest plane). Recovery passes that LSN
+// to ReplayWAL so only the batches the snapshot missed are re-applied.
+func LoadSnapshotLSN(r io.Reader, workers, shards int) (*Result, uint64, error) {
 	st, err := snapshot.Load(r, snapshot.Options{Workers: workers, Shards: shards})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	rep := &Report{}
 	if len(st.Meta.Report) > 0 {
 		if err := json.Unmarshal(st.Meta.Report, rep); err != nil {
-			return nil, fmt.Errorf("cnprobase: decode snapshot report: %w", err)
+			return nil, 0, fmt.Errorf("cnprobase: decode snapshot report: %w", err)
 		}
 	}
 	if rep.Pages == 0 {
@@ -260,7 +345,7 @@ func LoadSnapshotSharded(r io.Reader, workers, shards int) (*Result, error) {
 		Evidence: st.Evidence,
 		Kept:     st.Kept,
 		Stats:    st.Stats,
-	}, nil
+	}, st.Meta.LSN, nil
 }
 
 // LoadSnapshotView reads a snapshot written by SaveSnapshot and

@@ -6,32 +6,94 @@
 // server atomically — in-flight queries finish on the old view, new
 // queries see the new edges, zero downtime. The endpoint is meant for
 // a dedicated listener (cnpserver -ingest), never the public API port.
+//
+// Ingestion is durable when a write-ahead log is configured
+// (cnpserver -wal): each accepted batch is appended to the WAL and
+// fsynced *before* the update is applied, so the 200 response means
+// the batch survives a crash — restart replays the log tail past the
+// last snapshot and reconstructs the exact acknowledged state. A
+// background compactor periodically saves a fresh snapshot stamped
+// with the last applied LSN and truncates the log below it, keeping
+// replay time proportional to the un-snapshotted tail (docs/WAL.md
+// specifies the protocol).
+//
+// The updater queue is bounded: when a crawler outruns Update, excess
+// batches are refused with 429 + Retry-After instead of queueing
+// without limit, so backpressure reaches the producer before memory
+// does.
 package api
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cnprobase/internal/core"
 	"cnprobase/internal/encyclopedia"
+	"cnprobase/internal/wal"
 )
 
 // MaxIngestBytes caps one /ingest request body, so an oversized batch
 // is rejected while reading rather than after being decoded.
 const MaxIngestBytes = 64 << 20
 
+// DefaultIngestQueue is the default bound on batches waiting for the
+// updater goroutine. Beyond it, /ingest answers 429 + Retry-After.
+const DefaultIngestQueue = 16
+
+// ErrIngesterClosed is returned (and mapped to 503) for batches that
+// reach the ingester after Close has begun: the WAL is already flushed
+// and closed, so the batch was not — and will never be — made durable.
+var ErrIngesterClosed = errors.New("api: ingester is closed")
+
+// IngesterConfig configures durability and backpressure. The zero
+// value is a volatile, memory-only ingester with the default queue
+// bound.
+type IngesterConfig struct {
+	// WAL, when non-nil, makes ingestion durable: every batch is
+	// appended and fsynced before it is applied. The ingester owns the
+	// log from then on — Close flushes and closes it.
+	WAL *wal.Log
+	// SnapshotPath is the snapshot file the compactor rewrites
+	// (atomically: temp file + rename). Required for compaction.
+	SnapshotPath string
+	// SnapshotLSN is the LSN the snapshot at SnapshotPath already
+	// covers at startup, so the first compaction cycle knows whether
+	// there is anything new to persist.
+	SnapshotLSN uint64
+	// CompactEvery is the compaction period; 0 disables the
+	// background compactor (Compact can still be called manually).
+	CompactEvery time.Duration
+	// SaveSnapshot writes res as a snapshot covering WAL records up
+	// to and including lsn. Injected by the facade so this package
+	// does not depend on the snapshot encoder. Required for
+	// compaction.
+	SaveSnapshot func(w io.Writer, res *core.Result, lsn uint64) error
+	// Queue bounds batches waiting for the updater; 0 selects
+	// DefaultIngestQueue.
+	Queue int
+}
+
 // IngestResponse is the /ingest success payload: the batch size, how
-// long the update took, and the post-update taxonomy shape.
+// long the update took, the post-update taxonomy shape, and — on a
+// durable ingester — the batch's log sequence number.
 type IngestResponse struct {
 	Pages        int     `json:"pages"`
 	TookMs       float64 `json:"took_ms"`
 	Entities     int     `json:"entities"`
 	Concepts     int     `json:"concepts"`
 	IsARelations int     `json:"isa_relations"`
+	LSN          uint64  `json:"lsn,omitempty"`
 }
 
 type ingestReply struct {
@@ -40,80 +102,253 @@ type ingestReply struct {
 }
 
 type ingestReq struct {
+	raw   []byte // exact request body, the bytes the WAL persists
 	delta *encyclopedia.Corpus
 	reply chan ingestReply
 }
 
 // Ingester owns the single updater goroutine. All mutation of the
-// Result happens on that goroutine — handlers only enqueue batches and
-// wait for the outcome — so concurrent POSTs serialize and the
-// serving view is swapped exactly once per batch.
+// Result — updates, view swaps, compaction snapshots, WAL truncation —
+// happens on that goroutine; handlers only enqueue batches and wait
+// for the outcome, so concurrent POSTs serialize and the serving view
+// is swapped exactly once per batch.
 type Ingester struct {
 	pipeline *core.Pipeline
 	srv      *Server
+	cfg      IngesterConfig
 	reqs     chan ingestReq
+	compactc chan chan error
 	stop     chan struct{}
 	done     chan struct{}
 	closing  sync.Once
+
+	// lsn is the last LSN settled by the updater (applied, or logged
+	// and rejected by Update); compacted is the LSN the latest
+	// snapshot covers. atomically read by compaction-lag accounting.
+	lsn       atomic.Uint64
+	compacted atomic.Uint64
 }
 
-// NewIngester starts the updater goroutine over a mutable build
-// Result. The Result must carry the update substrate (evidence and
-// statistics — a fresh build, or a snapshot with the evidence
-// section); srv is the API server whose view each batch swap
-// publishes to.
+// NewIngester starts a volatile (memory-only) ingester over a mutable
+// build Result. The Result must carry the update substrate (evidence
+// and statistics — a fresh build, or a snapshot with the evidence
+// section); srv is the API server whose view each batch swap publishes
+// to.
 func NewIngester(res *core.Result, pipeline *core.Pipeline, srv *Server) (*Ingester, error) {
+	return NewDurableIngester(res, pipeline, srv, IngesterConfig{})
+}
+
+// NewDurableIngester starts the updater goroutine with explicit
+// durability configuration. With cfg.WAL set, the log's existing tail
+// must already be replayed into res (see ReplayWAL) — the ingester
+// numbers new batches after the log's last LSN.
+func NewDurableIngester(res *core.Result, pipeline *core.Pipeline, srv *Server, cfg IngesterConfig) (*Ingester, error) {
 	if res == nil || res.Taxonomy == nil {
 		return nil, fmt.Errorf("api: ingester needs a build Result")
 	}
 	if res.Evidence == nil || res.Stats == nil {
 		return nil, fmt.Errorf("api: ingestion needs the update substrate; rebuild, or load a snapshot that carries evidence")
 	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = DefaultIngestQueue
+	}
+	if cfg.CompactEvery > 0 && (cfg.WAL == nil || cfg.SnapshotPath == "" || cfg.SaveSnapshot == nil) {
+		return nil, fmt.Errorf("api: compaction needs a WAL, a snapshot path and a snapshot saver")
+	}
 	ing := &Ingester{
 		pipeline: pipeline,
 		srv:      srv,
-		reqs:     make(chan ingestReq),
+		cfg:      cfg,
+		reqs:     make(chan ingestReq, cfg.Queue),
+		compactc: make(chan chan error),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	if cfg.WAL != nil {
+		ing.lsn.Store(cfg.WAL.LastLSN())
+	}
+	ing.compacted.Store(cfg.SnapshotLSN)
 	go ing.run(res)
 	return ing, nil
 }
 
-// run is the updater goroutine: one batch at a time through Update,
-// then freeze + swap.
+// run is the updater goroutine: one batch at a time through
+// WAL-append then Update, then freeze + swap; compaction interleaves
+// between batches on the same goroutine, so it always snapshots a
+// quiescent Result.
 func (ing *Ingester) run(res *core.Result) {
 	defer close(ing.done)
+	var tickc <-chan time.Time
+	if ing.cfg.WAL != nil && ing.cfg.CompactEvery > 0 {
+		tick := time.NewTicker(ing.cfg.CompactEvery)
+		defer tick.Stop()
+		tickc = tick.C
+	}
 	for {
 		select {
 		case <-ing.stop:
+			ing.shutdown()
 			return
 		case req := <-ing.reqs:
-			start := time.Now()
-			updated, err := ing.pipeline.Update(res, req.delta)
-			if err != nil {
-				// The old view keeps serving; the batch is reported
-				// failed to the caller.
-				req.reply <- ingestReply{err: err}
-				continue
+			res = ing.apply(res, req)
+		case <-tickc:
+			if err := ing.compact(res); err != nil {
+				log.Printf("cnprobase: wal compaction: %v", err)
 			}
-			res = updated
-			ing.srv.SwapView(res.Freeze())
-			st := res.Report.Stats
-			req.reply <- ingestReply{resp: IngestResponse{
-				Pages:        req.delta.Len(),
-				TookMs:       float64(time.Since(start).Microseconds()) / 1000,
-				Entities:     st.Entities,
-				Concepts:     st.Concepts,
-				IsARelations: st.IsARelations,
-			}}
+		case c := <-ing.compactc:
+			c <- ing.compact(res)
 		}
 	}
 }
 
-// Close stops the updater goroutine and waits for it to exit. Requests
-// arriving afterwards are rejected with 503. Safe to call more than
-// once.
+// apply settles one batch: make it durable, fold it in, publish the
+// new view, answer the caller. The WAL append comes first — only a
+// batch that is already on disk may mutate served state, so the
+// acknowledged state is always reconstructible.
+func (ing *Ingester) apply(res *core.Result, req ingestReq) *core.Result {
+	start := time.Now()
+	var lsn uint64
+	if ing.cfg.WAL != nil {
+		var err error
+		lsn, err = ing.cfg.WAL.Append(req.raw)
+		if err != nil {
+			req.reply <- ingestReply{err: fmt.Errorf("write-ahead log append: %w", err)}
+			return res
+		}
+	}
+	updated, err := ing.pipeline.Update(res, req.delta)
+	if err != nil {
+		// The batch is on disk but rejected; replay hits the same
+		// deterministic validation and skips it, so live outcome and
+		// recovered outcome agree. The LSN still settles — the
+		// snapshot may cover it.
+		if lsn != 0 {
+			ing.lsn.Store(lsn)
+		}
+		req.reply <- ingestReply{err: err}
+		return res
+	}
+	ing.srv.SwapView(updated.Freeze())
+	if lsn != 0 {
+		ing.lsn.Store(lsn)
+	}
+	st := updated.Report.Stats
+	req.reply <- ingestReply{resp: IngestResponse{
+		Pages:        req.delta.Len(),
+		TookMs:       float64(time.Since(start).Microseconds()) / 1000,
+		Entities:     st.Entities,
+		Concepts:     st.Concepts,
+		IsARelations: st.IsARelations,
+		LSN:          lsn,
+	}}
+	return updated
+}
+
+// compact persists res as a fresh snapshot covering everything applied
+// so far and prunes the WAL below it. The ordering is the data-loss
+// proof: the snapshot is fully durable (temp file, fsync, rename,
+// directory fsync) before a single log byte is dropped, and
+// TruncateBelow only ever removes whole segments at or below the
+// snapshot's LSN — a crash anywhere in between recovers from either
+// the old snapshot + full log or the new snapshot + shorter log, both
+// complete.
+func (ing *Ingester) compact(res *core.Result) error {
+	lsn := ing.lsn.Load()
+	if ing.cfg.WAL == nil || lsn == ing.compacted.Load() {
+		return nil
+	}
+	dir := filepath.Dir(ing.cfg.SnapshotPath)
+	f, err := os.CreateTemp(dir, ".cnpsnap-*")
+	if err != nil {
+		return fmt.Errorf("compaction snapshot: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("compaction snapshot: %w", err)
+	}
+	if err := ing.cfg.SaveSnapshot(f, res, lsn); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("compaction snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, ing.cfg.SnapshotPath); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("compaction snapshot: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("compaction snapshot: %w", err)
+	}
+	ing.compacted.Store(lsn)
+	// Seal the tail so the whole covered range is eligible, then
+	// prune. Roll before truncate is what lets the log shrink to a
+	// single header-only segment when the snapshot covers everything.
+	if err := ing.cfg.WAL.Roll(); err != nil {
+		return fmt.Errorf("compaction roll: %w", err)
+	}
+	if _, err := ing.cfg.WAL.TruncateBelow(lsn); err != nil {
+		return fmt.Errorf("compaction truncate: %w", err)
+	}
+	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Compact runs one compaction cycle on the updater goroutine and
+// returns its outcome. Used by tests and operational tooling; the
+// periodic compactor calls the same code.
+func (ing *Ingester) Compact() error {
+	c := make(chan error, 1)
+	select {
+	case ing.compactc <- c:
+		return <-c
+	case <-ing.done:
+		return ErrIngesterClosed
+	}
+}
+
+// CompactedLSN returns the LSN the latest compaction snapshot covers.
+func (ing *Ingester) CompactedLSN() uint64 { return ing.compacted.Load() }
+
+// AppliedLSN returns the LSN of the last batch the updater settled.
+func (ing *Ingester) AppliedLSN() uint64 { return ing.lsn.Load() }
+
+// shutdown finishes the updater goroutine: first flush and fsync the
+// WAL — everything acknowledged so far becomes durable before anything
+// is refused — then fail whatever is still queued. Those batches were
+// never appended, so the 503 is truthful: not durable, not applied.
+func (ing *Ingester) shutdown() {
+	if ing.cfg.WAL != nil {
+		if err := ing.cfg.WAL.Close(); err != nil {
+			log.Printf("cnprobase: wal close: %v", err)
+		}
+	}
+	for {
+		select {
+		case req := <-ing.reqs:
+			req.reply <- ingestReply{err: ErrIngesterClosed}
+		default:
+			return
+		}
+	}
+}
+
+// Close stops the updater goroutine, flushes and closes the WAL, and
+// waits for it all to finish. Requests arriving afterwards are
+// rejected with 503. Safe to call more than once.
 func (ing *Ingester) Close() {
 	ing.closing.Do(func() { close(ing.stop) })
 	<-ing.done
@@ -132,7 +367,12 @@ func (ing *Ingester) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "ingest requires POST with JSONL pages")
 		return
 	}
-	delta, err := encyclopedia.ReadJSONL(http.MaxBytesReader(w, r.Body, MaxIngestBytes))
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxIngestBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	delta, err := encyclopedia.ReadJSONL(bytes.NewReader(raw))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "body must be JSONL pages: "+err.Error())
 		return
@@ -147,18 +387,96 @@ func (ing *Ingester) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	req := ingestReq{delta: delta, reply: make(chan ingestReply, 1)}
+	req := ingestReq{raw: raw, delta: delta, reply: make(chan ingestReply, 1)}
 	select {
 	case ing.reqs <- req:
 	case <-ing.stop:
 		writeError(w, http.StatusServiceUnavailable, "ingester is shut down")
 		return
+	default:
+		// The queue is full: the updater is the bottleneck, so tell
+		// the crawler to back off instead of buffering without bound.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "ingest queue is full; retry later")
+		return
 	}
-	rep := <-req.reply
+	var rep ingestReply
+	select {
+	case rep = <-req.reply:
+	case <-ing.done:
+		// The updater exited while this batch waited. Shutdown drains
+		// the queue, so the reply is normally already buffered; if the
+		// enqueue raced past the drain, the batch was dropped unlogged.
+		select {
+		case rep = <-req.reply:
+		default:
+			rep = ingestReply{err: ErrIngesterClosed}
+		}
+	}
 	if rep.err != nil {
-		writeError(w, http.StatusInternalServerError, "update failed: "+rep.err.Error())
+		code := http.StatusInternalServerError
+		if errors.Is(rep.err, ErrIngesterClosed) || errors.Is(rep.err, wal.ErrClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, "update failed: "+rep.err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	_ = json.NewEncoder(w).Encode(rep.resp)
+}
+
+// ReplayStats summarizes a WAL replay.
+type ReplayStats struct {
+	// Applied is the number of batches folded into the Result.
+	Applied int
+	// Skipped is the number of logged batches Update rejected — the
+	// same deterministic validation that failed them with a 500 when
+	// they were first submitted, so the recovered state matches the
+	// state the live process served.
+	Skipped int
+	// LastLSN is the LSN of the last replayed record (== after when
+	// the log held nothing new).
+	LastLSN uint64
+}
+
+// ReplayWAL folds the log's records past `after` — the LSN the loaded
+// snapshot covers — into res, returning the updated Result. On
+// success the Result is byte-for-byte the state the crashed process
+// had acknowledged: every logged batch was fsynced before it was
+// applied, and Update is deterministic. Payloads that fail to parse
+// are an error (the handler validated them before logging, so a
+// parse failure means corruption the checksums missed); batches
+// Update rejects are counted in Skipped and otherwise ignored,
+// mirroring their live 500. After a successful replay the log's
+// append position is at least `after`, so a freshly created log
+// behind an old snapshot numbers new batches correctly.
+func ReplayWAL(res *core.Result, pipeline *core.Pipeline, l *wal.Log, after uint64) (*core.Result, ReplayStats, error) {
+	stats := ReplayStats{LastLSN: after}
+	if res == nil || res.Taxonomy == nil {
+		return nil, stats, fmt.Errorf("api: replay needs a build Result")
+	}
+	if res.Evidence == nil || res.Stats == nil {
+		return nil, stats, fmt.Errorf("api: replay needs the update substrate; load a snapshot that carries evidence")
+	}
+	err := l.Replay(after, func(lsn uint64, payload []byte) error {
+		delta, err := encyclopedia.ReadJSONL(bytes.NewReader(payload))
+		if err != nil {
+			return fmt.Errorf("record %d does not parse as JSONL pages: %w", lsn, err)
+		}
+		updated, err := pipeline.Update(res, delta)
+		if err != nil {
+			stats.Skipped++
+			stats.LastLSN = lsn
+			return nil
+		}
+		res = updated
+		stats.Applied++
+		stats.LastLSN = lsn
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	l.AdvanceTo(after)
+	return res, stats, nil
 }

@@ -92,6 +92,13 @@ type Meta struct {
 	// Report is an opaque JSON build report (the facade stores the
 	// pipeline Report with concurrency fields normalized to zero).
 	Report json.RawMessage `json:"report,omitempty"`
+	// LSN is the write-ahead-log sequence number this snapshot covers:
+	// every ingested batch with a log position at or below it is folded
+	// into the saved state, so recovery replays the WAL strictly after
+	// it. Zero (omitted) for snapshots saved outside the durable
+	// ingest plane; old snapshots decode with LSN zero, so the field
+	// is compatible in both directions.
+	LSN uint64 `json:"lsn,omitempty"`
 }
 
 // State is the complete serving state a snapshot round-trips, plus —

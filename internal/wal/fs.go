@@ -1,0 +1,80 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FileSystem is the slice of filesystem behavior the log needs. The
+// default implementation is OSFileSystem; tests substitute an
+// in-memory filesystem whose writes fail after a byte budget, which is
+// how the crash-injection battery kills a commit at every byte offset
+// and checks what replay recovers.
+type FileSystem interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// List returns the names (not paths) of the entries in dir.
+	List(dir string) ([]string, error)
+	// OpenAppend opens path for appending, creating it if absent.
+	OpenAppend(path string) (File, error)
+	// Open opens path for reading.
+	Open(path string) (io.ReadCloser, error)
+	// Remove deletes path.
+	Remove(path string) error
+	// Truncate cuts path to size bytes.
+	Truncate(path string, size int64) error
+	// SyncDir fsyncs the directory itself, making entry creation and
+	// removal durable.
+	SyncDir(dir string) error
+}
+
+// File is an open, appendable segment file.
+type File interface {
+	io.Writer
+	// Sync flushes written bytes to stable storage.
+	Sync() error
+	// Close releases the file.
+	Close() error
+}
+
+// OSFileSystem is the real filesystem.
+type OSFileSystem struct{}
+
+func (OSFileSystem) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFileSystem) List(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OSFileSystem) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (OSFileSystem) Open(path string) (io.ReadCloser, error) { return os.Open(path) }
+
+func (OSFileSystem) Remove(path string) error { return os.Remove(path) }
+
+func (OSFileSystem) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (OSFileSystem) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,109 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// FuzzWALReplay feeds arbitrary bytes to the log reader as a first
+// segment file. The contract under test is the one recovery relies on:
+// Open and Replay never panic, never allocate proportionally to a
+// corrupt length claim, and any log they do accept must round-trip —
+// re-appending the replayed payloads to a fresh log and replaying that
+// must reproduce the identical (LSN, payload) sequence. Seeds cover a
+// valid multi-record segment plus the interesting corruption classes
+// (truncation, bit flip, huge length claim); the fuzzer mutates from
+// there.
+func FuzzWALReplay(f *testing.F) {
+	valid := buildSegment(1, [][]byte{[]byte("alpha"), []byte("beta"), {}, []byte("gamma-gamma")})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // torn tail
+	flipped := append([]byte(nil), valid...)
+	flipped[segmentHeaderSize+20] ^= 0x10
+	f.Add(flipped) // corrupt payload byte
+	huge := buildSegment(1, nil)
+	huge = binary.LittleEndian.AppendUint64(huge, MaxRecordBytes+7) // absurd length claim
+	huge = binary.LittleEndian.AppendUint64(huge, 1)
+	f.Add(huge)
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fs := newMemFS()
+		fs.files[testDir+"/"+segmentName(1)] = data
+		l, err := Open(testDir, Options{FS: fs})
+		if err != nil {
+			return
+		}
+		var lsns []uint64
+		var payloads [][]byte
+		err = l.Replay(0, func(lsn uint64, payload []byte) error {
+			lsns = append(lsns, lsn)
+			payloads = append(payloads, append([]byte(nil), payload...))
+			return nil
+		})
+		if err != nil {
+			return
+		}
+
+		// Accepted: the recovered state must survive a write-out and a
+		// second recovery bit-exactly.
+		fs2 := newMemFS()
+		l2, err := Open(testDir, Options{FS: fs2})
+		if err != nil {
+			t.Fatalf("reopen fresh log: %v", err)
+		}
+		for i, p := range payloads {
+			lsn, err := l2.Append(p)
+			if err != nil {
+				t.Fatalf("re-append record %d: %v", i, err)
+			}
+			if lsn != lsns[i] {
+				t.Fatalf("re-append record %d got LSN %d, want %d", i, lsn, lsns[i])
+			}
+		}
+		if err := l2.Close(); err != nil {
+			t.Fatalf("close re-appended log: %v", err)
+		}
+		l3, err := Open(testDir, Options{FS: fs2})
+		if err != nil {
+			t.Fatalf("reopen re-appended log: %v", err)
+		}
+		i := 0
+		err = l3.Replay(0, func(lsn uint64, payload []byte) error {
+			if i >= len(payloads) || lsn != lsns[i] || !bytes.Equal(payload, payloads[i]) {
+				t.Fatalf("re-replay diverged at record %d", i)
+			}
+			i++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("re-replay: %v", err)
+		}
+		if i != len(payloads) {
+			t.Fatalf("re-replay yielded %d records, want %d", i, len(payloads))
+		}
+	})
+}
+
+// buildSegment assembles a valid segment file by hand, independent of
+// the writer under test.
+func buildSegment(first uint64, payloads [][]byte) []byte {
+	var b []byte
+	b = append(b, Magic...)
+	b = binary.LittleEndian.AppendUint32(b, Version)
+	b = binary.LittleEndian.AppendUint64(b, first)
+	lsn := first
+	for _, p := range payloads {
+		var frame []byte
+		frame = binary.LittleEndian.AppendUint64(frame, uint64(len(p)))
+		frame = binary.LittleEndian.AppendUint64(frame, lsn)
+		frame = append(frame, p...)
+		frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(frame))
+		b = append(b, frame...)
+		lsn++
+	}
+	return b
+}

@@ -1,0 +1,676 @@
+// Package wal implements the write-ahead log that makes continuous
+// ingestion durable: every accepted /ingest batch is appended — length-
+// prefixed, CRC-32-checksummed, fsynced — before it is applied to the
+// taxonomy, so a crash between snapshot saves loses nothing. On
+// startup the server loads the latest snapshot and replays the log
+// tail (every record beyond the snapshot's LSN); a background
+// compactor periodically saves a fresh snapshot and truncates the log
+// below it, keeping replay time proportional to the un-snapshotted
+// tail rather than the log's lifetime.
+//
+// The log is a directory of segment files named by the LSN of their
+// first record. Records carry consecutive log sequence numbers
+// assigned at append time; one Append is one commit (the write and
+// the fsync happen before Append returns), so after a crash the
+// durable log is always an exact prefix of the committed batch
+// sequence. docs/WAL.md specifies the byte layout and the recovery
+// protocol.
+//
+// Torn-tail policy (the same stance internal/snapshot takes, adapted
+// to an append-only file): because every committed record was fsynced
+// before the next one started, a crash can damage at most the final
+// record of the final segment. A truncated or checksum-failing final
+// record is therefore discarded silently — it was never acknowledged —
+// while corruption anywhere earlier (a record with intact bytes after
+// it, or any defect in a non-final segment) fails loudly: that region
+// was durable, so damage there is real data loss and must not be
+// papered over.
+//
+// All file I/O goes through an injectable FileSystem, which is what
+// lets the crash-injection tests kill writes at every byte offset of a
+// commit and prove the replay-yields-a-committed-prefix property
+// rather than assume it.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Format constants. The magic opens every segment file; Version is
+// bumped on any incompatible layout change (a reader rejects versions
+// it does not know).
+const (
+	// Magic opens every WAL segment file.
+	Magic = "CNPBWAL1"
+	// Version is the current segment format version.
+	Version = 1
+	// segmentHeaderSize frames a segment: magic (8), version (4,
+	// little-endian), first LSN (8, little-endian).
+	segmentHeaderSize = 8 + 4 + 8
+	// recordOverhead frames a record: payload length (8) + LSN (8)
+	// before the payload, CRC-32 (4) after it. The CRC covers the
+	// 16 header bytes and the payload, so a flipped length or LSN is
+	// detected exactly like a flipped payload byte.
+	recordOverhead = 8 + 8 + 4
+	// MaxRecordBytes bounds one record's payload; a larger length
+	// claim is treated as corruption. Comfortably above the 64 MiB
+	// /ingest body cap.
+	MaxRecordBytes = 1 << 30
+	// DefaultSegmentBytes is the size past which Append rolls to a
+	// fresh segment file, making the filled one eligible for
+	// compaction.
+	DefaultSegmentBytes = 64 << 20
+	// segmentSuffix names segment files: 20 zero-padded decimal
+	// digits of the first LSN, then this suffix.
+	segmentSuffix = ".wal"
+)
+
+// ErrClosed is returned by every mutating method after Close: the
+// typed rejection the ingester relies on to 503 late batches instead
+// of silently dropping them.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Options tunes a Log.
+type Options struct {
+	// FS is the filesystem the log lives on; nil selects the real
+	// one. Tests inject failing filesystems here to simulate crashes
+	// at arbitrary byte offsets.
+	FS FileSystem
+	// SegmentBytes is the roll threshold; 0 selects
+	// DefaultSegmentBytes.
+	SegmentBytes int64
+}
+
+// segment is one on-disk segment file: its name and the LSN of its
+// first record (also encoded in the name).
+type segment struct {
+	name  string
+	first uint64
+}
+
+// Log is an append-only, segmented write-ahead log. All methods are
+// safe for concurrent use; in the ingest plane only the single updater
+// goroutine appends, while compaction (Roll + TruncateBelow) and
+// startup replay run on the same goroutine or before it starts.
+type Log struct {
+	dir  string
+	fs   FileSystem
+	opts Options
+
+	mu       sync.Mutex
+	segs     []segment
+	cur      File  // open tail segment, nil until the first append
+	curSize  int64 // valid bytes in the tail segment
+	lsn      uint64
+	closed   bool
+	brokenBy error // first unrecoverable append failure; sticky
+}
+
+// Open opens (creating if necessary) the log directory, validates the
+// tail segment and repairs its torn tail if the previous process died
+// mid-append: a final record that is truncated or fails its checksum
+// is cut off, restoring the file to the exact committed prefix.
+// Defects anywhere else in the tail segment are errors; earlier
+// segments are validated when Replay streams them.
+func Open(dir string, opts Options) (*Log, error) {
+	fs := opts.FS
+	if fs == nil {
+		fs = OSFileSystem{}
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("wal: create %s: %w", dir, err)
+	}
+	segs, err := listSegments(fs, dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, fs: fs, opts: opts, segs: segs}
+	if len(segs) == 0 {
+		return l, nil
+	}
+	// Scan the tail segment: it determines the last committed LSN and
+	// is the only place a torn tail is legal.
+	tail := segs[len(segs)-1]
+	path := filepath.Join(dir, tail.name)
+	r, err := fs.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	res, err := scanSegment(r, tail.first, true, nil)
+	r.Close()
+	if err != nil {
+		return nil, fmt.Errorf("wal: segment %s: %w", tail.name, err)
+	}
+	switch {
+	case res.torn && res.validSize < segmentHeaderSize:
+		// The crash hit the segment header itself: no record of this
+		// segment ever committed, so the file carries nothing — drop
+		// it and let the previous segment's last record stand.
+		if err := fs.Remove(path); err != nil {
+			return nil, fmt.Errorf("wal: drop torn segment %s: %w", tail.name, err)
+		}
+		if err := fs.SyncDir(dir); err != nil {
+			return nil, fmt.Errorf("wal: sync %s: %w", dir, err)
+		}
+		l.segs = segs[:len(segs)-1]
+		if len(l.segs) > 0 {
+			// The new tail was sealed by a successful roll, so it
+			// cannot itself be torn; still read it for its last LSN.
+			prev := l.segs[len(l.segs)-1]
+			prevPath := filepath.Join(dir, prev.name)
+			pr, err := fs.Open(prevPath)
+			if err != nil {
+				return nil, fmt.Errorf("wal: open %s: %w", prevPath, err)
+			}
+			pres, err := scanSegment(pr, prev.first, false, nil)
+			pr.Close()
+			if err != nil {
+				return nil, fmt.Errorf("wal: segment %s: %w", prev.name, err)
+			}
+			l.lsn = pres.lastLSN
+			l.curSize = pres.validSize
+		}
+	case res.torn:
+		if err := fs.Truncate(path, res.validSize); err != nil {
+			return nil, fmt.Errorf("wal: repair torn tail of %s: %w", tail.name, err)
+		}
+		l.lsn = res.lastLSN
+		l.curSize = res.validSize
+	default:
+		l.lsn = res.lastLSN
+		l.curSize = res.validSize
+	}
+	return l, nil
+}
+
+// listSegments parses the directory into LSN-sorted segments,
+// ignoring files that do not look like segments (a co-located
+// snapshot, editor droppings).
+func listSegments(fs FileSystem, dir string) ([]segment, error) {
+	names, err := fs.List(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list %s: %w", dir, err)
+	}
+	var segs []segment
+	for _, name := range names {
+		base := strings.TrimSuffix(name, segmentSuffix)
+		if base == name || len(base) != 20 {
+			continue
+		}
+		first, err := strconv.ParseUint(base, 10, 64)
+		if err != nil || first == 0 {
+			continue
+		}
+		segs = append(segs, segment{name: name, first: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	for i := 1; i < len(segs); i++ {
+		if segs[i].first == segs[i-1].first {
+			return nil, fmt.Errorf("wal: duplicate segment LSN %d (%s, %s)", segs[i].first, segs[i-1].name, segs[i].name)
+		}
+	}
+	return segs, nil
+}
+
+// segmentName formats the file name of a segment starting at first.
+func segmentName(first uint64) string {
+	return fmt.Sprintf("%020d%s", first, segmentSuffix)
+}
+
+// LastLSN returns the sequence number of the last committed record
+// (0 when the log has never been appended to).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lsn
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// SegmentCount returns the number of live segment files.
+func (l *Log) SegmentCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs)
+}
+
+// AdvanceTo raises the next-LSN watermark so future appends are
+// numbered after lsn. Recovery calls this with the loaded snapshot's
+// LSN: if the log directory is fresh (or was fully compacted away)
+// while the snapshot already covers batches 1..lsn, appends must not
+// reuse those numbers — a later replay would skip them as already
+// snapshotted. A watermark at or below the current position is a
+// no-op.
+func (l *Log) AdvanceTo(lsn uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn > l.lsn {
+		l.lsn = lsn
+	}
+}
+
+// Append commits one batch payload: frame, write, fsync, in that
+// order, returning the record's LSN. When Append returns nil the
+// record is durable — replay after any later crash will yield it. On
+// a write or sync failure the half-written bytes are truncated away
+// so the file stays a valid record sequence; if even that repair
+// fails the log wedges (every later Append returns the original
+// error) rather than risk appending after a torn region.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.brokenBy != nil {
+		return 0, fmt.Errorf("wal: log is wedged by an earlier append failure: %w", l.brokenBy)
+	}
+	if len(payload) > MaxRecordBytes {
+		return 0, fmt.Errorf("wal: %d-byte payload exceeds the %d-byte record cap", len(payload), MaxRecordBytes)
+	}
+	if l.cur == nil && len(l.segs) > 0 && l.curSize < l.opts.SegmentBytes {
+		// First append after Open: continue the existing tail segment
+		// (already repaired to its committed prefix) instead of
+		// rolling a fresh file per restart.
+		if err := l.openTailLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if l.cur == nil || l.curSize >= l.opts.SegmentBytes {
+		if err := l.rollLocked(); err != nil {
+			return 0, err
+		}
+	}
+	lsn := l.lsn + 1
+	frame := make([]byte, 0, recordOverhead+len(payload))
+	frame = binary.LittleEndian.AppendUint64(frame, uint64(len(payload)))
+	frame = binary.LittleEndian.AppendUint64(frame, lsn)
+	frame = append(frame, payload...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(frame))
+	if _, err := l.cur.Write(frame); err != nil {
+		l.repairLocked(err)
+		return 0, fmt.Errorf("wal: append record %d: %w", lsn, err)
+	}
+	if err := l.cur.Sync(); err != nil {
+		l.repairLocked(err)
+		return 0, fmt.Errorf("wal: fsync record %d: %w", lsn, err)
+	}
+	l.curSize += int64(len(frame))
+	l.lsn = lsn
+	return lsn, nil
+}
+
+// repairLocked truncates a half-written record off the tail segment
+// after a failed write or sync. If truncation itself fails the log is
+// wedged: appending after bytes of unknown integrity would turn the
+// next crash into mid-file corruption, which replay rightly refuses.
+func (l *Log) repairLocked(cause error) {
+	path := filepath.Join(l.dir, l.segs[len(l.segs)-1].name)
+	if err := l.fs.Truncate(path, l.curSize); err != nil {
+		l.brokenBy = cause
+	}
+}
+
+// Roll seals the tail segment and starts a fresh one, so every record
+// committed so far lives in a sealed file that TruncateBelow can
+// delete once a snapshot covers it. A tail segment with no records
+// yet is already as fresh as a roll would make it; rolling then is a
+// no-op.
+func (l *Log) Roll() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if len(l.segs) == 0 || l.curSize <= segmentHeaderSize {
+		return nil
+	}
+	return l.rollLocked()
+}
+
+// rollLocked closes the open tail segment (if any) and creates the
+// next one, named and stamped with the next LSN.
+func (l *Log) rollLocked() error {
+	if l.cur != nil {
+		if err := l.cur.Close(); err != nil {
+			return fmt.Errorf("wal: close segment: %w", err)
+		}
+		l.cur = nil
+	}
+	seg := segment{name: segmentName(l.lsn + 1), first: l.lsn + 1}
+	path := filepath.Join(l.dir, seg.name)
+	f, err := l.fs.OpenAppend(path)
+	if err != nil {
+		return fmt.Errorf("wal: create segment %s: %w", seg.name, err)
+	}
+	var hdr [segmentHeaderSize]byte
+	copy(hdr[:8], Magic)
+	binary.LittleEndian.PutUint32(hdr[8:12], Version)
+	binary.LittleEndian.PutUint64(hdr[12:20], seg.first)
+	err = func() error {
+		if _, err := f.Write(hdr[:]); err != nil {
+			return fmt.Errorf("wal: write segment header %s: %w", seg.name, err)
+		}
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync segment header %s: %w", seg.name, err)
+		}
+		if err := l.fs.SyncDir(l.dir); err != nil {
+			return fmt.Errorf("wal: sync %s: %w", l.dir, err)
+		}
+		return nil
+	}()
+	if err != nil {
+		// Remove the partial file: retrying OpenAppend over it would
+		// stack a second header after torn bytes. If the removal fails
+		// too the log wedges, same as a failed record repair.
+		f.Close()
+		if rmErr := l.fs.Remove(path); rmErr != nil {
+			l.brokenBy = err
+		}
+		return err
+	}
+	l.segs = append(l.segs, seg)
+	l.cur = f
+	l.curSize = segmentHeaderSize
+	return nil
+}
+
+// openTailLocked opens the existing tail segment for appending.
+func (l *Log) openTailLocked() error {
+	seg := l.segs[len(l.segs)-1]
+	f, err := l.fs.OpenAppend(filepath.Join(l.dir, seg.name))
+	if err != nil {
+		return fmt.Errorf("wal: open segment %s: %w", seg.name, err)
+	}
+	l.cur = f
+	return nil
+}
+
+// TruncateBelow deletes every segment whose records are all covered
+// by a snapshot at LSN upTo. Only whole sealed segments go: a segment
+// is removable exactly when a later segment exists and starts at or
+// below upTo+1 (so every record the segment holds is ≤ upTo and
+// already snapshotted — the LSN-accounting guarantee the compactor
+// relies on). Segments are removed oldest-first with a directory sync
+// after each, so a crash mid-truncation leaves a contiguous suffix,
+// never a gap.
+func (l *Log) TruncateBelow(upTo uint64) (removed int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	for len(l.segs) > 1 && l.segs[1].first <= upTo+1 {
+		path := filepath.Join(l.dir, l.segs[0].name)
+		if err := l.fs.Remove(path); err != nil {
+			return removed, fmt.Errorf("wal: remove segment %s: %w", l.segs[0].name, err)
+		}
+		if err := l.fs.SyncDir(l.dir); err != nil {
+			return removed, fmt.Errorf("wal: sync %s: %w", l.dir, err)
+		}
+		l.segs = l.segs[1:]
+		removed++
+	}
+	return removed, nil
+}
+
+// Replay streams every committed record with LSN > after, in order,
+// to fn; fn's error aborts the replay and is returned verbatim. The
+// record sequence is validated end to end — segment headers, record
+// checksums, LSN contiguity across segment boundaries, and the
+// snapshot/log handoff (the first record past `after` must be
+// after+1; a gap means records were lost and replay refuses to build
+// a silently incomplete state). The final segment tolerates a torn
+// tail exactly like Open; anything earlier fails loudly.
+func (l *Log) Replay(after uint64, fn func(lsn uint64, payload []byte) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	expect := uint64(0) // next LSN the stream must produce; 0 = unset
+	replayed := false
+	for i, seg := range l.segs {
+		if expect != 0 && seg.first != expect {
+			return fmt.Errorf("wal: segment %s starts at LSN %d, want %d: missing records", seg.name, seg.first, expect)
+		}
+		path := filepath.Join(l.dir, seg.name)
+		r, err := l.fs.Open(path)
+		if err != nil {
+			return fmt.Errorf("wal: open %s: %w", path, err)
+		}
+		res, err := scanSegment(r, seg.first, i == len(l.segs)-1, func(lsn uint64, payload []byte) error {
+			if lsn <= after {
+				return nil
+			}
+			if !replayed && lsn != after+1 {
+				return fmt.Errorf("wal: first record past LSN %d is %d: missing records", after, lsn)
+			}
+			replayed = true
+			return fn(lsn, payload)
+		})
+		r.Close()
+		if err != nil {
+			return fmt.Errorf("wal: segment %s: %w", seg.name, err)
+		}
+		if res.torn && i < len(l.segs)-1 {
+			return fmt.Errorf("wal: segment %s: torn tail in a non-final segment", seg.name)
+		}
+		if res.lastLSN >= seg.first {
+			expect = res.lastLSN + 1
+		} else {
+			expect = seg.first // header-only segment: nothing consumed
+		}
+	}
+	return nil
+}
+
+// Close flushes and fsyncs the tail segment and closes it. Every
+// later mutating call returns ErrClosed. Safe to call more than once.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.cur == nil {
+		return nil
+	}
+	f := l.cur
+	l.cur = nil
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: fsync on close: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: close segment: %w", err)
+	}
+	return nil
+}
+
+// scanResult summarizes one segment pass.
+type scanResult struct {
+	// validSize is the byte length of the longest valid prefix:
+	// header plus whole, checksum-clean records.
+	validSize int64
+	// lastLSN is the LSN of the last valid record, or first−1 when
+	// the segment holds none.
+	lastLSN uint64
+	// torn reports that bytes past validSize were discarded under the
+	// torn-tail policy (only ever set when final scanning is allowed).
+	torn bool
+}
+
+// scanSegment reads one segment stream: header, then records, feeding
+// each valid record to fn (which may be nil). final selects the
+// torn-tail policy — in the final segment a truncated or
+// checksum-failing last record is reported as torn rather than an
+// error; in any other segment every defect is an error. A defective
+// record that is provably not last (intact bytes follow it) is an
+// error even in the final segment: fsync ordering means a real crash
+// cannot produce it, so it is genuine corruption.
+func scanSegment(r io.Reader, first uint64, final bool, fn func(lsn uint64, payload []byte) error) (scanResult, error) {
+	res := scanResult{lastLSN: first - 1}
+	br := newByteCounter(r)
+	var hdr [segmentHeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if final && (errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)) {
+			res.torn = true
+			return res, nil
+		}
+		return res, fmt.Errorf("read segment header: %w", err)
+	}
+	if string(hdr[:8]) != Magic {
+		return res, fmt.Errorf("bad magic %q", hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != Version {
+		return res, fmt.Errorf("unsupported format version %d (supported: %d)", v, Version)
+	}
+	if got := binary.LittleEndian.Uint64(hdr[12:20]); got != first {
+		return res, fmt.Errorf("header says first LSN %d, file name says %d", got, first)
+	}
+	res.validSize = segmentHeaderSize
+
+	expect := first
+	for {
+		var rh [16]byte
+		n, err := io.ReadFull(br, rh[:])
+		if err != nil {
+			if errors.Is(err, io.EOF) && n == 0 {
+				return res, nil // clean end between records
+			}
+			if final {
+				res.torn = true
+				return res, nil
+			}
+			return res, fmt.Errorf("truncated record header at offset %d", res.validSize)
+		}
+		length := binary.LittleEndian.Uint64(rh[:8])
+		lsn := binary.LittleEndian.Uint64(rh[8:16])
+		if length > MaxRecordBytes {
+			// Append never writes a payload this large, and a torn
+			// write leaves a *prefix* of the frame — a short header,
+			// not a complete header with a wrong value. A fully
+			// readable absurd length is therefore corruption, loud
+			// even in the final segment.
+			return res, fmt.Errorf("record at offset %d claims %d bytes", res.validSize, length)
+		}
+		payload, err := readN(br, length)
+		if err != nil {
+			if final {
+				res.torn = true
+				return res, nil
+			}
+			return res, fmt.Errorf("truncated record %d at offset %d", lsn, res.validSize)
+		}
+		var crcb [4]byte
+		if _, err := io.ReadFull(br, crcb[:]); err != nil {
+			if final {
+				res.torn = true
+				return res, nil
+			}
+			return res, fmt.Errorf("truncated record %d checksum at offset %d", lsn, res.validSize)
+		}
+		crc := crc32.ChecksumIEEE(rh[:])
+		crc = crc32.Update(crc, crc32.IEEETable, payload)
+		if crc != binary.LittleEndian.Uint32(crcb[:]) {
+			// A checksum failure is a torn write only if this really is
+			// the last record; intact bytes after it prove otherwise.
+			if final && !br.more() {
+				res.torn = true
+				return res, nil
+			}
+			return res, fmt.Errorf("record %d checksum mismatch at offset %d", lsn, res.validSize)
+		}
+		if lsn != expect {
+			return res, fmt.Errorf("record at offset %d has LSN %d, want %d", res.validSize, lsn, expect)
+		}
+		if fn != nil {
+			if err := fn(lsn, payload); err != nil {
+				return res, err
+			}
+		}
+		res.validSize += int64(recordOverhead) + int64(length)
+		res.lastLSN = lsn
+		expect++
+	}
+}
+
+// readN reads exactly n bytes, growing the buffer one bounded chunk
+// at a time so a corrupted length claim costs at most one chunk of
+// allocation before the truncated read surfaces (the same defense
+// internal/snapshot applies to section lengths).
+func readN(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	var buf []byte
+	for remaining := n; remaining > 0; {
+		step := remaining
+		if step > chunk {
+			step = chunk
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
+		remaining -= step
+	}
+	return buf, nil
+}
+
+// byteCounter wraps a reader with one byte of lookahead so the scan
+// can ask "are there intact bytes after this record?" without
+// consuming them into the next frame.
+type byteCounter struct {
+	r      io.Reader
+	peeked []byte
+	eof    bool
+}
+
+func newByteCounter(r io.Reader) *byteCounter { return &byteCounter{r: r} }
+
+func (b *byteCounter) Read(p []byte) (int, error) {
+	if len(b.peeked) > 0 {
+		n := copy(p, b.peeked)
+		b.peeked = b.peeked[n:]
+		return n, nil
+	}
+	if b.eof {
+		return 0, io.EOF
+	}
+	return b.r.Read(p)
+}
+
+// more reports whether at least one more byte exists in the stream.
+func (b *byteCounter) more() bool {
+	if len(b.peeked) > 0 {
+		return true
+	}
+	if b.eof {
+		return false
+	}
+	var one [1]byte
+	n, err := io.ReadFull(b.r, one[:])
+	if n == 1 {
+		b.peeked = append(b.peeked, one[0])
+		return true
+	}
+	if err != nil {
+		b.eof = true
+	}
+	return false
+}

@@ -1,0 +1,883 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// ---------------------------------------------------------------------------
+// In-memory filesystem with byte-budget crash injection.
+//
+// Every mutating operation charges a cost against a budget: writes cost
+// their byte count, metadata mutations (sync, remove, truncate, dir
+// sync) cost one. When the budget runs out mid-operation the filesystem
+// "crashes": a write keeps exactly the bytes the budget still allowed —
+// modeling a process killed at that byte offset of the write stream —
+// a metadata operation does not apply, and every later mutation fails.
+// Sweeping the budget from zero to the scenario's total cost therefore
+// kills the log at every byte offset of every commit, which is the
+// substrate of the crash-injection property test.
+// ---------------------------------------------------------------------------
+
+var errCrashed = errors.New("memfs: crashed")
+
+type memFS struct {
+	mu      sync.Mutex
+	files   map[string][]byte
+	budget  int64 // <0 = unlimited
+	spent   int64
+	crashed bool
+}
+
+func newMemFS() *memFS {
+	return &memFS{files: map[string][]byte{}, budget: -1}
+}
+
+// crashFS clones fs's current file contents into a fresh, healthy
+// filesystem: the disk as the restarted process finds it.
+func (fs *memFS) restarted() *memFS {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	clone := newMemFS()
+	for name, data := range fs.files {
+		clone.files[name] = append([]byte(nil), data...)
+	}
+	return clone
+}
+
+// charge consumes cost from the budget, returning how much of the
+// operation may apply and whether it fully fits. A shortfall crashes
+// the filesystem.
+func (fs *memFS) charge(cost int64) (allowed int64, ok bool) {
+	if fs.crashed {
+		return 0, false
+	}
+	if fs.budget < 0 {
+		fs.spent += cost
+		return cost, true
+	}
+	if fs.budget >= cost {
+		fs.budget -= cost
+		fs.spent += cost
+		return cost, true
+	}
+	allowed = fs.budget
+	fs.spent += allowed
+	fs.budget = 0
+	fs.crashed = true
+	return allowed, false
+}
+
+func (fs *memFS) MkdirAll(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return errCrashed
+	}
+	return nil
+}
+
+func (fs *memFS) List(dir string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	prefix := dir + "/"
+	var names []string
+	for name := range fs.files {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, strings.TrimPrefix(name, prefix))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (fs *memFS) OpenAppend(p string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, errCrashed
+	}
+	if _, ok := fs.files[p]; !ok {
+		fs.files[p] = nil
+	}
+	return &memFile{fs: fs, path: p}, nil
+}
+
+func (fs *memFS) Open(p string) (io.ReadCloser, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	data, ok := fs.files[p]
+	if !ok {
+		return nil, fmt.Errorf("memfs: %s does not exist", p)
+	}
+	return io.NopCloser(bytes.NewReader(append([]byte(nil), data...))), nil
+}
+
+func (fs *memFS) Remove(p string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.charge(1); !ok {
+		return errCrashed
+	}
+	if _, ok := fs.files[p]; !ok {
+		return fmt.Errorf("memfs: %s does not exist", p)
+	}
+	delete(fs.files, p)
+	return nil
+}
+
+func (fs *memFS) Truncate(p string, size int64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.charge(1); !ok {
+		return errCrashed
+	}
+	data, ok := fs.files[p]
+	if !ok {
+		return fmt.Errorf("memfs: %s does not exist", p)
+	}
+	if size > int64(len(data)) {
+		return fmt.Errorf("memfs: truncate %s beyond its %d bytes", p, len(data))
+	}
+	fs.files[p] = data[:size]
+	return nil
+}
+
+func (fs *memFS) SyncDir(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.charge(1); !ok {
+		return errCrashed
+	}
+	return nil
+}
+
+type memFile struct {
+	fs   *memFS
+	path string
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	allowed, ok := f.fs.charge(int64(len(p)))
+	f.fs.files[f.path] = append(f.fs.files[f.path], p[:allowed]...)
+	if !ok {
+		return int(allowed), errCrashed
+	}
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if _, ok := f.fs.charge(1); !ok {
+		return errCrashed
+	}
+	return nil
+}
+
+func (f *memFile) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// Fixtures and helpers.
+// ---------------------------------------------------------------------------
+
+const testDir = "wal"
+
+// scenarioPayloads are the batches the crash scenario commits: varied
+// sizes (including empty) so record frames straddle segment rolls at
+// every alignment.
+func scenarioPayloads() [][]byte {
+	return [][]byte{
+		[]byte(`{"title":"阿尔法","tags":["概念A"]}`),
+		[]byte(`{"title":"beta"}`),
+		{},
+		[]byte(strings.Repeat("x", 100)),
+		[]byte(`{"title":"gamma","tags":["概念B","概念C"]}`),
+		[]byte(`{"title":"delta"}`),
+		[]byte(strings.Repeat("y", 41)),
+		[]byte(`{"title":"epsilon"}`),
+	}
+}
+
+// replayAll collects every record past `after`.
+func replayAll(t *testing.T, l *Log, after uint64) (lsns []uint64, payloads [][]byte) {
+	t.Helper()
+	err := l.Replay(after, func(lsn uint64, payload []byte) error {
+		lsns = append(lsns, lsn)
+		payloads = append(payloads, append([]byte(nil), payload...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay(%d): %v", after, err)
+	}
+	return lsns, payloads
+}
+
+func mustAppend(t *testing.T, l *Log, payload []byte) uint64 {
+	t.Helper()
+	lsn, err := l.Append(payload)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	return lsn
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip and API basics.
+// ---------------------------------------------------------------------------
+
+func TestRoundTrip(t *testing.T) {
+	fs := newMemFS()
+	l, err := Open(testDir, Options{FS: fs, SegmentBytes: 96})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	want := scenarioPayloads()
+	for i, p := range want {
+		if lsn := mustAppend(t, l, p); lsn != uint64(i+1) {
+			t.Fatalf("append %d got LSN %d", i, lsn)
+		}
+	}
+	if got := l.LastLSN(); got != uint64(len(want)) {
+		t.Fatalf("LastLSN = %d, want %d", got, len(want))
+	}
+	if l.SegmentCount() < 2 {
+		t.Fatalf("expected the %d-byte roll threshold to produce multiple segments, got %d", 96, l.SegmentCount())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen with a roomy roll threshold: the tail segment is under
+	// it, so the first append must continue the tail in place.
+	l2, err := Open(testDir, Options{FS: fs, SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if got := l2.LastLSN(); got != uint64(len(want)) {
+		t.Fatalf("reopened LastLSN = %d, want %d", got, len(want))
+	}
+	lsns, payloads := replayAll(t, l2, 0)
+	if len(payloads) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(payloads), len(want))
+	}
+	for i := range want {
+		if lsns[i] != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d", i, lsns[i])
+		}
+		if !bytes.Equal(payloads[i], want[i]) {
+			t.Fatalf("record %d payload mismatch", i)
+		}
+	}
+
+	// Appending after a reopen continues the sequence in place.
+	segsBefore := l2.SegmentCount()
+	extra := []byte("after-restart")
+	if lsn := mustAppend(t, l2, extra); lsn != uint64(len(want)+1) {
+		t.Fatalf("post-reopen append got LSN %d", lsn)
+	}
+	if l2.SegmentCount() != segsBefore {
+		t.Fatalf("post-reopen append rolled a new segment (%d -> %d) instead of continuing the tail", segsBefore, l2.SegmentCount())
+	}
+	_, payloads = replayAll(t, l2, uint64(len(want)))
+	if len(payloads) != 1 || !bytes.Equal(payloads[0], extra) {
+		t.Fatalf("tail replay after reopen = %q", payloads)
+	}
+}
+
+func TestOpenEmptyDirectory(t *testing.T) {
+	fs := newMemFS()
+	l, err := Open(testDir, Options{FS: fs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if got := l.LastLSN(); got != 0 {
+		t.Fatalf("LastLSN on empty log = %d", got)
+	}
+	lsns, _ := replayAll(t, l, 0)
+	if len(lsns) != 0 {
+		t.Fatalf("empty log replayed %d records", len(lsns))
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	fs := newMemFS()
+	l, err := Open(testDir, Options{FS: fs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// A fresh log behind a snapshot at LSN 5 must number new batches
+	// from 6, or a later replay-after-5 would skip them.
+	l.AdvanceTo(5)
+	l.AdvanceTo(2) // lower watermarks never rewind
+	if lsn := mustAppend(t, l, []byte("six")); lsn != 6 {
+		t.Fatalf("append after AdvanceTo(5) got LSN %d, want 6", lsn)
+	}
+	lsns, _ := replayAll(t, l, 5)
+	if len(lsns) != 1 || lsns[0] != 6 {
+		t.Fatalf("replay after 5 = %v", lsns)
+	}
+	// Replaying from before the watermark must refuse the gap rather
+	// than serve a stream that silently misses batches 1-5.
+	if err := l.Replay(0, func(uint64, []byte) error { return nil }); err == nil {
+		t.Fatal("Replay(0) across the 1-5 gap succeeded")
+	}
+}
+
+func TestClosedLogRejectsMutations(t *testing.T) {
+	fs := newMemFS()
+	l, err := Open(testDir, Options{FS: fs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	mustAppend(t, l, []byte("one"))
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := l.Append([]byte("late")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+	if err := l.Roll(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Roll after Close = %v, want ErrClosed", err)
+	}
+	if _, err := l.TruncateBelow(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("TruncateBelow after Close = %v, want ErrClosed", err)
+	}
+	if err := l.Replay(0, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Replay after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestRollAndTruncateBelow(t *testing.T) {
+	fs := newMemFS()
+	l, err := Open(testDir, Options{FS: fs, SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 6; i++ {
+		mustAppend(t, l, []byte(fmt.Sprintf("batch-%d", i)))
+		if i == 1 || i == 3 {
+			if err := l.Roll(); err != nil {
+				t.Fatalf("Roll: %v", err)
+			}
+		}
+	}
+	// Segments now hold LSNs {1,2}, {3,4}, {5,6}.
+	if got := l.SegmentCount(); got != 3 {
+		t.Fatalf("SegmentCount = %d, want 3", got)
+	}
+	if err := l.Roll(); err != nil {
+		t.Fatalf("sealing Roll: %v", err)
+	}
+	// Rolling a header-only tail is a no-op, not a fourth empty twin.
+	if err := l.Roll(); err != nil {
+		t.Fatalf("idempotent Roll: %v", err)
+	}
+	if got := l.SegmentCount(); got != 4 {
+		t.Fatalf("SegmentCount after sealing = %d, want 4", got)
+	}
+
+	// A snapshot at LSN 3 covers segment {1,2} only: {3,4} holds
+	// record 4, which is NOT in the snapshot and must survive.
+	if _, err := l.TruncateBelow(3); err != nil {
+		t.Fatalf("TruncateBelow(3): %v", err)
+	}
+	lsns, _ := replayAll(t, l, 3)
+	if want := []uint64{4, 5, 6}; !equalLSNs(lsns, want) {
+		t.Fatalf("after TruncateBelow(3): replay = %v, want %v", lsns, want)
+	}
+
+	// A snapshot at the head lets everything but the tail go.
+	if _, err := l.TruncateBelow(6); err != nil {
+		t.Fatalf("TruncateBelow(6): %v", err)
+	}
+	if got := l.SegmentCount(); got != 1 {
+		t.Fatalf("SegmentCount after full compaction = %d, want 1", got)
+	}
+	lsns, _ = replayAll(t, l, 6)
+	if len(lsns) != 0 {
+		t.Fatalf("fully compacted log replayed %v", lsns)
+	}
+	// The sequence continues across compaction.
+	if lsn := mustAppend(t, l, []byte("batch-6")); lsn != 7 {
+		t.Fatalf("post-compaction append got LSN %d, want 7", lsn)
+	}
+}
+
+func equalLSNs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Crash injection: kill the log at every byte offset of every commit.
+// ---------------------------------------------------------------------------
+
+type crashScenario struct {
+	attempted [][]byte
+	acked     int    // appends that returned nil, always a prefix
+	snapLSN   uint64 // LSN of the simulated durable snapshot (0 = none)
+}
+
+// runCrashScenario drives a realistic ingest lifetime against fs:
+// five commits, a compaction (snapshot at LSN 3, roll, truncate), three
+// more commits. Append errors end the run the way they would end an
+// ingester — nothing after the first failure is retried.
+func runCrashScenario(fs *memFS) crashScenario {
+	res := crashScenario{attempted: scenarioPayloads()}
+	l, err := Open(testDir, Options{FS: fs, SegmentBytes: 80})
+	if err != nil {
+		return res
+	}
+	defer l.Close()
+	for _, p := range res.attempted[:5] {
+		if _, err := l.Append(p); err != nil {
+			return res
+		}
+		res.acked++
+	}
+	// The compactor saves a snapshot covering LSNs 1-3 (durable
+	// before truncation by construction) and prunes below it.
+	res.snapLSN = 3
+	l.Roll()
+	l.TruncateBelow(res.snapLSN)
+	for _, p := range res.attempted[5:] {
+		if _, err := l.Append(p); err != nil {
+			return res
+		}
+		res.acked++
+	}
+	return res
+}
+
+// TestKillAtEveryByteOffset is the core durability property: for every
+// budget K from zero to the scenario's total write cost, kill the
+// filesystem after exactly K cost units and prove that a restart
+// recovers a state that is (a) a contiguous prefix of the committed
+// batch sequence — never a torn or reordered one — and (b) a superset
+// of everything Append acknowledged. This is the WAL analogue of
+// snapshot_test.go's every-truncation battery, with the truncation
+// point swept through live commits instead of a finished file.
+func TestKillAtEveryByteOffset(t *testing.T) {
+	clean := newMemFS()
+	full := runCrashScenario(clean)
+	if full.acked != len(full.attempted) {
+		t.Fatalf("uncrashed scenario acked %d/%d appends", full.acked, len(full.attempted))
+	}
+	total := clean.spent
+	if total < 300 {
+		t.Fatalf("scenario cost %d units; fixture too small to be interesting", total)
+	}
+
+	for k := int64(0); k <= total; k++ {
+		fs := newMemFS()
+		fs.budget = k
+		res := runCrashScenario(fs)
+
+		disk := fs.restarted()
+		l, err := Open(testDir, Options{FS: disk, SegmentBytes: 80})
+		if err != nil {
+			t.Fatalf("budget %d: reopen after crash: %v", k, err)
+		}
+		var lsns []uint64
+		err = l.Replay(res.snapLSN, func(lsn uint64, payload []byte) error {
+			if want := res.attempted[lsn-1]; !bytes.Equal(payload, want) {
+				return fmt.Errorf("LSN %d payload %q, want %q", lsn, payload, want)
+			}
+			lsns = append(lsns, lsn)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("budget %d: replay after crash: %v", k, err)
+		}
+
+		// Contiguity: the recovered stream is snapLSN+1, +2, ... with
+		// no gaps — a prefix of the attempted sequence.
+		for i, lsn := range lsns {
+			if lsn != res.snapLSN+uint64(i+1) {
+				t.Fatalf("budget %d: replay LSN sequence %v has a gap", k, lsns)
+			}
+		}
+		last := res.snapLSN
+		if n := len(lsns); n > 0 {
+			last = lsns[n-1]
+		}
+		// No acknowledged commit may be lost...
+		if last < uint64(res.acked) {
+			t.Fatalf("budget %d: acked %d appends but recovered only through LSN %d", k, res.acked, last)
+		}
+		// ...and at most the single in-flight record may appear beyond
+		// the acknowledged prefix (written fully, killed before the
+		// fsync was acknowledged): at-least-once, never invention.
+		if last > uint64(res.acked)+1 {
+			t.Fatalf("budget %d: acked %d appends but recovered through LSN %d", k, res.acked, last)
+		}
+		if got := l.LastLSN(); got < last {
+			t.Fatalf("budget %d: LastLSN = %d but replay reached %d", k, got, last)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Corruption battery: every single-bit flip, mirrored from
+// snapshot_test.go's TestEveryBitFlipDetected, with the WAL's policy —
+// a flip may only ever cost the final record of the final segment
+// (indistinguishable from a torn tail); everywhere else it must fail
+// loudly, and no flip may ever surface a wrong payload.
+// ---------------------------------------------------------------------------
+
+// fixtureLog builds a small multi-segment log on a memFS and returns
+// the filesystem and the committed payloads.
+func fixtureLog(t *testing.T) (*memFS, [][]byte) {
+	t.Helper()
+	fs := newMemFS()
+	l, err := Open(testDir, Options{FS: fs, SegmentBytes: 80})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	payloads := scenarioPayloads()
+	for _, p := range payloads {
+		mustAppend(t, l, p)
+	}
+	if l.SegmentCount() < 3 {
+		t.Fatalf("fixture has %d segments; need >= 3 for the battery to cover sealed segments", l.SegmentCount())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return fs, payloads
+}
+
+// recordEnds parses a segment file and returns the byte offset at
+// which each record's frame ends, in order.
+func recordEnds(t *testing.T, data []byte) []int64 {
+	t.Helper()
+	var ends []int64
+	off := int64(segmentHeaderSize)
+	for off < int64(len(data)) {
+		length := binary.LittleEndian.Uint64(data[off : off+8])
+		off += int64(recordOverhead) + int64(length)
+		if off > int64(len(data)) {
+			t.Fatalf("fixture segment is torn at offset %d", off)
+		}
+		ends = append(ends, off)
+	}
+	return ends
+}
+
+func TestEveryBitFlipIsPrefixSafe(t *testing.T) {
+	fs, payloads := fixtureLog(t)
+	var names []string
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// recordsBefore[f][o] = records guaranteed untouched by a flip in
+	// file index f at offset o: every record of earlier files plus the
+	// records of f whose frames end at or before o.
+	cumulative := 0
+	type fileInfo struct {
+		name   string
+		data   []byte
+		before int     // records in earlier segments
+		ends   []int64 // frame-end offsets within this segment
+	}
+	infos := make([]fileInfo, 0, len(names))
+	for _, name := range names {
+		data := fs.files[name]
+		ends := recordEnds(t, data)
+		infos = append(infos, fileInfo{name: name, data: data, before: cumulative, ends: ends})
+		cumulative += len(ends)
+	}
+	if cumulative != len(payloads) {
+		t.Fatalf("fixture files hold %d records, want %d", cumulative, len(payloads))
+	}
+
+	for fi, info := range infos {
+		finalFile := fi == len(infos)-1
+		for off := range info.data {
+			for _, mask := range []byte{0x01, 0x80} {
+				disk := fs.restarted()
+				disk.files[info.name][off] ^= mask
+
+				got, err := openAndReplay(disk)
+				if err != nil {
+					continue // loud failure is always acceptable
+				}
+				if !finalFile {
+					t.Fatalf("%s offset %d mask %#x: flip in a sealed segment replayed %d records without error",
+						info.name, off, mask, len(got))
+				}
+				// Silent acceptance in the final segment: the result
+				// must still be a strict prefix of the committed
+				// sequence, and records entirely before the flip must
+				// all survive.
+				if len(got) >= len(payloads) {
+					t.Fatalf("%s offset %d mask %#x: flip went completely undetected", info.name, off, mask)
+				}
+				for i, p := range got {
+					if !bytes.Equal(p, payloads[i]) {
+						t.Fatalf("%s offset %d mask %#x: record %d replayed with wrong bytes", info.name, off, mask, i)
+					}
+				}
+				intact := info.before
+				for _, end := range info.ends {
+					if end <= int64(off) {
+						intact++
+					}
+				}
+				if len(got) < intact {
+					t.Fatalf("%s offset %d mask %#x: flip at tail dropped %d records committed before it",
+						info.name, off, mask, intact-len(got))
+				}
+			}
+		}
+	}
+}
+
+// openAndReplay reopens the log on disk and replays everything,
+// returning the payloads in order.
+func openAndReplay(fs *memFS) ([][]byte, error) {
+	l, err := Open(testDir, Options{FS: fs, SegmentBytes: 80})
+	if err != nil {
+		return nil, err
+	}
+	var out [][]byte
+	err = l.Replay(0, func(lsn uint64, payload []byte) error {
+		out = append(out, append([]byte(nil), payload...))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TestEveryTruncationIsPrefixSafe cuts the log's final segment at every
+// length: recovery must yield exactly the records whose frames survived
+// whole — the torn remainder is discarded, nothing else.
+func TestEveryTruncationIsPrefixSafe(t *testing.T) {
+	fs, payloads := fixtureLog(t)
+	var names []string
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	tail := names[len(names)-1]
+	tailData := fs.files[tail]
+	ends := recordEnds(t, tailData)
+	before := len(payloads) - len(ends)
+
+	for cut := 0; cut < len(tailData); cut++ {
+		disk := fs.restarted()
+		disk.files[tail] = disk.files[tail][:cut]
+		got, err := openAndReplay(disk)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		want := before
+		for _, end := range ends {
+			if end <= int64(cut) {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(got), want)
+		}
+		for i, p := range got {
+			if !bytes.Equal(p, payloads[i]) {
+				t.Fatalf("cut %d: record %d has wrong bytes", cut, i)
+			}
+		}
+	}
+}
+
+// TestMidFileCorruptionFailsLoudly pins the other half of the torn-tail
+// policy: damage in the durable region — before the final record — is
+// real data loss and must never be absorbed.
+func TestMidFileCorruptionFailsLoudly(t *testing.T) {
+	fs, _ := fixtureLog(t)
+	var names []string
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Flip a payload byte of the first record in the FIRST (sealed)
+	// segment: Open succeeds — it scans only the tail — but Replay
+	// must refuse.
+	disk := fs.restarted()
+	first := names[0]
+	disk.files[first][segmentHeaderSize+16] ^= 0xFF
+	l, err := Open(testDir, Options{FS: disk, SegmentBytes: 80})
+	if err != nil {
+		t.Fatalf("Open with sealed-segment corruption: %v", err)
+	}
+	if err := l.Replay(0, func(uint64, []byte) error { return nil }); err == nil {
+		t.Fatal("Replay absorbed corruption in a sealed segment")
+	}
+
+	// A missing middle segment is a gap, not a shorter log.
+	disk = fs.restarted()
+	delete(disk.files, names[1])
+	l, err = Open(testDir, Options{FS: disk, SegmentBytes: 80})
+	if err != nil {
+		t.Fatalf("Open with missing segment: %v", err)
+	}
+	if err := l.Replay(0, func(uint64, []byte) error { return nil }); err == nil {
+		t.Fatal("Replay absorbed a missing middle segment")
+	}
+
+	// A record-header length claim beyond MaxRecordBytes is corruption
+	// even at the tail: torn writes leave short headers, not absurd
+	// complete ones.
+	disk = fs.restarted()
+	tail := names[len(names)-1]
+	ends := recordEnds(t, disk.files[tail])
+	lastStart := int64(segmentHeaderSize)
+	if len(ends) > 1 {
+		lastStart = ends[len(ends)-2]
+	}
+	binary.LittleEndian.PutUint64(disk.files[tail][lastStart:lastStart+8], MaxRecordBytes+1)
+	if _, err := openAndReplay(disk); err == nil {
+		t.Fatal("a huge length claim in a complete record header was absorbed")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Failure repair and wedging.
+// ---------------------------------------------------------------------------
+
+// flakyFS injects one transient write failure (fail the Nth write,
+// leaving a torn prefix) while keeping every other operation healthy —
+// the disk-hiccup case, as opposed to memFS's total-crash case.
+type flakyFS struct {
+	*memFS
+	failAt     int // fail the Nth write (1-based)
+	writes     int
+	tornBytes  int // bytes of the failed write to leave behind
+	truncFails bool
+}
+
+func (fs *flakyFS) OpenAppend(p string) (File, error) {
+	f, err := fs.memFS.OpenAppend(p)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyFile{File: f, fs: fs, path: p}, nil
+}
+
+func (fs *flakyFS) Truncate(p string, size int64) error {
+	if fs.truncFails {
+		return errors.New("flaky: truncate failed")
+	}
+	return fs.memFS.Truncate(p, size)
+}
+
+type flakyFile struct {
+	File
+	fs   *flakyFS
+	path string
+}
+
+func (f *flakyFile) Write(p []byte) (int, error) {
+	f.fs.writes++
+	if f.fs.writes == f.fs.failAt {
+		n := f.fs.tornBytes
+		if n > len(p) {
+			n = len(p)
+		}
+		f.File.Write(p[:n])
+		return n, errors.New("flaky: write failed")
+	}
+	return f.File.Write(p)
+}
+
+func TestTransientWriteFailureIsRepaired(t *testing.T) {
+	// Writes: 1 = segment header, 2 = record 1, 3 = record 2 (fails,
+	// leaving 5 torn bytes), 4 = retried record 2.
+	fs := &flakyFS{memFS: newMemFS(), failAt: 3, tornBytes: 5}
+	l, err := Open(testDir, Options{FS: fs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	mustAppend(t, l, []byte("one"))
+	if _, err := l.Append([]byte("two")); err == nil {
+		t.Fatal("injected write failure did not surface")
+	}
+	// The torn bytes were truncated away, so the retry lands cleanly
+	// and the file stays a valid record sequence.
+	if lsn := mustAppend(t, l, []byte("two")); lsn != 2 {
+		t.Fatalf("retry got LSN %d, want 2", lsn)
+	}
+	lsns, payloads := replayAll(t, l, 0)
+	if !equalLSNs(lsns, []uint64{1, 2}) {
+		t.Fatalf("replay after repair = %v", lsns)
+	}
+	if !bytes.Equal(payloads[1], []byte("two")) {
+		t.Fatalf("record 2 = %q after repair", payloads[1])
+	}
+}
+
+func TestFailedRepairWedgesTheLog(t *testing.T) {
+	fs := &flakyFS{memFS: newMemFS(), failAt: 3, tornBytes: 5, truncFails: true}
+	l, err := Open(testDir, Options{FS: fs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	mustAppend(t, l, []byte("one"))
+	if _, err := l.Append([]byte("two")); err == nil {
+		t.Fatal("injected write failure did not surface")
+	}
+	// Truncation failed too: appending after bytes of unknown
+	// integrity would manufacture mid-file corruption, so the log
+	// must refuse all further appends.
+	if _, err := l.Append([]byte("three")); err == nil {
+		t.Fatal("wedged log accepted an append")
+	}
+}
+
+// TestSegmentNameMismatchRejected pins the rename-detection check: a
+// segment whose header disagrees with its file name is refused.
+func TestSegmentNameMismatchRejected(t *testing.T) {
+	fs, _ := fixtureLog(t)
+	var names []string
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	disk := fs.restarted()
+	// "Rename" the first segment to claim a different first LSN.
+	old := names[0]
+	data := disk.files[old]
+	delete(disk.files, old)
+	disk.files[path.Dir(old)+"/"+segmentName(900)] = data
+	l, err := Open(testDir, Options{FS: disk, SegmentBytes: 80})
+	if err == nil {
+		err = l.Replay(0, func(uint64, []byte) error { return nil })
+	}
+	if err == nil {
+		t.Fatal("renamed segment was accepted")
+	}
+}
