@@ -1,6 +1,10 @@
 // Command cnpserver serves a taxonomy over HTTP with the paper's three
 // APIs (Table II): men2ent, getConcept, getEntity (plus men2entBatch
-// and /api/stats).
+// and /api/stats), and the Section V application layer on top of them:
+// conceptualize, conceptualizeBatch and qa — short-text
+// conceptualization and QA-style text understanding, answered from the
+// same immutable serving view as the lookup APIs (docs/API.md
+// documents every route).
 //
 // Usage:
 //

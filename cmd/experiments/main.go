@@ -10,6 +10,7 @@
 //	experiments -bench-build [-entities N] [-bench-out BENCH_BUILD.json]
 //	experiments -bench-update [-entities N] [-update-batches K] [-bench-update-out BENCH_UPDATE.json]
 //	experiments -bench-recovery [-entities N] [-recovery-batches K] [-bench-recovery-out BENCH_RECOVERY.json]
+//	experiments -bench-qa [-entities N] [-questions M] [-bench-qa-out BENCH_QA.json]
 //
 // -bench-build skips the evaluation suite and instead measures the
 // build-side hot path — steady-state segmentation runes/s, end-to-end
@@ -31,6 +32,12 @@
 // BENCH_RECOVERY.json documents that replay cost grows with the
 // un-compacted tail and compaction collapses it back to snapshot-load
 // time.
+//
+// -bench-qa runs the E5 QA coverage experiment on the immutable
+// serving view — the same data path /api/qa serves — and records
+// coverage, concepts-per-covered-entity (with the paper's 91.68% /
+// 2.14 alongside), ground-truth recall, and question-evaluation
+// throughput as BENCH_QA.json.
 package main
 
 import (
@@ -68,9 +75,11 @@ func main() {
 		benchR    = flag.Bool("bench-recovery", false, "measure snapshot+WAL recovery cost and emit JSON instead of running experiments")
 		benchROut = flag.String("bench-recovery-out", "BENCH_RECOVERY.json", "output path for -bench-recovery")
 		recoverK  = flag.Int("recovery-batches", 8, "number of WAL batches for -bench-recovery")
+		benchQ    = flag.Bool("bench-qa", false, "run QA coverage on the serving view and emit JSON instead of running experiments")
+		benchQOut = flag.String("bench-qa-out", "BENCH_QA.json", "output path for -bench-qa")
 	)
 	flag.Parse()
-	if *benchB || *benchU || *benchR {
+	if *benchB || *benchU || *benchR || *benchQ {
 		if *benchB {
 			runBuildBench(*entities, *benchOut)
 		}
@@ -79,6 +88,9 @@ func main() {
 		}
 		if *benchR {
 			runRecoveryBench(*entities, *recoverK, *benchROut)
+		}
+		if *benchQ {
+			runQABench(*entities, *questions, *benchQOut)
 		}
 		return
 	}
@@ -228,5 +240,32 @@ func runRecoveryBench(entities, batches int, out string) {
 	}
 	fmt.Printf("compacted restart: %.1fms (%d snapshot bytes) — full tail was %.1fx slower\n",
 		res.CompactedRecoverySeconds*1000, res.CompactedSnapshotBytes, res.TailOverCompacted)
+	fmt.Printf("wrote %s\n", out)
+}
+
+// runQABench runs QA coverage on the serving view and writes
+// BENCH_QA.json.
+func runQABench(entities, questions int, out string) {
+	fmt.Printf("== qa serving bench: %d entities, %d questions ==\n", entities, questions)
+	res, err := experiments.RunQABench(entities, questions)
+	if err != nil {
+		log.Fatalf("bench-qa: %v", err)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatalf("create %s: %v", out, err)
+	}
+	if err := res.WriteJSON(f); err != nil {
+		f.Close()
+		log.Fatalf("write %s: %v", out, err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("close %s: %v", out, err)
+	}
+	fmt.Printf("coverage: %.2f%% (paper: %.2f%%), avg concepts per covered entity: %.2f (paper: %.2f)\n",
+		res.Coverage*100, res.PaperCoverage*100, res.AvgConceptsPerCoveredEntity, res.PaperAvgConcepts)
+	fmt.Printf("ground truth: entity coverage %.2f%%, pair recall %.2f%%\n",
+		res.EntityCoverage*100, res.PairRecall*100)
+	fmt.Printf("throughput: %.0f questions/s on the serving view\n", res.QuestionsPerSec)
 	fmt.Printf("wrote %s\n", out)
 }

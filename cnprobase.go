@@ -93,6 +93,10 @@ type (
 	Conceptualizer = conceptualize.Engine
 	// Conceptualization is the result of conceptualizing one text.
 	Conceptualization = conceptualize.Result
+	// Understanding is the QA text-understanding result: whether the
+	// taxonomy covers the text, plus each recognized mention with its
+	// candidate entities and their concepts.
+	Understanding = qa.Understanding
 	// Scored couples a taxonomy node with a typicality score.
 	Scored = taxonomy.Scored
 )
@@ -132,6 +136,25 @@ func Update(prev *Result, delta *Corpus, opts Options) (*Result, error) {
 // a built taxonomy — the downstream application layer of Section V.
 func NewConceptualizer(t *Taxonomy, m *MentionIndex) *Conceptualizer {
 	return conceptualize.New(t, m)
+}
+
+// NewViewConceptualizer builds the conceptualization engine directly
+// over an immutable serving view — the engine behind
+// /api/conceptualize. It produces bitwise-identical results to a
+// store-backed NewConceptualizer over the same data (pinned by the
+// equivalence tests) while sharing the view's lock-free, allocation-
+// free lookup path.
+func NewViewConceptualizer(v *ServingView) *Conceptualizer {
+	return conceptualize.NewView(v)
+}
+
+// Understand runs QA-style text understanding over a serving view —
+// the engine behind /api/qa: recognize entity mentions and standalone
+// concepts in the question and report whether the taxonomy covers it.
+// The covered predicate is exactly the one the E5 coverage experiment
+// counts.
+func Understand(text string, v *ServingView) Understanding {
+	return qa.Understand(text, v)
 }
 
 // DefaultWorldConfig returns the calibrated synthetic-world settings.
@@ -375,6 +398,18 @@ func QACoverage(w *World, res *Result, n int) (coverage, avgConcepts float64) {
 		cfg.N = n
 	}
 	r := qa.Evaluate(qa.Generate(w, cfg), res.Taxonomy, res.Mentions)
+	return r.Coverage(), r.AvgConceptsPerEntity
+}
+
+// QACoverageView is QACoverage evaluated on an immutable serving view
+// — the data path /api/qa answers from. Equal inputs give results
+// identical to QACoverage (pinned by the serving-equivalence tests).
+func QACoverageView(w *World, v *ServingView, n int) (coverage, avgConcepts float64) {
+	cfg := qa.DefaultGeneratorConfig()
+	if n > 0 {
+		cfg.N = n
+	}
+	r := qa.EvaluateSource(qa.Generate(w, cfg), v)
 	return r.Coverage(), r.AvgConceptsPerEntity
 }
 

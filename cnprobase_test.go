@@ -77,6 +77,48 @@ func TestFacadeQACoverage(t *testing.T) {
 	}
 }
 
+// TestFacadeViewApplications pins the application layer on the serving
+// view: the view-backed conceptualizer and QA evaluation must agree
+// exactly with their store-backed counterparts over the same build.
+func TestFacadeViewApplications(t *testing.T) {
+	w, res := buildSmall(t, 800)
+	view := res.Freeze()
+
+	store := NewConceptualizer(res.Taxonomy, res.Mentions)
+	onView := NewViewConceptualizer(view)
+	texts := []string{""}
+	for _, e := range w.Entities[:20] {
+		mention := e.ID
+		if i := bytes.IndexRune([]byte(mention), '（'); i >= 0 {
+			mention = mention[:i]
+		}
+		texts = append(texts, mention, mention+"是什么？")
+	}
+	covered := 0
+	for _, text := range texts {
+		a, b := store.Conceptualize(text), onView.Conceptualize(text)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("conceptualize(%q): store %+v != view %+v", text, a, b)
+		}
+		u := Understand(text, view)
+		if u.Covered {
+			covered++
+			if len(u.Mentions) == 0 && len(u.Concepts) == 0 {
+				t.Errorf("Understand(%q) covered but empty: %+v", text, u)
+			}
+		}
+	}
+	if covered == 0 {
+		t.Fatal("no probe text was covered by the taxonomy")
+	}
+
+	cov, avg := QACoverage(w, res, 1000)
+	covV, avgV := QACoverageView(w, view, 1000)
+	if cov != covV || avg != avgV {
+		t.Errorf("QACoverage store (%v, %v) != view (%v, %v)", cov, avg, covV, avgV)
+	}
+}
+
 func TestFacadeCorpusRoundTrip(t *testing.T) {
 	w, _ := buildSmall(t, 300)
 	var buf bytes.Buffer

@@ -6,6 +6,12 @@
 //	/api/getEntity    — concept → hyponym list (?limit=N caps it)
 //	/api/men2entBatch — POST a JSON array of mentions, resolve them all at once
 //
+// and the application layer the paper motivates on top of them:
+//
+//	/api/conceptualize      — POST a text, get its ranked concept vector
+//	/api/conceptualizeBatch — POST a JSON array of texts, conceptualize all at once
+//	/api/qa                 — POST a question, get its taxonomy understanding
+//
 // plus /api/stats exposing per-API call counters and latency
 // summaries, which the Table II workload experiment reads back.
 //
@@ -32,11 +38,14 @@ import (
 )
 
 // MaxBatchMentions caps the number of mentions one /api/men2entBatch
-// request may carry; MaxBatchBytes caps the request body itself, so
-// an oversized payload is rejected while reading rather than after
-// being fully decoded into memory.
+// request may carry; MaxBatchTexts caps the texts per
+// /api/conceptualizeBatch request (texts are heavier than mentions);
+// MaxBatchBytes caps every POST body itself, so an oversized payload
+// is rejected while reading rather than after being fully decoded
+// into memory.
 const (
 	MaxBatchMentions = 10000
+	MaxBatchTexts    = 1000
 	MaxBatchBytes    = 4 << 20
 )
 
@@ -44,15 +53,21 @@ const (
 type Server struct {
 	view atomic.Pointer[serving.View]
 
-	men2entCalls      atomic.Int64
-	men2entBatchCalls atomic.Int64
-	getConceptCalls   atomic.Int64
-	getEntityCalls    atomic.Int64
+	men2entCalls           atomic.Int64
+	men2entBatchCalls      atomic.Int64
+	getConceptCalls        atomic.Int64
+	getEntityCalls         atomic.Int64
+	conceptualizeCalls     atomic.Int64
+	conceptualizeBatchCall atomic.Int64
+	qaCalls                atomic.Int64
 
-	men2entLat      histogram
-	men2entBatchLat histogram
-	getConceptLat   histogram
-	getEntityLat    histogram
+	men2entLat            histogram
+	men2entBatchLat       histogram
+	getConceptLat         histogram
+	getEntityLat          histogram
+	conceptualizeLat      histogram
+	conceptualizeBatchLat histogram
+	qaLat                 histogram
 }
 
 // NewServer builds a Server by freezing the current contents of the
@@ -80,14 +95,27 @@ func (s *Server) SwapView(v *serving.View) *serving.View {
 // View returns the view currently being served.
 func (s *Server) View() *serving.View { return s.view.Load() }
 
+// routes is the full endpoint table — the single source the mux is
+// built from, and the surface docs/API.md is contract-tested against.
+func (s *Server) routes() map[string]http.HandlerFunc {
+	return map[string]http.HandlerFunc{
+		"/api/men2ent":            s.handleMen2Ent,
+		"/api/men2entBatch":       s.handleMen2EntBatch,
+		"/api/getConcept":         s.handleGetConcept,
+		"/api/getEntity":          s.handleGetEntity,
+		"/api/conceptualize":      s.handleConceptualize,
+		"/api/conceptualizeBatch": s.handleConceptualizeBatch,
+		"/api/qa":                 s.handleQA,
+		"/api/stats":              s.handleStats,
+	}
+}
+
 // Handler returns the HTTP mux with all endpoints registered.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/api/men2ent", s.handleMen2Ent)
-	mux.HandleFunc("/api/men2entBatch", s.handleMen2EntBatch)
-	mux.HandleFunc("/api/getConcept", s.handleGetConcept)
-	mux.HandleFunc("/api/getEntity", s.handleGetEntity)
-	mux.HandleFunc("/api/stats", s.handleStats)
+	for path, h := range s.routes() {
+		mux.HandleFunc(path, h)
+	}
 	return mux
 }
 
@@ -187,23 +215,32 @@ func (s *Server) handleGetEntity(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, EntityResponse{Concept: concept, Hyponyms: s.View().Hyponyms(concept, limit)})
 }
 
-// Stats mirrors the call-count columns of the paper's Table II.
-// Men2EntBatch counts batch *requests*; each mention inside a batch
-// also increments Men2Ent.
+// Stats mirrors the call-count columns of the paper's Table II, plus
+// the application endpoints. Men2EntBatch counts batch *requests*;
+// each mention inside a batch also increments Men2Ent — and likewise
+// ConceptualizeBatch requests increment Conceptualize per text. The
+// application counters use omitempty so deployments that never call
+// them keep the original Table II payload shape.
 type Stats struct {
-	Men2Ent      int64 `json:"men2ent"`
-	GetConcept   int64 `json:"getConcept"`
-	GetEntity    int64 `json:"getEntity"`
-	Men2EntBatch int64 `json:"men2entBatch,omitempty"`
+	Men2Ent            int64 `json:"men2ent"`
+	GetConcept         int64 `json:"getConcept"`
+	GetEntity          int64 `json:"getEntity"`
+	Men2EntBatch       int64 `json:"men2entBatch,omitempty"`
+	Conceptualize      int64 `json:"conceptualize,omitempty"`
+	ConceptualizeBatch int64 `json:"conceptualizeBatch,omitempty"`
+	QA                 int64 `json:"qa,omitempty"`
 }
 
 // Counters returns a snapshot of the per-API call counts.
 func (s *Server) Counters() Stats {
 	return Stats{
-		Men2Ent:      s.men2entCalls.Load(),
-		GetConcept:   s.getConceptCalls.Load(),
-		GetEntity:    s.getEntityCalls.Load(),
-		Men2EntBatch: s.men2entBatchCalls.Load(),
+		Men2Ent:            s.men2entCalls.Load(),
+		GetConcept:         s.getConceptCalls.Load(),
+		GetEntity:          s.getEntityCalls.Load(),
+		Men2EntBatch:       s.men2entBatchCalls.Load(),
+		Conceptualize:      s.conceptualizeCalls.Load(),
+		ConceptualizeBatch: s.conceptualizeBatchCall.Load(),
+		QA:                 s.qaCalls.Load(),
 	}
 }
 

@@ -146,7 +146,7 @@ func TestCountersAndStats(t *testing.T) {
 func TestWorkloadMix(t *testing.T) {
 	srv, ts := testServer(t)
 	tax, mentions := srvBacking(t)
-	cfg := WorkloadConfig{Calls: 3000, Weights: [3]float64{43896044, 13815076, 25793372}, Seed: 1}
+	cfg := WorkloadConfig{Calls: 3000, Weights: [5]float64{43896044, 13815076, 25793372, 0, 0}, Seed: 1}
 	issued, err := RunWorkload(NewClient(ts.URL), tax, mentions, cfg)
 	if err != nil {
 		t.Fatalf("RunWorkload: %v", err)

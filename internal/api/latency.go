@@ -89,9 +89,12 @@ func (s *Server) LatencyReport() []EndpointLatency {
 
 func (s *Server) latency() map[string]*histogram {
 	return map[string]*histogram{
-		"men2ent":      &s.men2entLat,
-		"men2entBatch": &s.men2entBatchLat,
-		"getConcept":   &s.getConceptLat,
-		"getEntity":    &s.getEntityLat,
+		"men2ent":            &s.men2entLat,
+		"men2entBatch":       &s.men2entBatchLat,
+		"getConcept":         &s.getConceptLat,
+		"getEntity":          &s.getEntityLat,
+		"conceptualize":      &s.conceptualizeLat,
+		"conceptualizeBatch": &s.conceptualizeBatchLat,
+		"qa":                 &s.qaLat,
 	}
 }

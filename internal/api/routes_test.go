@@ -1,0 +1,41 @@
+package api
+
+import (
+	"os"
+	"regexp"
+	"testing"
+
+	"cnprobase/internal/taxonomy"
+)
+
+// TestRoutesMatchDocs is the docs contract: every /api route the mux
+// serves must be documented in docs/API.md, and every /api route the
+// docs mention must exist on the mux. Adding an endpoint without
+// documenting it (or documenting one that does not exist) fails here.
+func TestRoutesMatchDocs(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/API.md")
+	if err != nil {
+		t.Fatalf("read docs/API.md: %v", err)
+	}
+	documented := map[string]bool{}
+	for _, m := range regexp.MustCompile(`/api/[A-Za-z0-9]+`).FindAllString(string(doc), -1) {
+		documented[m] = true
+	}
+
+	srv := NewServer(taxonomy.New(), taxonomy.NewMentionIndex())
+	served := map[string]bool{}
+	for path := range srv.routes() {
+		served[path] = true
+	}
+
+	for path := range served {
+		if !documented[path] {
+			t.Errorf("route %s is served but not documented in docs/API.md", path)
+		}
+	}
+	for path := range documented {
+		if !served[path] {
+			t.Errorf("route %s is documented in docs/API.md but not served", path)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package api
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -14,26 +16,50 @@ import (
 // WorkloadConfig drives the Table II reproduction: a simulated client
 // population issuing calls in the mix the paper observed over six
 // months on Aliyun (43.9M men2ent : 13.8M getConcept : 25.8M
-// getEntity).
+// getEntity), optionally extended with the application endpoints.
 type WorkloadConfig struct {
 	// Calls is the total number of API calls to issue.
 	Calls int
 	// Weights are the relative call frequencies, in the order men2ent,
-	// getConcept, getEntity (paper's observed counts by default).
-	Weights [3]float64
-	Seed    int64
+	// getConcept, getEntity, conceptualize, qa. The paper's observed
+	// counts fill the first three by default; a zero weight disables an
+	// endpoint.
+	Weights [5]float64
+	// ZipfS/ZipfV skew argument sampling toward popular nodes with a
+	// Zipf(s, v) distribution over the node list — real serving traffic
+	// concentrates on head entities. ZipfS <= 1 keeps sampling uniform
+	// (Zipf requires s > 1).
+	ZipfS float64
+	ZipfV float64
+	Seed  int64
 }
 
-// DefaultWorkloadConfig uses the paper's observed six-month mix.
+// DefaultWorkloadConfig uses the paper's observed six-month mix over
+// the three public APIs, with uniform argument sampling — the exact
+// Table II reproduction.
 func DefaultWorkloadConfig() WorkloadConfig {
 	return WorkloadConfig{
 		Calls:   20000,
-		Weights: [3]float64{43896044, 13815076, 25793372},
+		Weights: [5]float64{43896044, 13815076, 25793372, 0, 0},
 		Seed:    3,
 	}
 }
 
-// Client calls the three APIs over HTTP.
+// MixedWorkloadConfig extends the paper's mix with the application
+// endpoints (conceptualize and qa at a minority share, as application
+// traffic rides on top of the lookup APIs) and Zipfian argument
+// skew — the extended serving workload CI exercises.
+func MixedWorkloadConfig() WorkloadConfig {
+	return WorkloadConfig{
+		Calls:   20000,
+		Weights: [5]float64{43896044, 13815076, 25793372, 15000000, 8000000},
+		ZipfS:   1.2,
+		ZipfV:   1,
+		Seed:    3,
+	}
+}
+
+// Client calls the APIs over HTTP.
 type Client struct {
 	Base string
 	HTTP *http.Client
@@ -50,6 +76,22 @@ func (c *Client) get(path string, params url.Values) error {
 	if err != nil {
 		return fmt.Errorf("api client: %w", err)
 	}
+	return drain(resp, path)
+}
+
+func (c *Client) post(path string, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("api client: marshal: %w", err)
+	}
+	resp, err := c.HTTP.Post(c.Base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("api client: %w", err)
+	}
+	return drain(resp, path)
+}
+
+func drain(resp *http.Response, path string) error {
 	defer resp.Body.Close()
 	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
 		return fmt.Errorf("api client: drain: %w", err)
@@ -75,6 +117,47 @@ func (c *Client) GetEntity(concept string) error {
 	return c.get("/api/getEntity", url.Values{"concept": {concept}, "limit": {"50"}})
 }
 
+// Conceptualize issues a conceptualize call.
+func (c *Client) Conceptualize(text string) error {
+	return c.post("/api/conceptualize", ConceptualizeRequest{Text: text})
+}
+
+// QA issues a qa call.
+func (c *Client) QA(question string) error {
+	return c.post("/api/qa", QARequest{Question: question})
+}
+
+// sampler picks node indexes — uniform, or Zipfian when the config
+// asks for skew, so a few head nodes absorb most of the traffic.
+type sampler struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	n    int
+}
+
+func newSampler(rng *rand.Rand, cfg WorkloadConfig, n int) *sampler {
+	s := &sampler{rng: rng, n: n}
+	if cfg.ZipfS > 1 && n > 0 {
+		v := cfg.ZipfV
+		if v < 1 {
+			v = 1
+		}
+		s.zipf = rand.NewZipf(rng, cfg.ZipfS, v, uint64(n-1))
+	}
+	return s
+}
+
+func (s *sampler) pick() int {
+	if s.zipf != nil {
+		return int(s.zipf.Uint64())
+	}
+	return s.rng.Intn(s.n)
+}
+
+// qaWorkloadTemplates shape the application-endpoint texts around the
+// sampled mention.
+var qaWorkloadTemplates = []string{"%s是谁？", "%s的代表作品有哪些？", "请介绍一下%s。"}
+
 // RunWorkload fires cfg.Calls requests against the client, sampling
 // API and argument per the weights, and returns the issued counts in
 // Table II order.
@@ -84,9 +167,23 @@ func RunWorkload(c *Client, tax *taxonomy.Taxonomy, mentions *taxonomy.MentionIn
 	if len(entities) == 0 || len(concepts) == 0 {
 		return Stats{}, fmt.Errorf("api workload: taxonomy has no entities or no concepts")
 	}
-	total := cfg.Weights[0] + cfg.Weights[1] + cfg.Weights[2]
+	var total float64
+	for _, w := range cfg.Weights {
+		if w < 0 {
+			return Stats{}, fmt.Errorf("api workload: negative weight")
+		}
+		total += w
+	}
 	if total <= 0 {
 		return Stats{}, fmt.Errorf("api workload: weights must be positive")
+	}
+	entPick := newSampler(rng, cfg, len(entities))
+	conPick := newSampler(rng, cfg, len(concepts))
+	mentionOf := func(ent string) string {
+		if t := strings.Split(ent, "（"); len(t) > 0 {
+			return t[0]
+		}
+		return ent
 	}
 	var issued Stats
 	for i := 0; i < cfg.Calls; i++ {
@@ -94,19 +191,27 @@ func RunWorkload(c *Client, tax *taxonomy.Taxonomy, mentions *taxonomy.MentionIn
 		var err error
 		switch {
 		case r < cfg.Weights[0]:
-			ent := entities[rng.Intn(len(entities))]
-			mention := ent
-			if t := strings.Split(ent, "（"); len(t) > 0 {
-				mention = t[0]
-			}
-			err = c.Men2Ent(mention)
+			err = c.Men2Ent(mentionOf(entities[entPick.pick()]))
 			issued.Men2Ent++
 		case r < cfg.Weights[0]+cfg.Weights[1]:
-			err = c.GetConcept(entities[rng.Intn(len(entities))])
+			err = c.GetConcept(entities[entPick.pick()])
 			issued.GetConcept++
-		default:
-			err = c.GetEntity(concepts[rng.Intn(len(concepts))])
+		case r < cfg.Weights[0]+cfg.Weights[1]+cfg.Weights[2]:
+			err = c.GetEntity(concepts[conPick.pick()])
 			issued.GetEntity++
+		case r < cfg.Weights[0]+cfg.Weights[1]+cfg.Weights[2]+cfg.Weights[3]:
+			// Short text around one or two sampled mentions.
+			text := mentionOf(entities[entPick.pick()]) + "的相关资料"
+			if rng.Intn(2) == 0 {
+				text += "，以及" + mentionOf(entities[entPick.pick()])
+			}
+			err = c.Conceptualize(text)
+			issued.Conceptualize++
+		default:
+			q := fmt.Sprintf(qaWorkloadTemplates[rng.Intn(len(qaWorkloadTemplates))],
+				mentionOf(entities[entPick.pick()]))
+			err = c.QA(q)
+			issued.QA++
 		}
 		if err != nil {
 			return issued, err

@@ -8,72 +8,174 @@
 // entity's concepts weighted by typicality, and returns a ranked
 // concept vector for the text — the "conceptualized" reading used by
 // downstream classifiers.
+//
+// The engine reads through the Source interface, which both the
+// mutable build store (taxonomy.Taxonomy + taxonomy.MentionIndex, via
+// New) and the immutable serving view (serving.View, via NewView)
+// satisfy. The two paths are algorithmically identical — one code
+// path, two data structures — and pinned equivalent by tests down to
+// bit-equal scores. Serving traffic should use the view engine: its
+// resolve path takes no locks and, through ConceptualizeInto with
+// recycled buffers, allocates nothing per text.
 package conceptualize
 
 import (
 	"sort"
+	"sync"
 
+	"cnprobase/internal/serving"
 	"cnprobase/internal/taxonomy"
 )
 
-// Engine conceptualizes text against a taxonomy + mention index.
-type Engine struct {
+// Source is the read surface the engine conceptualizes against: text
+// scanning and mention resolution (men2ent), hypernym lookup
+// (getConcept), typicality rankings, and edge evidence for the
+// popularity prior. serving.View implements it directly; New wraps the
+// mutable store in an adapter.
+type Source interface {
+	// FindAllAppend appends the distinct mentions found in text to dst
+	// (greedy longest-match, first-occurrence order) and returns the
+	// extended slice.
+	FindAllAppend(dst []string, text string) []string
+	// Lookup returns the entity IDs a mention may refer to, sorted.
+	Lookup(mention string) []string
+	// Hypernyms returns the direct hypernyms of a node in canonical
+	// order.
+	Hypernyms(node string) []string
+	// RankedHypernyms returns hypernyms by descending typicality;
+	// limit <= 0 returns all.
+	RankedHypernyms(node string, limit int) []taxonomy.Scored
+	// EdgeOf returns the isA edge with its evidence, if present.
+	EdgeOf(hypo, hyper string) (taxonomy.Edge, bool)
+}
+
+// storeSource adapts the mutable build store to Source. It is the
+// reference oracle the view-backed engine is equivalence-tested
+// against.
+type storeSource struct {
 	tax      *taxonomy.Taxonomy
 	mentions *taxonomy.MentionIndex
+}
+
+func (s storeSource) FindAllAppend(dst []string, text string) []string {
+	return s.mentions.FindAllAppend(dst, text)
+}
+func (s storeSource) Lookup(mention string) []string { return s.mentions.Lookup(mention) }
+func (s storeSource) Hypernyms(node string) []string { return s.tax.Hypernyms(node) }
+func (s storeSource) RankedHypernyms(node string, limit int) []taxonomy.Scored {
+	return s.tax.RankedHypernyms(node, limit)
+}
+func (s storeSource) EdgeOf(hypo, hyper string) (taxonomy.Edge, bool) {
+	return s.tax.EdgeOf(hypo, hyper)
+}
+
+// Engine conceptualizes text against a taxonomy + mention index
+// (store-backed, New) or a compiled serving view (NewView). An Engine
+// is a small immutable configuration over its Source; it is safe for
+// concurrent use and cheap to construct per request.
+type Engine struct {
+	src Source
 	// MaxConceptsPerEntity bounds how many concepts each resolved
-	// entity contributes (most typical first).
+	// entity contributes (most typical first); <= 0 means no bound.
 	MaxConceptsPerEntity int
 }
 
-// New returns an Engine with default settings.
+// New returns a store-backed Engine with default settings — the
+// reference path; serving traffic should prefer NewView.
 func New(tax *taxonomy.Taxonomy, mentions *taxonomy.MentionIndex) *Engine {
-	return &Engine{tax: tax, mentions: mentions, MaxConceptsPerEntity: 5}
+	return NewSource(storeSource{tax: tax, mentions: mentions})
+}
+
+// NewView returns an Engine over an immutable serving view: lock-free,
+// and allocation-free through ConceptualizeInto.
+func NewView(v *serving.View) *Engine { return NewSource(v) }
+
+// NewSource returns an Engine over any Source with default settings.
+func NewSource(src Source) *Engine {
+	return &Engine{src: src, MaxConceptsPerEntity: 5}
 }
 
 // Mention is one resolved mention inside a text.
 type Mention struct {
-	Surface string
+	Surface string `json:"surface"`
 	// Entity is the chosen disambiguated entity.
-	Entity string
+	Entity string `json:"entity"`
 	// Candidates is the number of entities the surface could mean.
-	Candidates int
-	// Concepts are the chosen entity's ranked concepts.
-	Concepts []taxonomy.Scored
+	Candidates int `json:"candidates"`
+	// Concepts are the chosen entity's ranked concepts. On the view
+	// path this is a shared subslice of the view's precomputed
+	// rankings: do not modify it.
+	Concepts []taxonomy.Scored `json:"concepts"`
 }
 
 // Result is the conceptualized reading of a text.
 type Result struct {
-	Mentions []Mention
-	// Concepts is the aggregated ranked concept vector of the text.
-	Concepts []taxonomy.Scored
+	Mentions []Mention `json:"mentions,omitempty"`
+	// Concepts is the aggregated ranked concept vector of the text,
+	// normalized to sum to 1.
+	Concepts []taxonomy.Scored `json:"concepts"`
 }
 
-// Covered reports whether the text contained at least one taxonomy
-// mention — the coverage predicate of the paper's QA experiment.
+// Covered reports whether the text contained at least one resolvable
+// taxonomy mention — the coverage predicate of the paper's QA
+// experiment.
 func (r Result) Covered() bool { return len(r.Mentions) > 0 }
 
-// Conceptualize processes one text.
+// scratch is the pooled per-call state of ConceptualizeInto. The maps
+// are cleared (not reallocated) between uses, so their buckets stay
+// warm and steady-state conceptualization allocates nothing.
+type scratch struct {
+	surfaces []string
+	context  map[string]float64
+	agg      map[string]float64
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &scratch{
+		context: make(map[string]float64, 16),
+		agg:     make(map[string]float64, 16),
+	}
+}}
+
+// Conceptualize processes one text and returns a fresh Result.
 func (e *Engine) Conceptualize(text string) Result {
 	var res Result
-	agg := make(map[string]float64)
-	surfaces := e.mentions.FindAll(text)
+	e.ConceptualizeInto(&res, text)
+	return res
+}
+
+// ConceptualizeInto is Conceptualize in recycle style: res's slices
+// are truncated and refilled, so passing the same Result across calls
+// keeps the view-backed resolve path at 0 allocs/op (all other
+// per-call state is pooled internally). The refilled res must not be
+// retained across a subsequent call.
+func (e *Engine) ConceptualizeInto(res *Result, text string) {
+	res.Mentions = res.Mentions[:0]
+	res.Concepts = res.Concepts[:0]
+	sc := scratchPool.Get().(*scratch)
+	sc.surfaces = e.src.FindAllAppend(sc.surfaces[:0], text)
+
 	// First pass: collect every candidate's concepts for context
 	// agreement.
-	context := make(map[string]float64)
-	for _, sf := range surfaces {
-		for _, id := range e.mentions.Lookup(sf) {
-			for _, sc := range e.tax.RankedHypernyms(id, e.MaxConceptsPerEntity) {
-				context[sc.Node] += sc.Score
+	for _, sf := range sc.surfaces {
+		for _, id := range e.src.Lookup(sf) {
+			for _, s := range e.src.RankedHypernyms(id, e.MaxConceptsPerEntity) {
+				sc.context[s.Node] += s.Score
 			}
 		}
 	}
-	for _, sf := range surfaces {
-		ids := e.mentions.Lookup(sf)
+	// Second pass: disambiguate each surface and aggregate the chosen
+	// entities' concepts. total accumulates alongside agg so the
+	// normalizer is summed in deterministic (mention) order — the
+	// store- and view-backed paths produce bit-identical scores.
+	total := 0.0
+	for _, sf := range sc.surfaces {
+		ids := e.src.Lookup(sf)
 		if len(ids) == 0 {
 			continue
 		}
-		best := e.disambiguate(ids, context)
-		concepts := e.tax.RankedHypernyms(best, e.MaxConceptsPerEntity)
+		best := e.disambiguate(ids, sc.context)
+		concepts := e.src.RankedHypernyms(best, e.MaxConceptsPerEntity)
 		if len(concepts) == 0 {
 			continue
 		}
@@ -83,32 +185,29 @@ func (e *Engine) Conceptualize(text string) Result {
 			Candidates: len(ids),
 			Concepts:   concepts,
 		})
-		for _, sc := range concepts {
-			weight := sc.Score
+		for _, s := range concepts {
+			weight := s.Score
 			if weight == 0 {
 				weight = 1e-3
 			}
-			agg[sc.Node] += weight
+			sc.agg[s.Node] += weight
+			total += weight
 		}
 	}
-	res.Concepts = make([]taxonomy.Scored, 0, len(agg))
-	total := 0.0
-	for _, v := range agg {
-		total += v
-	}
-	for c, v := range agg {
+	for c, v := range sc.agg {
 		if total > 0 {
 			v /= total
 		}
 		res.Concepts = append(res.Concepts, taxonomy.Scored{Node: c, Score: v})
 	}
-	sort.Slice(res.Concepts, func(i, j int) bool {
-		if res.Concepts[i].Score != res.Concepts[j].Score {
-			return res.Concepts[i].Score > res.Concepts[j].Score
-		}
-		return res.Concepts[i].Node < res.Concepts[j].Node
-	})
-	return res
+	sort.Sort((*scoredByRank)(&res.Concepts))
+	if res.Concepts == nil {
+		res.Concepts = []taxonomy.Scored{}
+	}
+
+	clear(sc.context)
+	clear(sc.agg)
+	scratchPool.Put(sc)
 }
 
 // disambiguate picks the candidate entity by evidence popularity (the
@@ -121,13 +220,13 @@ func (e *Engine) disambiguate(ids []string, context map[string]float64) string {
 	for _, id := range ids {
 		pop := 0
 		agree := 0.0
-		for _, h := range e.tax.Hypernyms(id) {
-			if ed, ok := e.tax.EdgeOf(id, h); ok {
+		for _, h := range e.src.Hypernyms(id) {
+			if ed, ok := e.src.EdgeOf(id, h); ok {
 				pop += ed.Count
 			}
 		}
-		for _, sc := range e.tax.RankedHypernyms(id, e.MaxConceptsPerEntity) {
-			agree += context[sc.Node] * sc.Score
+		for _, s := range e.src.RankedHypernyms(id, e.MaxConceptsPerEntity) {
+			agree += context[s.Node] * s.Score
 		}
 		score := float64(pop) * (1 + agree)
 		if score > bestScore {
@@ -135,4 +234,22 @@ func (e *Engine) disambiguate(ids []string, context map[string]float64) string {
 		}
 	}
 	return best
+}
+
+// scoredByRank sorts descending by score, ties broken
+// lexicographically — the shared ranking order of the taxonomy and the
+// view. A pointer receiver keeps sort.Sort allocation-free.
+type scoredByRank []taxonomy.Scored
+
+func (s *scoredByRank) Len() int { return len(*s) }
+func (s *scoredByRank) Less(i, j int) bool {
+	x := *s
+	if x[i].Score != x[j].Score {
+		return x[i].Score > x[j].Score
+	}
+	return x[i].Node < x[j].Node
+}
+func (s *scoredByRank) Swap(i, j int) {
+	x := *s
+	x[i], x[j] = x[j], x[i]
 }

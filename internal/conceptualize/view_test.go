@@ -1,0 +1,270 @@
+package conceptualize
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cnprobase/internal/serving"
+	"cnprobase/internal/taxonomy"
+)
+
+// viewOf compiles the store world into an immutable serving view.
+func viewOf(t *testing.T, tx *taxonomy.Taxonomy, m *taxonomy.MentionIndex) *serving.View {
+	t.Helper()
+	tx.Finalize()
+	return serving.Compile(tx, m)
+}
+
+// requireEquivalent conceptualizes the texts with both engines and
+// demands identical results — same resolved mentions, same concept
+// vectors, bit-equal scores.
+func requireEquivalent(t *testing.T, store, view *Engine, texts []string) {
+	t.Helper()
+	for _, text := range texts {
+		want := store.Conceptualize(text)
+		got := view.Conceptualize(text)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("Conceptualize(%q):\n  view  = %+v\n  store = %+v", text, got, want)
+		}
+	}
+}
+
+func TestViewMatchesStore(t *testing.T) {
+	tx, m := fixture(t)
+	store := New(tx, m)
+	view := NewView(viewOf(t, tx, m))
+	requireEquivalent(t, store, view, []string{
+		"",
+		"刘德华演唱了忘情水。",
+		"刘德华",
+		"忘情水忘情水",
+		"今天天气怎么样？",
+		"前面无关刘德华后面无关",
+	})
+}
+
+// TestViewMatchesStoreRandomized fuzzes the equivalence over random
+// worlds: random graphs, random ambiguity, random texts mixing real
+// mentions with noise. Every result must agree with the store oracle,
+// including the float scores.
+func TestViewMatchesStoreRandomized(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tx := taxonomy.NewSharded(1 + rng.Intn(4))
+		m := taxonomy.NewMentionIndex()
+		nEnt, nCon := 15+rng.Intn(20), 5+rng.Intn(5)
+		ent := func(i int) string { return fmt.Sprintf("实体%02d", i) }
+		con := func(i int) string { return fmt.Sprintf("概念%d", i) }
+		var surfaces []string
+		for i := 0; i < nEnt; i++ {
+			tx.MarkEntity(ent(i))
+			for tries := 1 + rng.Intn(3); tries > 0; tries-- {
+				if err := tx.AddIsA(ent(i), con(rng.Intn(nCon)), taxonomy.SourceTag, rng.Float64()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Some surfaces are shared across entities (ambiguity),
+			// some unique.
+			sf := fmt.Sprintf("词%d", rng.Intn(nEnt/2+1))
+			m.Add(sf, ent(i))
+			surfaces = append(surfaces, sf)
+		}
+		store := New(tx, m)
+		view := NewView(viewOf(t, tx, m))
+		if rng.Intn(2) == 0 {
+			store.MaxConceptsPerEntity = rng.Intn(4)
+			view.MaxConceptsPerEntity = store.MaxConceptsPerEntity
+		}
+		var texts []string
+		for i := 0; i < 100; i++ {
+			var b strings.Builder
+			for j := 0; j < 1+rng.Intn(5); j++ {
+				if rng.Intn(3) > 0 {
+					b.WriteString(surfaces[rng.Intn(len(surfaces))])
+				} else {
+					b.WriteString("无关")
+				}
+				if rng.Intn(3) == 0 {
+					b.WriteString("，")
+				}
+			}
+			texts = append(texts, b.String())
+		}
+		requireEquivalent(t, store, view, texts)
+	}
+}
+
+// tieFixture builds two senses of 苹果 with identical edge evidence, so
+// the popularity prior alone cannot separate them, plus 微软 sharing
+// the 科技公司 concept with the company sense.
+func tieFixture(t *testing.T) (*taxonomy.Taxonomy, *taxonomy.MentionIndex) {
+	t.Helper()
+	tx := taxonomy.New()
+	add := func(hypo, hyper string, n int) {
+		for i := 0; i < n; i++ {
+			if err := tx.AddIsA(hypo, hyper, taxonomy.SourceTag, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	tx.MarkEntity("苹果（一种水果）")
+	tx.MarkEntity("苹果（公司）")
+	tx.MarkEntity("微软")
+	add("苹果（一种水果）", "水果", 2)
+	add("苹果（公司）", "科技公司", 2)
+	add("微软", "科技公司", 2)
+	m := taxonomy.NewMentionIndex()
+	m.Add("苹果", "苹果（一种水果）")
+	m.Add("苹果", "苹果（公司）")
+	m.Add("微软", "微软")
+	return tx, m
+}
+
+// TestContextBreaksTies pins the disambiguation contract on both
+// engines: with equal popularity, a lone 苹果 resolves to the first
+// candidate in canonical order, but co-occurring 微软 swings it to the
+// company sense through concept agreement.
+func TestContextBreaksTies(t *testing.T) {
+	tx, m := tieFixture(t)
+	engines := map[string]*Engine{
+		"store": New(tx, m),
+		"view":  NewView(viewOf(t, tx, m)),
+	}
+	for name, e := range engines {
+		lone := e.Conceptualize("苹果")
+		if got := lone.Mentions[0].Entity; got != "苹果（一种水果）" {
+			t.Errorf("%s: lone 苹果 = %q, want canonical-order fruit sense", name, got)
+		}
+		ctx := e.Conceptualize("苹果和微软都发布了新品")
+		if got := ctx.Mentions[0].Entity; got != "苹果（公司）" {
+			t.Errorf("%s: 苹果 with 微软 context = %q, want company sense", name, got)
+		}
+	}
+}
+
+// TestConceptBounds exercises MaxConceptsPerEntity at its edges on
+// both engines: 0 means unbounded, 1 keeps only the most typical.
+func TestConceptBounds(t *testing.T) {
+	tx := taxonomy.New()
+	tx.MarkEntity("多概念实体")
+	for i := 0; i < 7; i++ {
+		if err := tx.AddIsA("多概念实体", fmt.Sprintf("概念%d", i), taxonomy.SourceTag, float64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := taxonomy.NewMentionIndex()
+	m.Add("多概念", "多概念实体")
+	v := viewOf(t, tx, m)
+	for name, mk := range map[string]func() *Engine{
+		"store": func() *Engine { return New(tx, m) },
+		"view":  func() *Engine { return NewView(v) },
+	} {
+		e := mk()
+		if got := len(e.Conceptualize("多概念").Mentions[0].Concepts); got != 5 {
+			t.Errorf("%s: default bound kept %d concepts, want 5", name, got)
+		}
+		e.MaxConceptsPerEntity = 0
+		if got := len(e.Conceptualize("多概念").Mentions[0].Concepts); got != 7 {
+			t.Errorf("%s: unbounded kept %d concepts, want all 7", name, got)
+		}
+		e.MaxConceptsPerEntity = 1
+		res := e.Conceptualize("多概念")
+		if got := len(res.Mentions[0].Concepts); got != 1 {
+			t.Errorf("%s: bound 1 kept %d concepts", name, got)
+		}
+		if len(res.Concepts) != 1 {
+			t.Errorf("%s: aggregated vector = %+v, want 1 concept", name, res.Concepts)
+		}
+	}
+}
+
+// TestEmptyAndUncovered pins the degenerate shapes: empty text, text
+// with zero mentions, and a mention whose entities have no concepts
+// all produce an uncovered result with a non-nil empty vector.
+func TestEmptyAndUncovered(t *testing.T) {
+	tx, m := fixture(t)
+	tx.MarkEntity("孤儿实体") // no hypernyms
+	m.Add("孤儿", "孤儿实体")
+	for name, e := range map[string]*Engine{
+		"store": New(tx, m),
+		"view":  NewView(viewOf(t, tx, m)),
+	} {
+		for _, text := range []string{"", "完全无关的文本", "孤儿"} {
+			res := e.Conceptualize(text)
+			if res.Covered() {
+				t.Errorf("%s: Conceptualize(%q) claims coverage: %+v", name, text, res)
+			}
+			if res.Concepts == nil || len(res.Concepts) != 0 {
+				t.Errorf("%s: Conceptualize(%q).Concepts = %#v, want non-nil empty", name, text, res.Concepts)
+			}
+		}
+	}
+}
+
+// TestOverlappingMentions pins greedy longest-match through the full
+// engine: 刘德华 must win over its substrings 刘德/德华, and both
+// engines must agree when only the shorter surfaces fit.
+func TestOverlappingMentions(t *testing.T) {
+	tx, m := fixture(t)
+	tx.MarkEntity("刘德（武术指导）")
+	tx.MarkEntity("德华（角色）")
+	if err := tx.AddIsA("刘德（武术指导）", "武术指导", taxonomy.SourceTag, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.AddIsA("德华（角色）", "角色", taxonomy.SourceTag, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.Add("刘德", "刘德（武术指导）")
+	m.Add("德华", "德华（角色）")
+	store := New(tx, m)
+	view := NewView(viewOf(t, tx, m))
+	requireEquivalent(t, store, view, []string{"刘德华", "刘德与德华", "刘德德华"})
+	res := view.Conceptualize("刘德华")
+	if len(res.Mentions) != 1 || res.Mentions[0].Surface != "刘德华" {
+		t.Errorf("longest match lost to a substring: %+v", res.Mentions)
+	}
+	res = view.Conceptualize("刘德与德华")
+	if len(res.Mentions) != 2 {
+		t.Errorf("shorter overlapping surfaces missed: %+v", res.Mentions)
+	}
+}
+
+// TestConceptualizeIntoRecycles pins the recycle contract: a reused
+// Result is truncated and refilled, never accumulating stale state.
+func TestConceptualizeIntoRecycles(t *testing.T) {
+	tx, m := fixture(t)
+	e := NewView(viewOf(t, tx, m))
+	var res Result
+	e.ConceptualizeInto(&res, "刘德华演唱了忘情水。")
+	first := len(res.Mentions)
+	e.ConceptualizeInto(&res, "忘情水")
+	if len(res.Mentions) != 1 || res.Mentions[0].Surface != "忘情水" {
+		t.Fatalf("reused result kept stale mentions (first call had %d): %+v", first, res.Mentions)
+	}
+	e.ConceptualizeInto(&res, "无关")
+	if res.Covered() || len(res.Concepts) != 0 {
+		t.Fatalf("reused result kept stale concepts: %+v", res)
+	}
+}
+
+func TestConceptualizeIntoAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under -race")
+	}
+	tx, m := fixture(t)
+	e := NewView(viewOf(t, tx, m))
+	text := "刘德华演唱了忘情水。"
+	var res Result
+	for i := 0; i < 8; i++ { // warm the pool and res capacity
+		e.ConceptualizeInto(&res, text)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		e.ConceptualizeInto(&res, text)
+	})
+	if allocs != 0 {
+		t.Fatalf("view-backed ConceptualizeInto allocates %.1f allocs/op, want 0", allocs)
+	}
+}

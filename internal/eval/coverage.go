@@ -41,10 +41,27 @@ func (r CoverageResult) PairRecall() float64 {
 	return float64(r.PairsRecovered) / float64(r.TruthPairs)
 }
 
-// Coverage measures how much of the ground truth a taxonomy recovered,
-// counting both direct edges and edges reachable through the concept
-// hierarchy (isA is transitive).
+// Graph is the reachability surface coverage needs. Both the mutable
+// build store (*taxonomy.Taxonomy) and the immutable serving view
+// (*serving.View) satisfy it, so the experiment can run against either
+// side of the build/serve split.
+type Graph interface {
+	// Hypernyms returns the direct hypernyms of a node.
+	Hypernyms(node string) []string
+	// Ancestors returns every node reachable upward from node.
+	Ancestors(node string) []string
+}
+
+// Coverage measures ground-truth recall against the build store —
+// CoverageOf is the general form accepting any Graph.
 func Coverage(t *taxonomy.Taxonomy, truth TruthSource, entityIDs []string) CoverageResult {
+	return CoverageOf(t, truth, entityIDs)
+}
+
+// CoverageOf measures how much of the ground truth a taxonomy
+// recovered, counting both direct edges and edges reachable through
+// the concept hierarchy (isA is transitive).
+func CoverageOf(g Graph, truth TruthSource, entityIDs []string) CoverageResult {
 	var res CoverageResult
 	for _, id := range entityIDs {
 		want := truth.TruthHypernyms(id)
@@ -53,10 +70,10 @@ func Coverage(t *taxonomy.Taxonomy, truth TruthSource, entityIDs []string) Cover
 		}
 		res.Entities++
 		reach := make(map[string]bool)
-		for _, h := range t.Hypernyms(id) {
+		for _, h := range g.Hypernyms(id) {
 			reach[h] = true
 		}
-		for _, h := range t.Ancestors(id) {
+		for _, h := range g.Ancestors(id) {
 			reach[h] = true
 		}
 		covered := false

@@ -3,6 +3,7 @@ package eval
 import (
 	"testing"
 
+	"cnprobase/internal/serving"
 	"cnprobase/internal/taxonomy"
 )
 
@@ -45,6 +46,32 @@ func TestCoverage(t *testing.T) {
 	}
 	if res.PairRecall() != 0.5 {
 		t.Errorf("PairRecall = %v, want 0.5", res.PairRecall())
+	}
+}
+
+// TestCoverageOfViewMatchesStore runs the experiment against the
+// compiled serving view and demands the same result as the store.
+func TestCoverageOfViewMatchesStore(t *testing.T) {
+	tx := taxonomy.New()
+	add := func(a, b string) {
+		if err := tx.AddIsA(a, b, taxonomy.SourceTag, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("甲", "演员")
+	add("演员", "人物")
+	add("乙", "错误概念")
+	truth := truthMap{
+		"甲": {"演员", "人物"},
+		"乙": {"歌手"},
+		"丙": {"城市"},
+	}
+	ids := []string{"甲", "乙", "丙"}
+	want := Coverage(tx, truth, ids)
+	tx.Finalize()
+	v := serving.Compile(tx, taxonomy.NewMentionIndex())
+	if got := CoverageOf(v, truth, ids); got != want {
+		t.Errorf("view coverage = %+v, store = %+v", got, want)
 	}
 }
 

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"cnprobase/internal/core"
+	"cnprobase/internal/eval"
+	"cnprobase/internal/qa"
+	"cnprobase/internal/synth"
+)
+
+// QABenchResult is the machine-readable QA-serving record the CI
+// pipeline emits as BENCH_QA.json: the paper's E5 coverage experiment
+// run on the immutable serving view (the path /api/qa uses), with the
+// paper's reported numbers alongside for drift tracking, plus
+// ground-truth coverage and question-evaluation throughput.
+type QABenchResult struct {
+	// Entities is the synthetic-world size; Questions the dataset size.
+	Entities  int `json:"entities"`
+	Questions int `json:"questions"`
+	// Coverage is the fraction of questions with at least one taxonomy
+	// mention or concept (paper: 0.9168 over NLPCC-2016 QA).
+	Coverage float64 `json:"coverage"`
+	// AvgConceptsPerCoveredEntity mirrors the paper's 2.14.
+	AvgConceptsPerCoveredEntity float64 `json:"avg_concepts_per_covered_entity"`
+	// PaperCoverage / PaperAvgConcepts are the paper's reported numbers,
+	// embedded so the artifact is self-describing.
+	PaperCoverage    float64 `json:"paper_coverage"`
+	PaperAvgConcepts float64 `json:"paper_avg_concepts"`
+	// QuestionsPerSec is view-backed evaluation throughput (single
+	// goroutine, steady state).
+	QuestionsPerSec float64 `json:"questions_per_sec"`
+	// EntityCoverage / PairRecall measure the taxonomy against the
+	// synthetic ground truth, evaluated on the same serving view.
+	EntityCoverage float64 `json:"entity_coverage"`
+	PairRecall     float64 `json:"pair_recall"`
+}
+
+// RunQABench builds a world, freezes it into a serving view, and runs
+// the QA coverage experiment on the view — the same data path the
+// /api/qa endpoint serves. Like RunBuildBench it is dependency-free
+// so cmd/experiments can emit BENCH_QA.json from a plain binary.
+func RunQABench(entities, questions int) (*QABenchResult, error) {
+	wcfg := synth.DefaultConfig()
+	if entities > 0 {
+		wcfg.Entities = entities
+	}
+	w, err := synth.Generate(wcfg)
+	if err != nil {
+		return nil, err
+	}
+	opts := core.DefaultOptions()
+	opts.EnableNeural = false // keep the measurement deterministic
+	res, err := core.New(opts).Build(w.Corpus())
+	if err != nil {
+		return nil, err
+	}
+	view := res.Freeze()
+
+	qcfg := qa.DefaultGeneratorConfig()
+	if questions > 0 {
+		qcfg.N = questions
+	}
+	qs := qa.Generate(w, qcfg)
+	cov := qa.EvaluateSource(qs, view)
+
+	out := &QABenchResult{
+		Entities:                    wcfg.Entities,
+		Questions:                   cov.Questions,
+		Coverage:                    cov.Coverage(),
+		AvgConceptsPerCoveredEntity: cov.AvgConceptsPerEntity,
+		PaperCoverage:               0.9168,
+		PaperAvgConcepts:            2.14,
+	}
+
+	// Ground-truth recall on the same view the endpoints serve from.
+	ids := make([]string, 0, len(w.Entities))
+	for _, e := range w.Entities {
+		ids = append(ids, e.ID)
+	}
+	truth := eval.CoverageOf(view, w.Oracle(), ids)
+	out.EntityCoverage = truth.EntityCoverage()
+	out.PairRecall = truth.PairRecall()
+
+	// Throughput: repeat the full evaluation until the measurement is
+	// long enough to be stable.
+	evaluated := 0
+	start := time.Now()
+	for time.Since(start) < minMeasure {
+		qa.EvaluateSource(qs, view)
+		evaluated += len(qs)
+	}
+	if sec := time.Since(start).Seconds(); sec > 0 {
+		out.QuestionsPerSec = float64(evaluated) / sec
+	}
+	return out, nil
+}
+
+// WriteJSON writes the record as indented JSON.
+func (r *QABenchResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

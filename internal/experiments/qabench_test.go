@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunQABench runs the view-backed QA bench on a small world and
+// checks the record is complete and serialises with the documented
+// field names.
+func TestRunQABench(t *testing.T) {
+	res, err := RunQABench(400, 200)
+	if err != nil {
+		t.Fatalf("RunQABench: %v", err)
+	}
+	if res.Entities != 400 || res.Questions != 200 {
+		t.Fatalf("sizes = %d entities / %d questions, want 400/200", res.Entities, res.Questions)
+	}
+	if res.Coverage <= 0 || res.Coverage > 1 {
+		t.Errorf("coverage = %v, want in (0, 1]", res.Coverage)
+	}
+	if res.AvgConceptsPerCoveredEntity <= 0 {
+		t.Errorf("avg concepts per covered entity = %v, want > 0", res.AvgConceptsPerCoveredEntity)
+	}
+	if res.PaperCoverage != 0.9168 || res.PaperAvgConcepts != 2.14 {
+		t.Errorf("paper reference numbers = %v / %v, want 0.9168 / 2.14",
+			res.PaperCoverage, res.PaperAvgConcepts)
+	}
+	if res.EntityCoverage <= 0 || res.PairRecall <= 0 {
+		t.Errorf("ground truth: entity coverage %v, pair recall %v, want both > 0",
+			res.EntityCoverage, res.PairRecall)
+	}
+	if res.QuestionsPerSec <= 0 {
+		t.Errorf("questions/s = %v, want > 0", res.QuestionsPerSec)
+	}
+
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("emitted JSON invalid: %v", err)
+	}
+	for _, key := range []string{
+		"entities", "questions", "coverage", "avg_concepts_per_covered_entity",
+		"paper_coverage", "paper_avg_concepts", "questions_per_sec",
+		"entity_coverage", "pair_recall",
+	} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("emitted JSON missing %q:\n%s", key, buf.String())
+		}
+	}
+	if !strings.Contains(buf.String(), "\n") {
+		t.Error("WriteJSON output not indented")
+	}
+}

@@ -8,11 +8,17 @@
 // The dataset substitute is a template question generator over the
 // synthetic world, mixed with out-of-taxonomy distractor questions
 // (chitchat, arithmetic, unknown entities) at a calibrated rate.
+//
+// Evaluation reads through the Source interface, satisfied both by the
+// mutable build store (NewStoreSource) and by the immutable
+// serving.View — the serving path the /api/qa endpoint uses, pinned
+// equivalent to the store by tests.
 package qa
 
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"cnprobase/internal/synth"
 	"cnprobase/internal/taxonomy"
@@ -95,6 +101,36 @@ func Generate(w *synth.World, cfg GeneratorConfig) []Question {
 	return out
 }
 
+// Source is the taxonomy read surface question understanding needs:
+// mention scanning, mention resolution, hypernym lookup, and node
+// kinds. serving.View implements it directly; NewStoreSource adapts
+// the mutable build store.
+type Source interface {
+	FindAllAppend(dst []string, text string) []string
+	Lookup(mention string) []string
+	Hypernyms(node string) []string
+	Kind(node string) taxonomy.NodeKind
+}
+
+// storeSource adapts the build store to Source — the reference oracle
+// the view-backed path is equivalence-tested against.
+type storeSource struct {
+	tax      *taxonomy.Taxonomy
+	mentions *taxonomy.MentionIndex
+}
+
+func (s storeSource) FindAllAppend(dst []string, text string) []string {
+	return s.mentions.FindAllAppend(dst, text)
+}
+func (s storeSource) Lookup(mention string) []string     { return s.mentions.Lookup(mention) }
+func (s storeSource) Hypernyms(node string) []string     { return s.tax.Hypernyms(node) }
+func (s storeSource) Kind(node string) taxonomy.NodeKind { return s.tax.Kind(node) }
+
+// NewStoreSource wraps the mutable store as a Source.
+func NewStoreSource(tax *taxonomy.Taxonomy, mentions *taxonomy.MentionIndex) Source {
+	return storeSource{tax: tax, mentions: mentions}
+}
+
 // CoverageResult reports the experiment's metrics.
 type CoverageResult struct {
 	Questions int
@@ -112,19 +148,26 @@ func (r CoverageResult) Coverage() float64 {
 	return float64(r.Covered) / float64(r.Questions)
 }
 
-// Evaluate measures taxonomy coverage over the question set: a question
-// counts as covered when the mention index finds an entity mention or
-// the text contains a taxonomy concept.
+// Evaluate measures taxonomy coverage over the question set against
+// the build store. EvaluateSource is the general form.
 func Evaluate(questions []Question, tax *taxonomy.Taxonomy, mentions *taxonomy.MentionIndex) CoverageResult {
+	return EvaluateSource(questions, NewStoreSource(tax, mentions))
+}
+
+// EvaluateSource measures taxonomy coverage over the question set: a
+// question counts as covered when the mention index finds an entity
+// mention or the text contains a taxonomy concept.
+func EvaluateSource(questions []Question, src Source) CoverageResult {
 	res := CoverageResult{Questions: len(questions)}
 	conceptHits := 0
 	conceptSum := 0
+	var found []string
 	for _, q := range questions {
-		found := mentions.FindAll(q.Text)
+		found = src.FindAllAppend(found[:0], q.Text)
 		covered := false
 		for _, m := range found {
-			for _, id := range mentions.Lookup(m) {
-				if n := len(tax.Hypernyms(id)); n > 0 {
+			for _, id := range src.Lookup(m) {
+				if n := len(src.Hypernyms(id)); n > 0 {
 					covered = true
 					conceptHits++
 					conceptSum += n
@@ -137,7 +180,7 @@ func Evaluate(questions []Question, tax *taxonomy.Taxonomy, mentions *taxonomy.M
 		}
 		if !covered {
 			// Concept mention: any taxonomy concept inside the text.
-			if containsConcept(q.Text, tax) {
+			if containsConcept(q.Text, src) {
 				covered = true
 			}
 		}
@@ -151,17 +194,101 @@ func Evaluate(questions []Question, tax *taxonomy.Taxonomy, mentions *taxonomy.M
 	return res
 }
 
+// EntityMention is one resolved surface inside an understood question.
+type EntityMention struct {
+	Surface string `json:"surface"`
+	// Entities are the candidate entity IDs of the surface, sorted.
+	Entities []string `json:"entities"`
+	// Concepts is the sorted union of the candidates' direct concepts.
+	Concepts []string `json:"concepts"`
+}
+
+// Understanding is the per-question serving answer of the /api/qa
+// endpoint: whether the taxonomy understands the question, which
+// entity mentions it resolved, and which bare concepts it spotted.
+type Understanding struct {
+	// Covered matches EvaluateSource's predicate exactly: at least one
+	// mention resolves to an entity with concepts, or the text contains
+	// a taxonomy concept.
+	Covered bool `json:"covered"`
+	// Mentions are the entity mentions found in the question.
+	Mentions []EntityMention `json:"mentions,omitempty"`
+	// Concepts are distinct taxonomy concepts appearing verbatim in the
+	// question, in first-occurrence order.
+	Concepts []string `json:"concepts,omitempty"`
+}
+
+// Understand analyzes one question against a Source. Its Covered field
+// agrees with EvaluateSource question by question — the endpoint and
+// the batch experiment cannot drift apart.
+func Understand(text string, src Source) Understanding {
+	var u Understanding
+	for _, sf := range src.FindAllAppend(nil, text) {
+		ids := src.Lookup(sf)
+		if len(ids) == 0 {
+			continue
+		}
+		union := map[string]bool{}
+		for _, id := range ids {
+			for _, h := range src.Hypernyms(id) {
+				union[h] = true
+			}
+		}
+		concepts := make([]string, 0, len(union))
+		for h := range union {
+			concepts = append(concepts, h)
+		}
+		sort.Strings(concepts)
+		if len(concepts) > 0 {
+			u.Covered = true
+		}
+		u.Mentions = append(u.Mentions, EntityMention{Surface: sf, Entities: ids, Concepts: concepts})
+	}
+	u.Concepts = conceptWindows(text, src)
+	if len(u.Concepts) > 0 {
+		u.Covered = true
+	}
+	return u
+}
+
 // containsConcept scans the question for any concept node of the
 // taxonomy using greedy windows up to 6 runes.
-func containsConcept(text string, tax *taxonomy.Taxonomy) bool {
+func containsConcept(text string, src Source) bool {
 	rs := []rune(text)
 	for i := 0; i < len(rs); i++ {
 		for l := 2; l <= 6 && i+l <= len(rs); l++ {
 			w := string(rs[i : i+l])
-			if tax.Kind(w) == taxonomy.KindConcept {
+			if src.Kind(w) == taxonomy.KindConcept {
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// conceptWindows returns the distinct concept nodes appearing verbatim
+// in text (the windows containsConcept scans), in first-occurrence
+// order.
+func conceptWindows(text string, src Source) []string {
+	rs := []rune(text)
+	var out []string
+	for i := 0; i < len(rs); i++ {
+		for l := 2; l <= 6 && i+l <= len(rs); l++ {
+			w := string(rs[i : i+l])
+			if src.Kind(w) != taxonomy.KindConcept {
+				continue
+			}
+			dup := false
+			for _, x := range out {
+				if x == w {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, w)
+			}
+		}
+	}
+	return out
 }

@@ -263,6 +263,7 @@ func compile(marks map[string]taxonomy.NodeKind, edges []taxonomy.Edge, mentionE
 		i = j
 	}
 	v.mentionOff = append(v.mentionOff, uint32(len(v.mentionEnts)))
+	v.mentionDict = compileMentionDict(v.mentions)
 
 	// ---- stats (the store's ComputeStats, replayed over the frozen
 	// content) ----

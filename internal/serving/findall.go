@@ -1,0 +1,106 @@
+package serving
+
+import (
+	"sync"
+	"unicode/utf8"
+
+	"cnprobase/internal/trie"
+)
+
+// Text scanning over the view's mention table — the primitive the
+// conceptualization and QA engines run on. The mentions are compiled
+// into a frozen arena trie once (compile does it), so FindAll answers
+// exactly like MentionIndex.FindAll on the same dictionary: greedy
+// longest-match from each rune position, distinct surfaces in
+// first-occurrence order. Like every other View query it takes no
+// locks, and the append form allocates nothing on the steady path.
+
+// findScratch is the pooled per-call state of FindAllAppend: the
+// decoded rune buffer and the parallel byte-offset table that lets
+// matched spans be returned as substrings of the input.
+type findScratch struct {
+	rs   []rune
+	offs []int
+}
+
+var findPool = sync.Pool{New: func() any { return new(findScratch) }}
+
+// FindAll scans text and returns the distinct mentions found, using
+// greedy longest-match from each position — exactly like
+// MentionIndex.FindAll over the same mention set. Nil when nothing
+// matches.
+func (v *View) FindAll(text string) []string { return v.FindAllAppend(nil, text) }
+
+// FindAllAppend is FindAll in append style: found mentions are
+// appended to dst (which may be a recycled scratch slice) and the
+// extended slice is returned. Each appended mention is a byte-offset
+// substring of text, so a steady-state caller with a warm dst
+// allocates nothing. Deduplication applies to the mentions appended by
+// this call, not to dst's prior contents.
+func (v *View) FindAllAppend(dst []string, text string) []string {
+	if len(v.mentions) == 0 || text == "" {
+		return dst
+	}
+	sc := findPool.Get().(*findScratch)
+	rs, offs := sc.rs[:0], sc.offs[:0]
+	clean := true // no invalid UTF-8 seen
+	for bi, r := range text {
+		if r == utf8.RuneError {
+			clean = clean && validRuneAt(text, bi)
+		}
+		rs = append(rs, r)
+		offs = append(offs, bi)
+	}
+	offs = append(offs, len(text))
+	base := len(dst)
+	for i := 0; i < len(rs); {
+		l := v.mentionDict.LongestFrom(rs, i)
+		if l == 0 {
+			i++
+			continue
+		}
+		w := text[offs[i]:offs[i+l]]
+		if !clean {
+			// Invalid input bytes decode to U+FFFD; re-encode the runes
+			// so the result matches MentionIndex.FindAll byte for byte.
+			w = string(rs[i : i+l])
+		}
+		if !containsString(dst[base:], w) {
+			dst = append(dst, w)
+		}
+		i += l
+	}
+	sc.rs, sc.offs = rs, offs
+	findPool.Put(sc)
+	return dst
+}
+
+// validRuneAt reports whether the rune starting at byte offset i of s
+// is a well-formed encoding (a literal U+FFFD is valid; a decode error
+// is not).
+func validRuneAt(s string, i int) bool {
+	r, size := utf8.DecodeRuneInString(s[i:])
+	return !(r == utf8.RuneError && size == 1)
+}
+
+// containsString reports whether xs contains w. Found-mention counts
+// per text are tiny, so a linear scan beats a map (and allocates
+// nothing).
+func containsString(xs []string, w string) bool {
+	for _, x := range xs {
+		if x == w {
+			return true
+		}
+	}
+	return false
+}
+
+// compileMentionDict builds the frozen mention trie FindAll scans.
+func compileMentionDict(mentions []string) *trie.Trie {
+	d := trie.New()
+	for _, m := range mentions {
+		d.Insert(m)
+	}
+	d.Freeze()
+	return d
+}

@@ -1,0 +1,144 @@
+package serving
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cnprobase/internal/taxonomy"
+)
+
+// findFixture builds a mention index (and matching compiled view) with
+// the shapes greedy matching must handle: overlapping surfaces where
+// one is a prefix of another, single-rune mentions, multi-entity
+// ambiguity, and latin alongside Han.
+func findFixture(t *testing.T) (*taxonomy.MentionIndex, *View) {
+	t.Helper()
+	tax := taxonomy.New()
+	m := taxonomy.NewMentionIndex()
+	add := func(mention string, ids ...string) {
+		for _, id := range ids {
+			tax.MarkEntity(id)
+			m.Add(mention, id)
+		}
+	}
+	add("刘德华", "刘德华（演员）", "刘德华（作家）")
+	add("刘德", "刘德（武术指导）")
+	add("德华", "德华（角色）")
+	add("华", "华（姓氏）")
+	add("忘情水", "忘情水")
+	add("A股", "A股")
+	add("AI", "AI（人工智能）")
+	tax.Finalize()
+	return m, Compile(tax, m)
+}
+
+func TestFindAllMatchesMentionIndex(t *testing.T) {
+	m, v := findFixture(t)
+	texts := []string{
+		"",
+		"刘德华演唱了忘情水。",
+		"刘德里有德华。",         // longest match fails, shorter overlapping ones hit
+		"华仔就是刘德华",         // single-rune mention + longer at another position
+		"AI与A股都涨了",        // latin mentions
+		"刘德华刘德华刘德华",       // repeats dedupe to one
+		"无关文本 totally x",  // nothing matches
+		"刘德",              // exact shorter surface
+		"\xff\xfe刘德华\xff", // invalid UTF-8 around a valid mention
+		"前缀\xe5\x88伪字节刘德华",
+	}
+	for _, text := range texts {
+		want := m.FindAll(text)
+		got := v.FindAll(text)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("FindAll(%q): view = %q, store = %q", text, got, want)
+		}
+	}
+}
+
+func TestFindAllRandomizedEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tax := taxonomy.New()
+		m := taxonomy.NewMentionIndex()
+		runes := []rune("刘德华周杰伦演员歌手作品abc")
+		randWord := func() string {
+			n := 1 + rng.Intn(4)
+			var b strings.Builder
+			for i := 0; i < n; i++ {
+				b.WriteRune(runes[rng.Intn(len(runes))])
+			}
+			return b.String()
+		}
+		var surfaces []string
+		for i := 0; i < 30; i++ {
+			w := randWord()
+			id := fmt.Sprintf("%s（实体%d）", w, rng.Intn(3))
+			tax.MarkEntity(id)
+			m.Add(w, id)
+			surfaces = append(surfaces, w)
+		}
+		tax.Finalize()
+		v := Compile(tax, m)
+		for i := 0; i < 200; i++ {
+			var b strings.Builder
+			for j := 0; j < 1+rng.Intn(6); j++ {
+				if rng.Intn(2) == 0 {
+					b.WriteString(surfaces[rng.Intn(len(surfaces))])
+				} else {
+					b.WriteString(randWord())
+				}
+				if rng.Intn(3) == 0 {
+					b.WriteString("，")
+				}
+			}
+			text := b.String()
+			if want, got := m.FindAll(text), v.FindAll(text); !reflect.DeepEqual(want, got) {
+				t.Fatalf("seed %d FindAll(%q): view = %q, store = %q", seed, text, got, want)
+			}
+		}
+	}
+}
+
+// TestFindAllAppendRecycles pins the append contract: results land in
+// dst, dedupe is per-call, and the returned strings are substrings of
+// the input (no copies) for valid UTF-8.
+func TestFindAllAppendRecycles(t *testing.T) {
+	_, v := findFixture(t)
+	dst := v.FindAllAppend(nil, "刘德华唱忘情水")
+	if len(dst) != 2 {
+		t.Fatalf("dst = %q, want 2 mentions", dst)
+	}
+	// Appending a second text keeps the first call's results and
+	// dedupes only within the new call.
+	dst = v.FindAllAppend(dst, "刘德华")
+	if len(dst) != 3 || dst[2] != "刘德华" {
+		t.Fatalf("dst after second append = %q", dst)
+	}
+	// Recycled dst reuses the backing array.
+	dst = dst[:0]
+	dst = v.FindAllAppend(dst, "忘情水")
+	if len(dst) != 1 || dst[0] != "忘情水" {
+		t.Fatalf("recycled dst = %q", dst)
+	}
+}
+
+func TestFindAllAppendAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under -race")
+	}
+	_, v := findFixture(t)
+	text := "刘德华演唱了忘情水，AI与A股都涨了。"
+	var dst []string
+	for i := 0; i < 4; i++ { // warm the pool and dst
+		dst = v.FindAllAppend(dst[:0], text)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		dst = v.FindAllAppend(dst[:0], text)
+	})
+	if allocs != 0 {
+		t.Fatalf("FindAllAppend allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"cnprobase/internal/taxonomy"
+	"cnprobase/internal/trie"
 )
 
 // View is the immutable serving view. The zero value is not usable;
@@ -64,11 +65,13 @@ type View struct {
 
 	// Mention table: mentions sorted ascending; mention i's entity IDs
 	// occupy mentionEnts[mentionOff[i]:mentionOff[i+1]], sorted.
-	// mentionAt interns mention → table index for O(1) resolution.
+	// mentionAt interns mention → table index for O(1) resolution;
+	// mentionDict is the frozen trie FindAll scans text with.
 	mentions    []string
 	mentionAt   map[string]uint32
 	mentionOff  []uint32
 	mentionEnts []string
+	mentionDict *trie.Trie
 
 	stats taxonomy.Stats
 }

@@ -87,11 +87,19 @@ func (m *MentionIndex) ExportPartitions(n int) [][]MentionEntry {
 // FindAll scans text and returns the distinct mentions found, using
 // greedy longest-match from each position.
 func (m *MentionIndex) FindAll(text string) []string {
+	return m.FindAllAppend(nil, text)
+}
+
+// FindAllAppend is FindAll in append style: found mentions are
+// appended to dst and the extended slice is returned. Deduplication
+// applies to the mentions appended by this call, not to dst's prior
+// contents. serving.View.FindAllAppend is the allocation-free
+// equivalent on the immutable view.
+func (m *MentionIndex) FindAllAppend(dst []string, text string) []string {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	rs := []rune(text)
-	seen := make(map[string]bool)
-	var out []string
+	base := len(dst)
 	for i := 0; i < len(rs); {
 		l := m.dict.LongestFrom(rs, i)
 		if l == 0 {
@@ -99,11 +107,17 @@ func (m *MentionIndex) FindAll(text string) []string {
 			continue
 		}
 		w := string(rs[i : i+l])
-		if !seen[w] {
-			seen[w] = true
-			out = append(out, w)
+		found := false
+		for _, x := range dst[base:] {
+			if x == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			dst = append(dst, w)
 		}
 		i += l
 	}
-	return out
+	return dst
 }
