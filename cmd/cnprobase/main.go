@@ -16,7 +16,11 @@
 // sharded taxonomy store; any worker count produces the same taxonomy.
 // -save additionally writes the complete serving state (taxonomy +
 // mention index + build report) as a binary snapshot that
-// `cnpserver -load` starts from without re-running the pipeline.
+// `cnpserver -load` starts from without re-running the pipeline —
+// memory-mapping it directly under the version-3 layout. The write is
+// atomic (temp file, fsync, rename, directory fsync): rebuilding over
+// a snapshot a live server is mapping or SIGHUP-reloading can never
+// expose a torn file.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 
@@ -31,6 +36,46 @@ import (
 	"cnprobase/internal/encyclopedia"
 	"cnprobase/internal/synth"
 )
+
+// saveSnapshotAtomic writes the snapshot through a temp file in the
+// target directory, fsyncs it, renames it over path and fsyncs the
+// directory — a crash at any point leaves either the old snapshot or
+// the new one, never a torn file. cnpserver may be serving (and
+// SIGHUP-reloading, or mmap-serving) the previous snapshot at this
+// path; the rename swaps it atomically under that reader.
+func saveSnapshotAtomic(path string, res *cnprobase.Result) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".cnpsnap-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := cnprobase.SaveSnapshot(f, res); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
 
 func main() {
 	log.SetFlags(0)
@@ -156,16 +201,8 @@ func cmdBuild(args []string) {
 	}
 	fmt.Printf("wrote %s\n", *out)
 	if *save != "" {
-		s, err := os.Create(*save)
-		if err != nil {
-			fail("create %s: %v", *save, err)
-		}
-		if err := cnprobase.SaveSnapshot(s, res); err != nil {
-			s.Close()
+		if err := saveSnapshotAtomic(*save, res); err != nil {
 			fail("write snapshot: %v", err)
-		}
-		if err := s.Close(); err != nil {
-			fail("close %s: %v", *save, err)
 		}
 		fmt.Printf("wrote snapshot %s\n", *save)
 	}

@@ -39,10 +39,12 @@
 //	cnpserver -load taxonomy.snap -ingest localhost:7070 -wal wal/
 //
 // -load is the production serving path: the snapshot (written by
-// `cnprobase build -save`) decodes straight into the immutable serving
-// view — the mutable build store is never materialized (unless -ingest
-// asks for it) — so the server is query-ready in milliseconds. All
-// requests are answered from that lock-free view.
+// `cnprobase build -save`) becomes the immutable serving view — the
+// mutable build store is never materialized (unless -ingest asks for
+// it). Version-3 snapshots are memory-mapped and served in place, so
+// the server is query-ready in constant time regardless of taxonomy
+// size; older snapshots stream-decode instead. All requests are
+// answered from that lock-free view.
 //
 // Signals:
 //
@@ -322,21 +324,28 @@ func main() {
 	}
 }
 
-// loadView decodes a snapshot file straight into a serving view and
-// logs its shape.
+// loadView brings a snapshot file up as a serving view and logs its
+// shape. Version-3 files are memory-mapped — the view serves straight
+// off the file, so startup cost is flat in taxonomy size — while older
+// files fall back to the streaming decode.
 func loadView(path string, workers int) (*cnprobase.ServingView, error) {
 	start := time.Now()
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
+	how := "mapped"
+	view, err := cnprobase.OpenSnapshotMapped(path)
+	if errors.Is(err, cnprobase.ErrSnapshotNotMappable) {
+		how = "decoded (legacy format)"
+		var f *os.File
+		if f, err = os.Open(path); err != nil {
+			return nil, err
+		}
+		view, err = cnprobase.LoadSnapshotView(f, workers)
+		f.Close()
 	}
-	defer f.Close()
-	view, err := cnprobase.LoadSnapshotView(f, workers)
 	if err != nil {
 		return nil, err
 	}
 	st := view.Stats()
-	log.Printf("loaded snapshot in %v: %d entities, %d concepts, %d isA, %d mentions",
+	log.Printf("%s snapshot in %v: %d entities, %d concepts, %d isA, %d mentions", how,
 		time.Since(start).Round(time.Millisecond),
 		st.Entities, st.Concepts, st.IsARelations, view.MentionCount())
 	return view, nil

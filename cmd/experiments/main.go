@@ -11,6 +11,8 @@
 //	experiments -bench-update [-entities N] [-update-batches K] [-bench-update-out BENCH_UPDATE.json]
 //	experiments -bench-recovery [-entities N] [-recovery-batches K] [-bench-recovery-out BENCH_RECOVERY.json]
 //	experiments -bench-qa [-entities N] [-questions M] [-bench-qa-out BENCH_QA.json]
+//	experiments -bench-serve [-entities N] [-serve-calls K] [-bench-serve-out BENCH_SERVE.json]
+//	experiments -bench-startup [-entities N] [-bench-startup-out BENCH_STARTUP.json]
 //
 // -bench-build skips the evaluation suite and instead measures the
 // build-side hot path — steady-state segmentation runes/s, end-to-end
@@ -38,6 +40,16 @@
 // coverage, concepts-per-covered-entity (with the paper's 91.68% /
 // 2.14 alongside), ground-truth recall, and question-evaluation
 // throughput as BENCH_QA.json.
+//
+// -bench-serve fires the extended Table II mix (the three lookup APIs
+// plus conceptualize and qa, Zipfian argument skew) over real HTTP
+// against the serving view and records throughput and the server's
+// per-endpoint p50/p99 as BENCH_SERVE.json.
+//
+// -bench-startup saves the same state in the striped v2 layout and the
+// mappable v3 layout at growing world sizes and measures file-to-view
+// cold start (LoadView decode vs OpenMapped) plus live-heap growth as
+// BENCH_STARTUP.json — the record documenting the O(1) mapped start.
 package main
 
 import (
@@ -77,9 +89,14 @@ func main() {
 		recoverK  = flag.Int("recovery-batches", 8, "number of WAL batches for -bench-recovery")
 		benchQ    = flag.Bool("bench-qa", false, "run QA coverage on the serving view and emit JSON instead of running experiments")
 		benchQOut = flag.String("bench-qa-out", "BENCH_QA.json", "output path for -bench-qa")
+		benchS    = flag.Bool("bench-serve", false, "measure the mixed HTTP serving workload and emit JSON instead of running experiments")
+		benchSOut = flag.String("bench-serve-out", "BENCH_SERVE.json", "output path for -bench-serve")
+		serveK    = flag.Int("serve-calls", 20000, "workload size for -bench-serve")
+		benchSt   = flag.Bool("bench-startup", false, "measure snapshot cold-start (decode vs mmap) and emit JSON instead of running experiments")
+		benchStO  = flag.String("bench-startup-out", "BENCH_STARTUP.json", "output path for -bench-startup")
 	)
 	flag.Parse()
-	if *benchB || *benchU || *benchR || *benchQ {
+	if *benchB || *benchU || *benchR || *benchQ || *benchS || *benchSt {
 		if *benchB {
 			runBuildBench(*entities, *benchOut)
 		}
@@ -91,6 +108,12 @@ func main() {
 		}
 		if *benchQ {
 			runQABench(*entities, *questions, *benchQOut)
+		}
+		if *benchS {
+			runServeBench(*entities, *serveK, *benchSOut)
+		}
+		if *benchSt {
+			runStartupBench(*entities, *benchStO)
 		}
 		return
 	}
@@ -267,5 +290,61 @@ func runQABench(entities, questions int, out string) {
 	fmt.Printf("ground truth: entity coverage %.2f%%, pair recall %.2f%%\n",
 		res.EntityCoverage*100, res.PairRecall*100)
 	fmt.Printf("throughput: %.0f questions/s on the serving view\n", res.QuestionsPerSec)
+	fmt.Printf("wrote %s\n", out)
+}
+
+// runServeBench fires the mixed HTTP workload at the serving view and
+// writes BENCH_SERVE.json.
+func runServeBench(entities, calls int, out string) {
+	fmt.Printf("== serving workload bench: %d entities, %d calls ==\n", entities, calls)
+	res, err := experiments.RunServeBench(entities, calls)
+	if err != nil {
+		log.Fatalf("bench-serve: %v", err)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatalf("create %s: %v", out, err)
+	}
+	if err := res.WriteJSON(f); err != nil {
+		f.Close()
+		log.Fatalf("write %s: %v", out, err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("close %s: %v", out, err)
+	}
+	fmt.Printf("throughput: %.0f req/s over %d calls (%.1fs)\n", res.ReqPerSec, res.Calls, res.Seconds)
+	for _, ep := range res.Endpoints {
+		fmt.Printf("latency %-13s calls=%-7d p50=%.3fms p99=%.3fms\n", ep.Endpoint, ep.Count, ep.P50Ms, ep.P99Ms)
+	}
+	fmt.Printf("wrote %s\n", out)
+}
+
+// runStartupBench measures decode-vs-mmap cold start and writes
+// BENCH_STARTUP.json.
+func runStartupBench(entities int, out string) {
+	fmt.Printf("== snapshot startup bench: base %d entities ==\n", entities)
+	res, err := experiments.RunStartupBench(entities)
+	if err != nil {
+		log.Fatalf("bench-startup: %v", err)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatalf("create %s: %v", out, err)
+	}
+	if err := res.WriteJSON(f); err != nil {
+		f.Close()
+		log.Fatalf("write %s: %v", out, err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("close %s: %v", out, err)
+	}
+	for _, s := range res.Sizes {
+		fmt.Printf("%7d entities (%d nodes, %d edges): decode %7.1fms / %5.1f MiB heap — map %6.2fms / %5.2f MiB heap\n",
+			s.Entities, s.Nodes, s.Edges,
+			s.DecodeMs, float64(s.DecodeHeapBytes)/(1<<20),
+			s.MapMs, float64(s.MapHeapBytes)/(1<<20))
+	}
+	fmt.Printf("largest size: mapped start %.0fx faster; growth over %dx world: decode %.1fx, mapped %.1fx\n",
+		res.MapSpeedupAtLargest, len(res.Sizes)+1, res.DecodeGrowth, res.MapGrowth)
 	fmt.Printf("wrote %s\n", out)
 }

@@ -383,6 +383,25 @@ func LoadSnapshotView(r io.Reader, workers int) (*ServingView, error) {
 	return v, err
 }
 
+// ErrSnapshotNotMappable reports that a snapshot file predates the
+// mappable version-3 layout. OpenSnapshotMapped returns it (wrapped)
+// for version-1/2 files; callers fall back to LoadSnapshotView.
+var ErrSnapshotNotMappable = snapshot.ErrNotMappable
+
+// OpenSnapshotMapped memory-maps a version-3 snapshot file and serves
+// straight off the mapping: after header and checksum verification the
+// view's arrays alias the file's bytes, so startup cost is independent
+// of taxonomy size and replicas share one page-cache copy. The mapping
+// is released automatically once the view becomes unreachable (after a
+// hot swap, once in-flight queries drain). Answers are byte-identical
+// to LoadSnapshotView over the same state (pinned by the mapped
+// serving-equivalence tests). Files older than version 3 return
+// ErrSnapshotNotMappable.
+func OpenSnapshotMapped(path string) (*ServingView, error) {
+	v, _, err := snapshot.OpenMapped(path)
+	return v, err
+}
+
 // SamplePrecision estimates the precision of a taxonomy by sampling
 // `sample` isA pairs (the paper samples 2000) and judging them with the
 // oracle.

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"time"
+
+	"cnprobase/internal/api"
+	"cnprobase/internal/core"
+	"cnprobase/internal/synth"
+)
+
+// ServeBenchResult is the machine-readable serving-workload record the
+// CI pipeline emits as BENCH_SERVE.json: the extended Table II mix
+// (men2ent, getConcept, getEntity, conceptualize, qa) with Zipfian
+// argument skew fired over real HTTP against the immutable serving
+// view, recording end-to-end throughput and the server's own
+// per-endpoint latency histograms.
+type ServeBenchResult struct {
+	// Entities is the synthetic-world size; Calls the workload length.
+	Entities int `json:"entities"`
+	Calls    int `json:"calls"`
+	// Seconds is total wall time for the workload; ReqPerSec the
+	// resulting single-client throughput (sequential requests over one
+	// connection — a latency-bound, not saturation, number).
+	Seconds   float64 `json:"seconds"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	// Issued is the realized call mix in Table II order.
+	Issued api.Stats `json:"issued"`
+	// Endpoints is the server-side per-endpoint latency summary
+	// (p50/p99 from the same histograms /api/stats reports).
+	Endpoints []api.EndpointLatency `json:"endpoints"`
+}
+
+// RunServeBench builds a world, freezes it into a serving view, serves
+// it over a real HTTP listener, and drives the mixed Zipfian workload
+// through api.RunWorkload — the exact serving stack cnpserver runs,
+// measured end to end.
+func RunServeBench(entities, calls int) (*ServeBenchResult, error) {
+	wcfg := synth.DefaultConfig()
+	if entities > 0 {
+		wcfg.Entities = entities
+	}
+	w, err := synth.Generate(wcfg)
+	if err != nil {
+		return nil, err
+	}
+	opts := core.DefaultOptions()
+	opts.EnableNeural = false // keep the measurement deterministic
+	res, err := core.New(opts).Build(w.Corpus())
+	if err != nil {
+		return nil, err
+	}
+	srv := api.NewViewServer(res.Freeze())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cfg := api.MixedWorkloadConfig()
+	if calls > 0 {
+		cfg.Calls = calls
+	}
+	start := time.Now()
+	issued, err := api.RunWorkload(api.NewClient(ts.URL), res.Taxonomy, res.Mentions, cfg)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start).Seconds()
+
+	out := &ServeBenchResult{
+		Entities:  wcfg.Entities,
+		Calls:     cfg.Calls,
+		Seconds:   elapsed,
+		Issued:    issued,
+		Endpoints: srv.LatencyReport(),
+	}
+	if elapsed > 0 {
+		out.ReqPerSec = float64(cfg.Calls) / elapsed
+	}
+	return out, nil
+}
+
+// WriteJSON emits the record as indented JSON.
+func (r *ServeBenchResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

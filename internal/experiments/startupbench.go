@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"cnprobase/internal/core"
+	"cnprobase/internal/snapshot"
+	"cnprobase/internal/synth"
+)
+
+// StartupSample is one taxonomy size's cold-start measurement: the
+// same serving state written in both on-disk layouts, timed from file
+// to query-ready view through each path.
+type StartupSample struct {
+	// Entities is the synthetic-world size; Nodes/Edges/Mentions the
+	// resulting taxonomy shape.
+	Entities int `json:"entities"`
+	Nodes    int `json:"nodes"`
+	Edges    int `json:"edges"`
+	Mentions int `json:"mentions"`
+	// DecodeBytes / MappedBytes are the v2 (striped) and v3 (image)
+	// snapshot file sizes.
+	DecodeBytes int64 `json:"decode_bytes"`
+	MappedBytes int64 `json:"mapped_bytes"`
+	// DecodeMs is LoadView over the v2 file (parse + build); MapMs is
+	// OpenMapped over the v3 file (validate + alias). Best of several
+	// runs.
+	DecodeMs float64 `json:"decode_ms"`
+	MapMs    float64 `json:"map_ms"`
+	// DecodeHeapBytes / MapHeapBytes are the live-heap growth each
+	// path's view costs (the mapped view keeps strings and numeric
+	// arrays in the file, so its heap footprint is the derived indexes
+	// only).
+	DecodeHeapBytes uint64 `json:"decode_heap_bytes"`
+	MapHeapBytes    uint64 `json:"map_heap_bytes"`
+}
+
+// StartupBenchResult is the BENCH_STARTUP.json record: cold-start cost
+// of the two snapshot read paths across growing taxonomy sizes. The
+// headline property: the mapped path skips all string parsing, hashing
+// and interning (checksum verification and index rebuild remain, at
+// memory bandwidth), so MapMs sits an order of magnitude below
+// DecodeMs with a far smaller slope, and MapHeapBytes stays near the
+// derived-index size while DecodeHeapBytes carries the whole taxonomy.
+type StartupBenchResult struct {
+	Sizes []StartupSample `json:"sizes"`
+	// MapSpeedupAtLargest is DecodeMs/MapMs at the biggest size.
+	MapSpeedupAtLargest float64 `json:"map_speedup_at_largest"`
+	// MapGrowth / DecodeGrowth are each path's largest-over-smallest
+	// time ratio; mapped startup should stay near 1 while the taxonomy
+	// grows severalfold.
+	DecodeGrowth float64 `json:"decode_growth"`
+	MapGrowth    float64 `json:"map_growth"`
+}
+
+// startupReps measures each read path this many times and keeps the
+// fastest run — the page cache is warm after the first, so the minimum
+// isolates CPU cost from IO noise.
+const startupReps = 5
+
+// RunStartupBench builds the synthetic world at base, 2x and 4x size,
+// saves each state in both the striped v2 layout and the mappable v3
+// layout, and measures file-to-view cold start (wall time and live-heap
+// growth) through LoadView and OpenMapped.
+func RunStartupBench(baseEntities int) (*StartupBenchResult, error) {
+	if baseEntities <= 0 {
+		baseEntities = 1000
+	}
+	dir, err := os.MkdirTemp("", "cnp-startup-bench-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	out := &StartupBenchResult{}
+	for _, mult := range []int{1, 2, 4} {
+		sample, err := measureStartup(dir, baseEntities*mult)
+		if err != nil {
+			return nil, err
+		}
+		out.Sizes = append(out.Sizes, *sample)
+	}
+	first, last := out.Sizes[0], out.Sizes[len(out.Sizes)-1]
+	if last.MapMs > 0 {
+		out.MapSpeedupAtLargest = last.DecodeMs / last.MapMs
+	}
+	if first.DecodeMs > 0 {
+		out.DecodeGrowth = last.DecodeMs / first.DecodeMs
+	}
+	if first.MapMs > 0 {
+		out.MapGrowth = last.MapMs / first.MapMs
+	}
+	return out, nil
+}
+
+func measureStartup(dir string, entities int) (*StartupSample, error) {
+	wcfg := synth.DefaultConfig()
+	wcfg.Entities = entities
+	w, err := synth.Generate(wcfg)
+	if err != nil {
+		return nil, err
+	}
+	opts := core.DefaultOptions()
+	opts.EnableNeural = false
+	res, err := core.New(opts).Build(w.Corpus())
+	if err != nil {
+		return nil, err
+	}
+	st := &snapshot.State{
+		Taxonomy: res.Taxonomy,
+		Mentions: res.Mentions,
+		Meta:     snapshot.Meta{Pages: res.Report.Pages, Stats: res.Report.Stats},
+	}
+	v2Path := filepath.Join(dir, "snap-v2.cnp")
+	v3Path := filepath.Join(dir, "snap-v3.cnp")
+	if err := writeSnapshot(v2Path, st, snapshot.SaveLegacy); err != nil {
+		return nil, err
+	}
+	if err := writeSnapshot(v3Path, st, snapshot.Save); err != nil {
+		return nil, err
+	}
+
+	sample := &StartupSample{
+		Entities: entities,
+		Nodes:    len(res.Taxonomy.Nodes()),
+		Edges:    res.Taxonomy.EdgeCount(),
+		Mentions: res.Mentions.Size(),
+	}
+	if fi, err := os.Stat(v2Path); err == nil {
+		sample.DecodeBytes = fi.Size()
+	}
+	if fi, err := os.Stat(v3Path); err == nil {
+		sample.MappedBytes = fi.Size()
+	}
+
+	sample.DecodeMs, sample.DecodeHeapBytes, err = bestOf(startupReps, func() (func(), error) {
+		f, err := os.Open(v2Path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		v, _, err := snapshot.LoadView(f, snapshot.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return func() { runtime.KeepAlive(v) }, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sample.MapMs, sample.MapHeapBytes, err = bestOf(startupReps, func() (func(), error) {
+		v, _, err := snapshot.OpenMapped(v3Path)
+		if err != nil {
+			return nil, err
+		}
+		return func() { runtime.KeepAlive(v) }, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sample, nil
+}
+
+// bestOf runs open repeatedly and returns the fastest wall time in
+// milliseconds plus the live-heap growth of the first run. The
+// returned keepAlive pins the opened view across the heap measurement
+// so the GC cannot collect it mid-reading; the double GC before each
+// run drains finalizer-resurrected views (mapped views unmap via
+// finalizer) so earlier reps cannot inflate the baseline.
+func bestOf(reps int, open func() (func(), error)) (float64, uint64, error) {
+	best, heap := 0.0, uint64(0)
+	for i := 0; i < reps; i++ {
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		keepAlive, err := open()
+		elapsed := float64(time.Since(start)) / float64(time.Millisecond)
+		if err != nil {
+			return 0, 0, err
+		}
+		if i == 0 {
+			runtime.GC()
+			runtime.ReadMemStats(&m1)
+			if m1.HeapAlloc > m0.HeapAlloc {
+				heap = m1.HeapAlloc - m0.HeapAlloc
+			}
+		}
+		keepAlive()
+		if i == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return best, heap, nil
+}
+
+func writeSnapshot(path string, st *snapshot.State, save func(io.Writer, *snapshot.State, snapshot.Options) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := save(f, st, snapshot.Options{}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteJSON emits the record as indented JSON.
+func (r *StartupBenchResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -168,50 +168,97 @@ func compile(marks map[string]taxonomy.NodeKind, edges []taxonomy.Edge, mentionE
 		kinds:       kinds,
 		hyperOff:    make([]uint32, n+1),
 		hyperIDs:    make([]uint32, e),
-		hyperNames:  make([]string, e),
-		hyperRank:   make([]taxonomy.Scored, e),
 		edgeSources: make([]taxonomy.Source, e),
 		edgeScores:  make([]float64, e),
 		edgeCounts:  make([]int64, e),
-		hyperTotals: make([]int64, n),
-		hypoOff:     make([]uint32, n+1),
-		hypoIDs:     make([]uint32, e),
-		hypoNames:   make([]string, e),
-		hypoRank:    make([]taxonomy.Scored, e),
-		hypoTotals:  make([]int64, n),
 	}
 	for i := range edges {
 		v.hyperOff[ids[edges[i].Hypo]+1]++
-		v.hypoOff[ids[edges[i].Hyper]+1]++
 	}
 	for i := 0; i < n; i++ {
 		v.hyperOff[i+1] += v.hyperOff[i]
-		v.hypoOff[i+1] += v.hypoOff[i]
 	}
 	for i := range edges {
-		hypoID, hyperID := ids[edges[i].Hypo], ids[edges[i].Hyper]
-		v.hyperIDs[i] = hyperID // edges sorted by (hypo, hyper): flat order IS CSR order
-		v.hyperNames[i] = names[hyperID]
+		v.hyperIDs[i] = ids[edges[i].Hyper] // edges sorted by (hypo, hyper): flat order IS CSR order
 		v.edgeSources[i] = edges[i].Sources
 		v.edgeScores[i] = edges[i].Score
 		v.edgeCounts[i] = int64(edges[i].Count)
-		v.hyperTotals[hypoID] += int64(edges[i].Count)
-		v.hypoTotals[hyperID] += int64(edges[i].Count)
 	}
-	// Transpose into the hyponym CSR. Scanning edges in (hypo, hyper)
-	// order and appending per-hypernym keeps each segment sorted by
-	// hyponym ID.
+	v.buildDerived()
+
+	// ---- flat sorted mention table ----
+	sort.Slice(mentionEntries, func(i, j int) bool {
+		return mentionEntries[i].Mention < mentionEntries[j].Mention
+	})
+	v.mentionAt = make(map[string]uint32)
+	for i := 0; i < len(mentionEntries); {
+		j := i
+		var idList []string
+		for ; j < len(mentionEntries) && mentionEntries[j].Mention == mentionEntries[i].Mention; j++ {
+			idList = append(idList, mentionEntries[j].IDs...)
+		}
+		sort.Strings(idList)
+		v.mentionAt[mentionEntries[i].Mention] = uint32(len(v.mentions))
+		v.mentions = append(v.mentions, mentionEntries[i].Mention)
+		v.mentionOff = append(v.mentionOff, uint32(len(v.mentionEnts)))
+		for k, id := range idList {
+			if k > 0 && id == idList[k-1] { // dedupe (mention, id) pairs
+				continue
+			}
+			v.mentionEnts = append(v.mentionEnts, id)
+		}
+		i = j
+	}
+	v.mentionOff = append(v.mentionOff, uint32(len(v.mentionEnts)))
+	v.mentionDict = compileMentionDict(v.mentions)
+	return v
+}
+
+// buildDerived computes everything reconstructible from the canonical
+// arrays — names, kinds, the hypernym CSR and its edge evidence: the
+// pre-resolved name slices, per-node evidence totals, the transposed
+// hyponym CSR, the pre-sorted typicality rankings and the stats
+// summary. compile calls it on the heap path and OpenImage on the
+// mapped path, so the two kinds of View cannot drift apart: the
+// derived state is produced by one function either way.
+func (v *View) buildDerived() {
+	n, e := len(v.names), len(v.hyperIDs)
+	v.hyperNames = make([]string, e)
+	v.hyperRank = make([]taxonomy.Scored, e)
+	v.hyperTotals = make([]int64, n)
+	v.hypoOff = make([]uint32, n+1)
+	v.hypoIDs = make([]uint32, e)
+	v.hypoNames = make([]string, e)
+	v.hypoRank = make([]taxonomy.Scored, e)
+	v.hypoTotals = make([]int64, n)
+
+	for u := 0; u < n; u++ {
+		for j := v.hyperOff[u]; j < v.hyperOff[u+1]; j++ {
+			hyperID := v.hyperIDs[j]
+			v.hyperNames[j] = v.names[hyperID]
+			v.hyperTotals[u] += v.edgeCounts[j]
+			v.hypoTotals[hyperID] += v.edgeCounts[j]
+			v.hypoOff[hyperID+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		v.hypoOff[i+1] += v.hypoOff[i]
+	}
+	// Transpose into the hyponym CSR. Scanning the flat array — which
+	// is in (hypo, hyper) ascending order — and appending per-hypernym
+	// keeps each segment sorted by hyponym ID.
 	fill := make([]uint32, n)
 	copy(fill, v.hypoOff[:n])
 	hypoEdge := make([]uint32, e) // hypo-CSR position → flat edge index
-	for i := range edges {
-		hyperID := v.hyperIDs[i]
-		pos := fill[hyperID]
-		fill[hyperID]++
-		hypoID := ids[edges[i].Hypo]
-		v.hypoIDs[pos] = hypoID
-		v.hypoNames[pos] = names[hypoID]
-		hypoEdge[pos] = uint32(i)
+	for u := 0; u < n; u++ {
+		for j := v.hyperOff[u]; j < v.hyperOff[u+1]; j++ {
+			hyperID := v.hyperIDs[j]
+			pos := fill[hyperID]
+			fill[hyperID]++
+			v.hypoIDs[pos] = uint32(u)
+			v.hypoNames[pos] = v.names[u]
+			hypoEdge[pos] = j
+		}
 	}
 
 	// ---- pre-sorted typicality rankings ----
@@ -239,35 +286,10 @@ func compile(marks map[string]taxonomy.NodeKind, edges []taxonomy.Edge, mentionE
 		sortScored(v.hypoRank[lo:hi])
 	}
 
-	// ---- flat sorted mention table ----
-	sort.Slice(mentionEntries, func(i, j int) bool {
-		return mentionEntries[i].Mention < mentionEntries[j].Mention
-	})
-	v.mentionAt = make(map[string]uint32)
-	for i := 0; i < len(mentionEntries); {
-		j := i
-		var idList []string
-		for ; j < len(mentionEntries) && mentionEntries[j].Mention == mentionEntries[i].Mention; j++ {
-			idList = append(idList, mentionEntries[j].IDs...)
-		}
-		sort.Strings(idList)
-		v.mentionAt[mentionEntries[i].Mention] = uint32(len(v.mentions))
-		v.mentions = append(v.mentions, mentionEntries[i].Mention)
-		v.mentionOff = append(v.mentionOff, uint32(len(v.mentionEnts)))
-		for k, id := range idList {
-			if k > 0 && id == idList[k-1] { // dedupe (mention, id) pairs
-				continue
-			}
-			v.mentionEnts = append(v.mentionEnts, id)
-		}
-		i = j
-	}
-	v.mentionOff = append(v.mentionOff, uint32(len(v.mentionEnts)))
-	v.mentionDict = compileMentionDict(v.mentions)
-
 	// ---- stats (the store's ComputeStats, replayed over the frozen
 	// content) ----
-	for _, k := range kinds {
+	v.stats = taxonomy.Stats{}
+	for _, k := range v.kinds {
 		switch k {
 		case taxonomy.KindEntity:
 			v.stats.Entities++
@@ -276,19 +298,18 @@ func compile(marks map[string]taxonomy.NodeKind, edges []taxonomy.Edge, mentionE
 		}
 	}
 	v.stats.IsARelations = e
-	for i := range edges {
-		if kinds[ids[edges[i].Hypo]] == taxonomy.KindConcept {
-			v.stats.SubConceptIsA++
+	for u := 0; u < n; u++ {
+		lo, hi := v.hyperOff[u], v.hyperOff[u+1]
+		if lo == hi {
+			continue
+		}
+		v.stats.NodesWithHypernym++
+		if v.kinds[u] == taxonomy.KindConcept {
+			v.stats.SubConceptIsA += int(hi - lo)
 		} else {
-			v.stats.EntityConceptIsA++ // unmarked hyponyms behave as instances
+			v.stats.EntityConceptIsA += int(hi - lo) // unmarked hyponyms behave as instances
 		}
 	}
-	for i := 0; i < n; i++ {
-		if v.hyperOff[i+1] > v.hyperOff[i] {
-			v.stats.NodesWithHypernym++
-		}
-	}
-	return v
 }
 
 // sortScored matches taxonomy's ranking order: descending score, ties

@@ -16,11 +16,13 @@ import (
 // locks, and the append form allocates nothing on the steady path.
 
 // findScratch is the pooled per-call state of FindAllAppend: the
-// decoded rune buffer and the parallel byte-offset table that lets
-// matched spans be returned as substrings of the input.
+// decoded rune buffer, the parallel byte-offset table that lets
+// matched spans be returned as substrings of the input, and the
+// re-encoding buffer the mapped (trie-free) matcher compares with.
 type findScratch struct {
 	rs   []rune
 	offs []int
+	p    []byte
 }
 
 var findPool = sync.Pool{New: func() any { return new(findScratch) }}
@@ -54,7 +56,12 @@ func (v *View) FindAllAppend(dst []string, text string) []string {
 	offs = append(offs, len(text))
 	base := len(dst)
 	for i := 0; i < len(rs); {
-		l := v.mentionDict.LongestFrom(rs, i)
+		var l int
+		if v.mentionDict != nil {
+			l = v.mentionDict.LongestFrom(rs, i)
+		} else {
+			l, sc.p = v.longestMentionFrom(rs, i, sc.p[:0])
+		}
 		if l == 0 {
 			i++
 			continue
@@ -93,6 +100,84 @@ func containsString(xs []string, w string) bool {
 		}
 	}
 	return false
+}
+
+// longestMentionFrom is the trie-free greedy matcher of mapped views:
+// the length (in runes) of the longest mention starting at rs[start],
+// found by narrowing a byte-prefix range over the sorted mention
+// table, one rune at a time. p is a reusable encoding buffer; the
+// (possibly grown) buffer is returned for the pool.
+//
+// Mapped images require valid-UTF-8 mentions, so byte order over the
+// table equals decoded-rune order and this scan matches
+// trie.LongestFrom exactly — including on text whose invalid bytes
+// decoded to U+FFFD: the runes re-encode to valid bytes before any
+// comparison, just as trie.Insert/LongestFrom operate on runes.
+func (v *View) longestMentionFrom(rs []rune, start int, p []byte) (int, []byte) {
+	lo, hi := 0, len(v.mentions)
+	best := 0
+	for i := start; i < len(rs) && lo < hi; i++ {
+		p = utf8.AppendRune(p, rs[i])
+		lo, hi = prefixRange(v.mentions, lo, hi, p)
+		if lo == hi {
+			break
+		}
+		if len(v.mentions[lo]) == len(p) {
+			// The range minimum carries the full prefix and has equal
+			// length: it IS the prefix — a terminal in trie terms.
+			best = i - start + 1
+		}
+	}
+	return best, p
+}
+
+// prefixRange narrows [lo, hi) — a range of the ascending table
+// already known to share p's previous prefix — to the entries carrying
+// the full prefix p. Hand-rolled binary searches (no sort.Search
+// closures) keep the scan at 0 allocs/op.
+func prefixRange(xs []string, lo, hi int, p []byte) (int, int) {
+	l, h := lo, hi // first entry not below the prefix
+	for l < h {
+		mid := int(uint(l+h) >> 1)
+		if prefixCompare(xs[mid], p) < 0 {
+			l = mid + 1
+		} else {
+			h = mid
+		}
+	}
+	newLo := l
+	h = hi // first entry above every p-prefixed string
+	for l < h {
+		mid := int(uint(l+h) >> 1)
+		if prefixCompare(xs[mid], p) <= 0 {
+			l = mid + 1
+		} else {
+			h = mid
+		}
+	}
+	return newLo, l
+}
+
+// prefixCompare orders s against the prefix p: negative when s sorts
+// before every string with prefix p, 0 when s carries the prefix,
+// positive when it sorts after.
+func prefixCompare(s string, p []byte) int {
+	n := len(s)
+	if len(p) < n {
+		n = len(p)
+	}
+	for i := 0; i < n; i++ {
+		if s[i] != p[i] {
+			if s[i] < p[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	if len(s) < len(p) {
+		return -1
+	}
+	return 0
 }
 
 // compileMentionDict builds the frozen mention trie FindAll scans.

@@ -1,0 +1,534 @@
+package serving
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"unicode/utf8"
+	"unsafe"
+
+	"cnprobase/internal/taxonomy"
+)
+
+// The v3 "view image": the View's canonical arrays serialized as
+// fixed-width little-endian blocks plus interned string arenas, laid
+// out so a page-aligned mapping of the snapshot file can be used as
+// the View's backing storage without a decode pass.
+//
+// Payload layout (offsets are absolute file offsets; `base` is the
+// file offset the payload starts at):
+//
+//	preamble (56 bytes): 7 × u64 LE —
+//	    n (nodes), e (edges), m (mentions), me (mention-entity IDs),
+//	    len(name arena), len(mention arena), len(mention-entity arena)
+//	then 13 blocks, each preceded by zero padding up to the next
+//	8-aligned file offset:
+//	     1. nameOff       (n+1) × u32   name i = nameArena[off[i]:off[i+1]]
+//	     2. hyperOff      (n+1) × u32   hypernym CSR offsets
+//	     3. hyperIDs        e  × u32    CSR targets, ascending per node
+//	     4. edgeScores      e  × u64    float64 bits
+//	     5. edgeCounts      e  × u64    evidence counts (≤ MaxInt32)
+//	     6. mentionStrOff (m+1) × u32   mention string offsets
+//	     7. mentionOff    (m+1) × u32   mention → ID-list offsets
+//	     8. mentEntOff   (me+1) × u32   ID string offsets
+//	     9. kinds           n  × u8     NodeKind per node
+//	    10. edgeSources     e  × u8     Source bitmask per edge
+//	    11. name arena      (concatenated node names, sorted)
+//	    12. mention arena   (concatenated mentions, sorted)
+//	    13. mention-entity arena (concatenated ID strings)
+//
+// Only canonical content is stored. Everything derivable — the hyponym
+// CSR, evidence totals, typicality rankings, stats — is recomputed at
+// open by buildDerived, the same function the heap compile path uses,
+// which is what keeps a mapped View query-identical to a compiled one.
+const (
+	imagePreambleLen = 56
+	// maxImageElems bounds every element count so offset arithmetic
+	// stays far from uint64 overflow and indexes fit in int32.
+	maxImageElems = 1 << 31
+)
+
+// littleEndianHost reports whether the running machine stores integers
+// little-endian — the image byte order — so numeric blocks can be
+// reinterpreted in place instead of decoded.
+var littleEndianHost = binary.NativeEndian.Uint16([]byte{0x12, 0x34}) == 0x3412
+
+// imageBlockSizes returns the (element size, element count) walk of
+// the 13 blocks, shared by the encoder and the parser so the two can
+// never disagree about where a block lands.
+func imageBlockSizes(n, e, m, me, nameLen, menLen, entLen uint64) [13][2]uint64 {
+	return [13][2]uint64{
+		{4, n + 1}, {4, n + 1}, {4, e}, {8, e}, {8, e},
+		{4, m + 1}, {4, m + 1}, {4, me + 1}, {1, n}, {1, e},
+		{1, nameLen}, {1, menLen}, {1, entLen},
+	}
+}
+
+// AppendImage appends the view's canonical content to dst in the
+// mappable v3 image layout and returns the extended slice. base is the
+// absolute file offset the payload will land at: blocks are padded so
+// their file offsets are 8-aligned, making them aligned in any
+// page-aligned mapping of the file. Mentions must be valid UTF-8 (the
+// mapped FindAll path matches byte-wise over the sorted table; JSON
+// ingestion guarantees this, hand-built stores are checked here).
+func (v *View) AppendImage(dst []byte, base uint64) ([]byte, error) {
+	for _, s := range v.mentions {
+		if !utf8.ValidString(s) {
+			return nil, fmt.Errorf("serving: mention %q is not valid UTF-8; the mappable image requires UTF-8 mentions", s)
+		}
+	}
+	n, e := len(v.names), len(v.hyperIDs)
+	m, me := len(v.mentions), len(v.mentionEnts)
+	if n >= maxImageElems || e >= maxImageElems || m >= maxImageElems || me >= maxImageElems {
+		return nil, fmt.Errorf("serving: view too large for the image format")
+	}
+	nameLen, err := arenaLen("node name", v.names)
+	if err != nil {
+		return nil, err
+	}
+	menLen, err := arenaLen("mention", v.mentions)
+	if err != nil {
+		return nil, err
+	}
+	entLen, err := arenaLen("mention entity", v.mentionEnts)
+	if err != nil {
+		return nil, err
+	}
+
+	start := len(dst)
+	pad := func() {
+		for (base+uint64(len(dst)-start))%8 != 0 {
+			dst = append(dst, 0)
+		}
+	}
+	putU64 := func(x uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], x)
+		dst = append(dst, b[:]...)
+	}
+	putU32 := func(x uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], x)
+		dst = append(dst, b[:]...)
+	}
+	strOffsets := func(strs []string) {
+		off := uint32(0)
+		putU32(0)
+		for _, s := range strs {
+			off += uint32(len(s))
+			putU32(off)
+		}
+	}
+
+	putU64(uint64(n))
+	putU64(uint64(e))
+	putU64(uint64(m))
+	putU64(uint64(me))
+	putU64(nameLen)
+	putU64(menLen)
+	putU64(entLen)
+
+	pad()
+	strOffsets(v.names)
+	pad()
+	for _, o := range v.hyperOff {
+		putU32(o)
+	}
+	pad()
+	for _, id := range v.hyperIDs {
+		putU32(id)
+	}
+	pad()
+	for _, s := range v.edgeScores {
+		putU64(math.Float64bits(s))
+	}
+	pad()
+	for _, c := range v.edgeCounts {
+		if c < 0 {
+			c = 0 // defensive clamp, mirroring the stripe encoder
+		}
+		putU64(uint64(c))
+	}
+	pad()
+	strOffsets(v.mentions)
+	pad()
+	for _, o := range v.mentionOff {
+		putU32(o)
+	}
+	pad()
+	strOffsets(v.mentionEnts)
+	pad()
+	for _, k := range v.kinds {
+		dst = append(dst, byte(k))
+	}
+	pad()
+	for _, s := range v.edgeSources {
+		dst = append(dst, byte(s))
+	}
+	pad()
+	for _, s := range v.names {
+		dst = append(dst, s...)
+	}
+	pad()
+	for _, s := range v.mentions {
+		dst = append(dst, s...)
+	}
+	pad()
+	for _, s := range v.mentionEnts {
+		dst = append(dst, s...)
+	}
+	return dst, nil
+}
+
+func arenaLen(what string, strs []string) (uint64, error) {
+	var total uint64
+	for _, s := range strs {
+		total += uint64(len(s))
+	}
+	if total > math.MaxUint32 {
+		return 0, fmt.Errorf("serving: %s arena exceeds the 4 GiB image limit", what)
+	}
+	return total, nil
+}
+
+// image is a parsed v3 payload: the canonical view content, either
+// aliased into the payload bytes (little-endian host, aligned blocks)
+// or copy-decoded out of them.
+type image struct {
+	n, e, m, me int
+
+	nameOff, hyperOff, hyperIDs           []uint32
+	mentionStrOff, mentionOff, mentEntOff []uint32
+	edgeScores                            []float64
+	edgeCounts                            []int64
+	kinds                                 []taxonomy.NodeKind
+	edgeSources                           []taxonomy.Source
+	nameArena, mentionArena, mentEntArena []byte
+}
+
+func (img *image) name(i int) []byte {
+	return img.nameArena[img.nameOff[i]:img.nameOff[i+1]]
+}
+func (img *image) mention(i int) []byte {
+	return img.mentionArena[img.mentionStrOff[i]:img.mentionStrOff[i+1]]
+}
+func (img *image) mentEnt(i int) []byte {
+	return img.mentEntArena[img.mentEntOff[i]:img.mentEntOff[i+1]]
+}
+
+// parseImage slices a v3 payload into its blocks and validates every
+// structural invariant a View relies on. The same parse backs
+// OpenImage (aliasing) and DecodeImage (copying), so the mapped and
+// rebuild paths accept exactly the same set of payloads.
+func parseImage(data []byte, base uint64) (*image, error) {
+	if len(data) < imagePreambleLen {
+		return nil, fmt.Errorf("serving: image payload too short (%d bytes)", len(data))
+	}
+	var hdr [7]uint64
+	for i := range hdr {
+		hdr[i] = binary.LittleEndian.Uint64(data[i*8:])
+	}
+	n, e, m, me := hdr[0], hdr[1], hdr[2], hdr[3]
+	nameLen, menLen, entLen := hdr[4], hdr[5], hdr[6]
+	for _, c := range [4]uint64{n, e, m, me} {
+		if c >= maxImageElems {
+			return nil, fmt.Errorf("serving: image element count %d exceeds limit", c)
+		}
+	}
+	for _, l := range [3]uint64{nameLen, menLen, entLen} {
+		if l > math.MaxUint32 {
+			return nil, fmt.Errorf("serving: image arena length %d exceeds limit", l)
+		}
+	}
+	pos := uint64(imagePreambleLen)
+	var spans [13][2]uint64
+	for i, sz := range imageBlockSizes(n, e, m, me, nameLen, menLen, entLen) {
+		pos += (8 - (base+pos)%8) % 8
+		start := pos
+		pos += sz[0] * sz[1]
+		if pos > uint64(len(data)) {
+			return nil, fmt.Errorf("serving: image truncated (need %d bytes, have %d)", pos, len(data))
+		}
+		spans[i] = [2]uint64{start, pos}
+	}
+	if pos != uint64(len(data)) {
+		return nil, fmt.Errorf("serving: %d trailing bytes after image content", uint64(len(data))-pos)
+	}
+	blk := func(i int) []byte { return data[spans[i][0]:spans[i][1]] }
+
+	img := &image{
+		n:             int(n),
+		e:             int(e),
+		m:             int(m),
+		me:            int(me),
+		nameOff:       castU32(blk(0)),
+		hyperOff:      castU32(blk(1)),
+		hyperIDs:      castU32(blk(2)),
+		edgeScores:    castF64(blk(3)),
+		edgeCounts:    castI64(blk(4)),
+		mentionStrOff: castU32(blk(5)),
+		mentionOff:    castU32(blk(6)),
+		mentEntOff:    castU32(blk(7)),
+		kinds:         castKinds(blk(8)),
+		edgeSources:   castSources(blk(9)),
+		nameArena:     blk(10),
+		mentionArena:  blk(11),
+		mentEntArena:  blk(12),
+	}
+	if err := img.validate(uint32(nameLen), uint32(menLen), uint32(entLen)); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// validate rejects any payload that could make a mapped View answer
+// differently from Load → Compile of the same content (or crash).
+func (img *image) validate(nameLen, menLen, entLen uint32) error {
+	if err := checkOffsets("node name", img.nameOff, nameLen, true); err != nil {
+		return err
+	}
+	for i := 1; i < img.n; i++ {
+		if bytes.Compare(img.name(i-1), img.name(i)) >= 0 {
+			return fmt.Errorf("serving: node names not strictly ascending at %d", i)
+		}
+	}
+	for i, k := range img.kinds {
+		if k > taxonomy.KindConcept {
+			return fmt.Errorf("serving: node %d: invalid kind %d", i, k)
+		}
+	}
+	if err := checkOffsets("hypernym CSR", img.hyperOff, uint32(img.e), false); err != nil {
+		return err
+	}
+	touched := make([]bool, img.n)
+	for u := 0; u < img.n; u++ {
+		lo, hi := img.hyperOff[u], img.hyperOff[u+1]
+		if lo < hi {
+			touched[u] = true
+		}
+		for j := lo; j < hi; j++ {
+			id := img.hyperIDs[j]
+			switch {
+			case id >= uint32(img.n):
+				return fmt.Errorf("serving: edge %d: hypernym ID %d out of range", j, id)
+			case id == uint32(u):
+				return fmt.Errorf("serving: edge %d: self-loop on node %d", j, u)
+			case j > lo && id <= img.hyperIDs[j-1]:
+				return fmt.Errorf("serving: node %d: hypernym IDs not strictly ascending", u)
+			case img.kinds[id] == taxonomy.KindUnknown:
+				// InsertEdge implicitly marks unknown hypernyms as
+				// concepts, so a compiled image never carries one; a
+				// crafted one would make Load and OpenMapped diverge.
+				return fmt.Errorf("serving: edge %d: hypernym %d has unknown kind", j, id)
+			}
+			touched[id] = true
+			if c := img.edgeCounts[j]; c < 0 || c > math.MaxInt32 {
+				return fmt.Errorf("serving: edge %d: count %d out of range", j, c)
+			}
+		}
+	}
+	for u, ok := range touched {
+		if !ok && img.kinds[u] == taxonomy.KindUnknown {
+			// compile only interns marked nodes and edge endpoints.
+			return fmt.Errorf("serving: node %d is unmarked and touches no edge", u)
+		}
+	}
+
+	if err := checkOffsets("mention", img.mentionStrOff, menLen, true); err != nil {
+		return err
+	}
+	for i := 0; i < img.m; i++ {
+		mb := img.mention(i)
+		if i > 0 && bytes.Compare(img.mention(i-1), mb) >= 0 {
+			return fmt.Errorf("serving: mentions not strictly ascending at %d", i)
+		}
+		if !utf8.Valid(mb) {
+			return fmt.Errorf("serving: mention %d is not valid UTF-8", i)
+		}
+		if len(bytes.TrimSpace(mb)) != len(mb) {
+			return fmt.Errorf("serving: mention %d is not whitespace-trimmed", i)
+		}
+	}
+	if err := checkOffsets("mention ID list", img.mentionOff, uint32(img.me), true); err != nil {
+		return err
+	}
+	if err := checkOffsets("mention entity", img.mentEntOff, entLen, true); err != nil {
+		return err
+	}
+	for i := 0; i < img.m; i++ {
+		for j := img.mentionOff[i] + 1; j < img.mentionOff[i+1]; j++ {
+			if bytes.Compare(img.mentEnt(int(j-1)), img.mentEnt(int(j))) >= 0 {
+				return fmt.Errorf("serving: mention %d: entity IDs not strictly ascending", i)
+			}
+		}
+	}
+	return nil
+}
+
+func checkOffsets(what string, offs []uint32, total uint32, strict bool) error {
+	if offs[0] != 0 {
+		return fmt.Errorf("serving: %s offsets do not start at 0", what)
+	}
+	for i := 1; i < len(offs); i++ {
+		if offs[i] < offs[i-1] || (strict && offs[i] == offs[i-1]) {
+			return fmt.Errorf("serving: %s offsets not ascending at %d", what, i)
+		}
+	}
+	if offs[len(offs)-1] != total {
+		return fmt.Errorf("serving: %s offsets end at %d, want %d", what, offs[len(offs)-1], total)
+	}
+	return nil
+}
+
+// OpenImage builds a View directly over a v3 image payload, aliasing
+// its arrays instead of decoding them: node and mention strings become
+// string headers pointing into the arenas, and on little-endian hosts
+// the numeric blocks are reinterpreted in place (misaligned buffers
+// and big-endian hosts get a copying decode). data must stay valid and
+// unmodified for the life of the returned View — snapshot.OpenMapped
+// ties the mapping's lifetime to the View with a finalizer.
+//
+// A mapped View has no interning map, mention hash or mention trie;
+// those lookups binary-search the sorted tables instead, and every
+// query method keeps its 0 allocs/op behavior.
+func OpenImage(data []byte, base uint64) (*View, error) {
+	img, err := parseImage(data, base)
+	if err != nil {
+		return nil, err
+	}
+	v := &View{
+		names:       arenaStrings(img.nameArena, img.nameOff, false),
+		kinds:       img.kinds,
+		hyperOff:    img.hyperOff,
+		hyperIDs:    img.hyperIDs,
+		edgeSources: img.edgeSources,
+		edgeScores:  img.edgeScores,
+		edgeCounts:  img.edgeCounts,
+		mentions:    arenaStrings(img.mentionArena, img.mentionStrOff, false),
+		mentionOff:  img.mentionOff,
+		mentionEnts: arenaStrings(img.mentEntArena, img.mentEntOff, false),
+	}
+	v.buildDerived()
+	return v, nil
+}
+
+// ImageContent is the logical content of an image — the same
+// kind/edge/mention stream a v1/v2 stripe decoder yields — for the
+// paths that rebuild mutable state (snapshot.Load) or a heap view
+// (snapshot.LoadView). Everything is copied out of the input buffer.
+type ImageContent struct {
+	Kinds    []taxonomy.KindEntry
+	Edges    []taxonomy.Edge
+	Mentions []taxonomy.MentionEntry
+}
+
+// DecodeImage parses and fully materializes an image payload.
+func DecodeImage(data []byte, base uint64) (*ImageContent, error) {
+	img, err := parseImage(data, base)
+	if err != nil {
+		return nil, err
+	}
+	names := arenaStrings(img.nameArena, img.nameOff, true)
+	out := &ImageContent{}
+	for i, k := range img.kinds {
+		if k != taxonomy.KindUnknown {
+			out.Kinds = append(out.Kinds, taxonomy.KindEntry{Name: names[i], Kind: k})
+		}
+	}
+	for u := 0; u < img.n; u++ {
+		for j := img.hyperOff[u]; j < img.hyperOff[u+1]; j++ {
+			out.Edges = append(out.Edges, taxonomy.Edge{
+				Hypo:    names[u],
+				Hyper:   names[img.hyperIDs[j]],
+				Sources: img.edgeSources[j],
+				Score:   img.edgeScores[j],
+				Count:   int(img.edgeCounts[j]),
+			})
+		}
+	}
+	mentions := arenaStrings(img.mentionArena, img.mentionStrOff, true)
+	ents := arenaStrings(img.mentEntArena, img.mentEntOff, true)
+	for i := 0; i < img.m; i++ {
+		out.Mentions = append(out.Mentions, taxonomy.MentionEntry{
+			Mention: mentions[i],
+			IDs:     append([]string(nil), ents[img.mentionOff[i]:img.mentionOff[i+1]]...),
+		})
+	}
+	return out, nil
+}
+
+// arenaStrings materializes an arena's string table: headers over the
+// arena bytes (copyBytes=false — zero bytes copied, the strings alias
+// the arena) or full copies (copyBytes=true, for results that must
+// outlive the input buffer).
+func arenaStrings(arena []byte, offs []uint32, copyBytes bool) []string {
+	out := make([]string, len(offs)-1)
+	for i := range out {
+		b := arena[offs[i]:offs[i+1]]
+		if copyBytes {
+			out[i] = string(b)
+		} else {
+			out[i] = unsafe.String(&b[0], len(b))
+		}
+	}
+	return out
+}
+
+func castU32(b []byte) []uint32 {
+	if len(b) == 0 {
+		return nil
+	}
+	if littleEndianHost && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), len(b)/4)
+	}
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[i*4:])
+	}
+	return out
+}
+
+func castF64(b []byte) []float64 {
+	if len(b) == 0 {
+		return nil
+	}
+	if littleEndianHost && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+func castI64(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	if littleEndianHost && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
+	}
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+// castKinds and castSources reinterpret byte blocks as their uint8
+// enum types — same size, any alignment, any endianness.
+func castKinds(b []byte) []taxonomy.NodeKind {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*taxonomy.NodeKind)(unsafe.Pointer(&b[0])), len(b))
+}
+
+func castSources(b []byte) []taxonomy.Source {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*taxonomy.Source)(unsafe.Pointer(&b[0])), len(b))
+}

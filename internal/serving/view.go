@@ -76,10 +76,35 @@ type View struct {
 	stats taxonomy.Stats
 }
 
-// id resolves a node name to its interned ID.
+// id resolves a node name to its interned ID. Compiled views carry an
+// interning map; mapped views (OpenImage) drop it and binary-search
+// the sorted name table instead — IDs are sorted ranks, so the found
+// index IS the ID.
 func (v *View) id(name string) (uint32, bool) {
-	id, ok := v.ids[name]
-	return id, ok
+	if v.ids != nil {
+		id, ok := v.ids[name]
+		return id, ok
+	}
+	return searchSorted(v.names, name)
+}
+
+// searchSorted finds s in the ascending table xs, returning its index.
+// Hand-rolled (no sort.SearchStrings closure) to keep the mapped query
+// path at 0 allocs/op.
+func searchSorted(xs []string, s string) (uint32, bool) {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid] < s {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(xs) && xs[lo] == s {
+		return uint32(lo), true
+	}
+	return 0, false
 }
 
 // NodeCount returns the number of nodes.
@@ -378,7 +403,15 @@ func (v *View) CommonAncestors(a, b string) []string {
 // men2ent API. The returned slice is shared: do not modify it. Nil
 // when the mention is unknown, exactly like MentionIndex.Lookup.
 func (v *View) Lookup(mention string) []string {
-	i, ok := v.mentionAt[strings.TrimSpace(mention)]
+	q := strings.TrimSpace(mention)
+	var i uint32
+	var ok bool
+	if v.mentionAt != nil {
+		i, ok = v.mentionAt[q]
+	} else {
+		// Mapped views drop the hash; the table is sorted.
+		i, ok = searchSorted(v.mentions, q)
+	}
 	if !ok {
 		return nil
 	}

@@ -10,6 +10,7 @@ import (
 	"io"
 	"math"
 	"strings"
+	"unicode/utf8"
 
 	"cnprobase/internal/corpus"
 	"cnprobase/internal/extract"
@@ -35,35 +36,69 @@ import (
 // lengths are checked against the bytes actually present before
 // allocation.
 func Load(r io.Reader, opts Options) (*State, error) {
-	meta, taxPayloads, menPayloads, evidencePayload, err := readPayloads(r)
+	p, err := readPayloads(r)
 	if err != nil {
 		return nil, err
 	}
-	ev, kept, stats, err := decodeEvidence(evidencePayload)
+	ev, kept, stats, err := decodeEvidence(p.evidence)
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: evidence section: %w", err)
 	}
 	tax := taxonomy.NewSharded(opts.Shards)
 	mentions := taxonomy.NewMentionIndex()
 	pool := par.NewPool(workerCount(opts.Workers))
-	for _, err := range par.MapBatches(pool, len(taxPayloads), func(lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			err := decodeTaxStripe(taxPayloads[i], tax.ImportKind, tax.InsertEdge)
-			if err != nil {
-				return fmt.Errorf("snapshot: taxonomy stripe %d: %w", i, err)
+	if p.version >= Version {
+		// Version 3: decode the view image into the same logical
+		// kind/edge/mention stream the stripes carried, then restore
+		// through the store's verbatim import path.
+		content, err := serving.DecodeImage(p.image, p.imageBase)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: view image: %w", err)
+		}
+		for _, k := range content.Kinds {
+			tax.ImportKind(k.Name, k.Kind)
+		}
+		for _, err := range par.MapBatches(pool, len(content.Edges), func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				if err := tax.InsertEdge(content.Edges[i]); err != nil {
+					return err
+				}
 			}
-			if err := decodeMentionStripe(menPayloads[i], mentions.Add); err != nil {
-				return fmt.Errorf("snapshot: mention stripe %d: %w", i, err)
+			return nil
+		}) {
+			if err != nil {
+				return nil, fmt.Errorf("snapshot: %w", err)
 			}
 		}
-		return nil
-	}) {
-		if err != nil {
-			return nil, err
+		for range par.MapBatches(pool, len(content.Mentions), func(lo, hi int) struct{} {
+			for i := lo; i < hi; i++ {
+				for _, id := range content.Mentions[i].IDs {
+					mentions.Add(content.Mentions[i].Mention, id)
+				}
+			}
+			return struct{}{}
+		}) {
+		}
+	} else {
+		for _, err := range par.MapBatches(pool, len(p.tax), func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				err := decodeTaxStripe(p.tax[i], tax.ImportKind, tax.InsertEdge)
+				if err != nil {
+					return fmt.Errorf("snapshot: taxonomy stripe %d: %w", i, err)
+				}
+				if err := decodeMentionStripe(p.men[i], mentions.Add); err != nil {
+					return fmt.Errorf("snapshot: mention stripe %d: %w", i, err)
+				}
+			}
+			return nil
+		}) {
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	tax.Finalize()
-	return &State{Taxonomy: tax, Mentions: mentions, Meta: meta, Evidence: ev, Kept: kept, Stats: stats}, nil
+	return &State{Taxonomy: tax, Mentions: mentions, Meta: p.meta, Evidence: ev, Kept: kept, Stats: stats}, nil
 }
 
 // LoadView reads a snapshot and compiles it straight into an immutable
@@ -75,44 +110,65 @@ func Load(r io.Reader, opts Options) (*State, error) {
 // Malformed input yields an error, never a panic, with the same
 // validation Load applies.
 func LoadView(r io.Reader, opts Options) (*serving.View, Meta, error) {
-	meta, taxPayloads, menPayloads, evidencePayload, err := readPayloads(r)
+	p, err := readPayloads(r)
 	if err != nil {
 		return nil, Meta{}, err
 	}
 	// The serving view has no update path, so the evidence section is
 	// validated (it was CRC-checked with the rest) but not
 	// materialized.
-	if err := validateEvidence(evidencePayload); err != nil {
+	if err := validateEvidence(p.evidence); err != nil {
 		return nil, Meta{}, fmt.Errorf("snapshot: evidence section: %w", err)
+	}
+	if p.version >= Version {
+		// Version 3: rebuild a heap view from the image content. (The
+		// zero-copy path over the same image is OpenMapped.)
+		content, err := serving.DecodeImage(p.image, p.imageBase)
+		if err != nil {
+			return nil, Meta{}, fmt.Errorf("snapshot: view image: %w", err)
+		}
+		b := serving.NewBuilder()
+		for _, k := range content.Kinds {
+			b.ImportKind(k.Name, k.Kind)
+		}
+		for _, e := range content.Edges {
+			if err := b.InsertEdge(e); err != nil {
+				return nil, Meta{}, fmt.Errorf("snapshot: %w", err)
+			}
+		}
+		for _, m := range content.Mentions {
+			b.AddMentionEntry(m)
+		}
+		return b.Build(), p.meta, nil
 	}
 	type parts struct {
 		kinds    []taxonomy.KindEntry
 		edges    []taxonomy.Edge
 		mentions []taxonomy.MentionEntry
 	}
-	stripes := make([]parts, len(taxPayloads))
+	stripes := make([]parts, len(p.tax))
 	pool := par.NewPool(workerCount(opts.Workers))
-	for _, err := range par.MapBatches(pool, len(taxPayloads), func(lo, hi int) error {
+	for _, err := range par.MapBatches(pool, len(p.tax), func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
-			p := &stripes[i]
-			err := decodeTaxStripe(taxPayloads[i],
+			sp := &stripes[i]
+			err := decodeTaxStripe(p.tax[i],
 				func(name string, k taxonomy.NodeKind) {
-					p.kinds = append(p.kinds, taxonomy.KindEntry{Name: name, Kind: k})
+					sp.kinds = append(sp.kinds, taxonomy.KindEntry{Name: name, Kind: k})
 				},
 				func(e taxonomy.Edge) error { // structural validation happens in Builder.InsertEdge
-					p.edges = append(p.edges, e)
+					sp.edges = append(sp.edges, e)
 					return nil
 				})
 			if err != nil {
 				return fmt.Errorf("snapshot: taxonomy stripe %d: %w", i, err)
 			}
-			err = decodeMentionStripe(menPayloads[i], func(mention, id string) {
-				n := len(p.mentions)
-				if n > 0 && p.mentions[n-1].Mention == mention {
-					p.mentions[n-1].IDs = append(p.mentions[n-1].IDs, id)
+			err = decodeMentionStripe(p.men[i], func(mention, id string) {
+				n := len(sp.mentions)
+				if n > 0 && sp.mentions[n-1].Mention == mention {
+					sp.mentions[n-1].IDs = append(sp.mentions[n-1].IDs, id)
 					return
 				}
-				p.mentions = append(p.mentions, taxonomy.MentionEntry{Mention: mention, IDs: []string{id}})
+				sp.mentions = append(sp.mentions, taxonomy.MentionEntry{Mention: mention, IDs: []string{id}})
 			})
 			if err != nil {
 				return fmt.Errorf("snapshot: mention stripe %d: %w", i, err)
@@ -138,63 +194,91 @@ func LoadView(r io.Reader, opts Options) (*serving.View, Meta, error) {
 			b.AddMentionEntry(m)
 		}
 	}
-	return b.Build(), meta, nil
+	return b.Build(), p.meta, nil
+}
+
+// payloads is the CRC-verified content of one snapshot stream. Exactly
+// one of {image, tax+men} is set: the view image for version-3 files
+// (with imageBase, its absolute file offset — the image's alignment
+// padding is relative to it), the stripe payload lists for versions 1
+// and 2. evidence is nil for version-1 files.
+type payloads struct {
+	version   uint32
+	meta      Meta
+	tax, men  [][]byte
+	image     []byte
+	imageBase uint64
+	evidence  []byte
 }
 
 // readPayloads reads and CRC-verifies the framed byte stream shared by
-// Load and LoadView: header, meta section, one payload per taxonomy
-// and mention stripe, the evidence section (version 2; nil for legacy
-// version-1 files), end marker.
-func readPayloads(r io.Reader) (meta Meta, taxPayloads, menPayloads [][]byte, evidencePayload []byte, err error) {
+// Load and LoadView: header, meta section, then either the view image
+// (version 3) or one payload per taxonomy and mention stripe, the
+// evidence section (versions ≥ 2), and the end marker.
+func readPayloads(r io.Reader) (*payloads, error) {
 	br := bufio.NewReader(r)
 	var hdr [16]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return Meta{}, nil, nil, nil, fmt.Errorf("snapshot: read header: %w", err)
+		return nil, fmt.Errorf("snapshot: read header: %w", err)
 	}
 	if string(hdr[:8]) != Magic {
-		return Meta{}, nil, nil, nil, fmt.Errorf("snapshot: bad magic %q", hdr[:8])
+		return nil, fmt.Errorf("snapshot: bad magic %q", hdr[:8])
 	}
 	version := binary.LittleEndian.Uint32(hdr[8:12])
-	if version != Version && version != versionLegacy {
-		return Meta{}, nil, nil, nil, fmt.Errorf("snapshot: unsupported format version %d (supported: %d, %d)", version, versionLegacy, Version)
+	if version != Version && version != versionV2 && version != versionLegacy {
+		return nil, fmt.Errorf("snapshot: unsupported format version %d (supported: %d, %d, %d)", version, versionLegacy, versionV2, Version)
 	}
 	stripes := binary.LittleEndian.Uint32(hdr[12:16])
 	if stripes == 0 || stripes > maxStripes {
-		return Meta{}, nil, nil, nil, fmt.Errorf("snapshot: implausible stripe count %d", stripes)
+		return nil, fmt.Errorf("snapshot: implausible stripe count %d", stripes)
+	}
+	// Version 3 has no stripes; the field is pinned to the constant so
+	// every header byte stays covered by validation.
+	if version >= Version && stripes != Stripes {
+		return nil, fmt.Errorf("snapshot: version %d stripe field %d, want %d", version, stripes, Stripes)
 	}
 
+	p := &payloads{version: version}
 	metaPayload, err := readSection(br, sectionMeta, 0)
 	if err != nil {
-		return Meta{}, nil, nil, nil, err
+		return nil, err
 	}
-	if err := json.Unmarshal(metaPayload, &meta); err != nil {
-		return Meta{}, nil, nil, nil, fmt.Errorf("snapshot: decode meta: %w", err)
-	}
-	taxPayloads = make([][]byte, stripes)
-	for i := range taxPayloads {
-		if taxPayloads[i], err = readSection(br, sectionTaxonomy, uint32(i)); err != nil {
-			return Meta{}, nil, nil, nil, err
-		}
-	}
-	menPayloads = make([][]byte, stripes)
-	for i := range menPayloads {
-		if menPayloads[i], err = readSection(br, sectionMentions, uint32(i)); err != nil {
-			return Meta{}, nil, nil, nil, err
-		}
+	if err := json.Unmarshal(metaPayload, &p.meta); err != nil {
+		return nil, fmt.Errorf("snapshot: decode meta: %w", err)
 	}
 	if version >= Version {
-		if evidencePayload, err = readSection(br, sectionEvidence, 0); err != nil {
-			return Meta{}, nil, nil, nil, err
+		// Header + meta framing + the image's own section header.
+		p.imageBase = uint64(16 + 13 + len(metaPayload) + 4 + 13)
+		if p.image, err = readSection(br, sectionView, 0); err != nil {
+			return nil, err
+		}
+	} else {
+		p.tax = make([][]byte, stripes)
+		for i := range p.tax {
+			if p.tax[i], err = readSection(br, sectionTaxonomy, uint32(i)); err != nil {
+				return nil, err
+			}
+		}
+		p.men = make([][]byte, stripes)
+		for i := range p.men {
+			if p.men[i], err = readSection(br, sectionMentions, uint32(i)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if version >= versionV2 {
+		if p.evidence, err = readSection(br, sectionEvidence, 0); err != nil {
+			return nil, err
 		}
 	}
 	var end [8]byte
 	if _, err := io.ReadFull(br, end[:]); err != nil {
-		return Meta{}, nil, nil, nil, fmt.Errorf("snapshot: read end marker: %w", err)
+		return nil, fmt.Errorf("snapshot: read end marker: %w", err)
 	}
 	if string(end[:]) != EndMagic {
-		return Meta{}, nil, nil, nil, fmt.Errorf("snapshot: bad end marker %q", end[:])
+		return nil, fmt.Errorf("snapshot: bad end marker %q", end[:])
 	}
-	return meta, taxPayloads, menPayloads, evidencePayload, nil
+	return p, nil
 }
 
 // readSection reads one framed section, enforcing the expected kind
@@ -427,7 +511,10 @@ func validateEvidence(payload []byte) error {
 }
 
 func parseEvidence(payload []byte, materialize bool) (*verify.Evidence, []extract.Candidate, *corpus.Stats, error) {
-	if payload == nil {
+	// A zero-length payload means "no evidence" like a legacy file's
+	// nil: the streaming decoder yields nil for it, the mapped path an
+	// empty slice — both must land here.
+	if len(payload) == 0 {
 		return nil, nil, nil, nil
 	}
 	r := &stripeReader{b: payload}
@@ -593,6 +680,12 @@ func decodeMentionStripe(payload []byte, add func(mention, id string)) error {
 		// silently.
 		if strings.TrimSpace(mention) == "" {
 			return fmt.Errorf("blank mention in entry %d", i)
+		}
+		// JSON ingestion cannot produce invalid UTF-8, and the mappable
+		// v3 image requires UTF-8 mentions — rejecting it here keeps
+		// every loadable snapshot re-saveable in the current format.
+		if !utf8.ValidString(mention) {
+			return fmt.Errorf("mention in entry %d is not valid UTF-8", i)
 		}
 		nIDs, err := r.count(minIDBytes)
 		if err != nil {

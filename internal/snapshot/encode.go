@@ -12,21 +12,82 @@ import (
 	"sort"
 
 	"cnprobase/internal/par"
+	"cnprobase/internal/serving"
 	"cnprobase/internal/taxonomy"
 )
 
-// Save writes st as a version-1 snapshot. The taxonomy and mention
-// index are exported into Stripes hash partitions, each partition is
-// put into canonical (sorted) order and encoded on the worker pool,
-// and the sections stream out sequentially behind one buffered writer.
-// Saving the same logical state always produces the same bytes, no
-// matter the Workers/Shards settings of the build or of this call.
+// Save writes st as a version-3 snapshot: the store is compiled into
+// the canonical serving view and serialized as one mappable image
+// section (the layout serving.View.AppendImage documents), framed by
+// the build metadata and evidence sections. Saving the same logical
+// state always produces the same bytes, no matter the Workers/Shards
+// settings of the build or of this call — compilation canonicalizes
+// order by construction. Mentions must be valid UTF-8 (JSON ingestion
+// guarantees it; a hand-built store with raw invalid bytes is
+// rejected with an error).
 //
 // Save is safe to call while the taxonomy is being queried. Concurrent
 // *writers* are tolerated — per-shard locking means the export sees
 // each shard atomically — but the snapshot then captures some
 // intermediate state between the writes, exactly like Edges does.
 func Save(w io.Writer, st *State, opts Options) error {
+	if st == nil || st.Taxonomy == nil {
+		return fmt.Errorf("snapshot: nil state or taxonomy")
+	}
+	mentions := st.Mentions
+	if mentions == nil {
+		mentions = taxonomy.NewMentionIndex()
+	}
+	metaPayload, err := json.Marshal(st.Meta)
+	if err != nil {
+		return fmt.Errorf("snapshot: encode meta: %w", err)
+	}
+	// The image's alignment padding depends on its absolute file
+	// offset: header (16) + meta section framing (13 + payload + 4) +
+	// the image's own section header (13).
+	imageBase := uint64(16 + 13 + len(metaPayload) + 4 + 13)
+	imagePayload, err := serving.Compile(st.Taxonomy, mentions).AppendImage(nil, imageBase)
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	evidencePayload, err := encodeEvidence(st)
+	if err != nil {
+		return err
+	}
+
+	bw := bufio.NewWriter(w)
+	var hdr [16]byte
+	copy(hdr[:8], Magic)
+	binary.LittleEndian.PutUint32(hdr[8:12], Version)
+	binary.LittleEndian.PutUint32(hdr[12:16], Stripes)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("snapshot: write header: %w", err)
+	}
+	if err := writeSection(bw, sectionMeta, 0, metaPayload); err != nil {
+		return err
+	}
+	if err := writeSection(bw, sectionView, 0, imagePayload); err != nil {
+		return err
+	}
+	if err := writeSection(bw, sectionEvidence, 0, evidencePayload); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(EndMagic); err != nil {
+		return fmt.Errorf("snapshot: write end marker: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("snapshot: flush: %w", err)
+	}
+	return nil
+}
+
+// SaveLegacy writes st in the striped version-2 layout — the taxonomy
+// and mention index exported into Stripes hash partitions, each put
+// into canonical (sorted) order and encoded on the worker pool. Kept
+// as the compatibility oracle: v2 files exercise the legacy decode
+// path in tests, and the startup benchmark uses them as the
+// decode-at-open baseline the mapped path is measured against.
+func SaveLegacy(w io.Writer, st *State, opts Options) error {
 	if st == nil || st.Taxonomy == nil {
 		return fmt.Errorf("snapshot: nil state or taxonomy")
 	}
@@ -67,7 +128,7 @@ func Save(w io.Writer, st *State, opts Options) error {
 	bw := bufio.NewWriter(w)
 	var hdr [16]byte
 	copy(hdr[:8], Magic)
-	binary.LittleEndian.PutUint32(hdr[8:12], Version)
+	binary.LittleEndian.PutUint32(hdr[8:12], versionV2)
 	binary.LittleEndian.PutUint32(hdr[12:16], Stripes)
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return fmt.Errorf("snapshot: write header: %w", err)

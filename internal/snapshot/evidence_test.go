@@ -113,7 +113,7 @@ func stripToV1(tb testing.TB, data []byte) []byte {
 // through both Load and LoadView.
 func TestLoadsLegacyV1(t *testing.T) {
 	st := handState(t)
-	v1 := stripToV1(t, saveBytes(t, st, Options{Workers: 1}))
+	v1 := stripToV1(t, saveLegacyBytes(t, st, Options{Workers: 1}))
 	loaded, err := Load(bytes.NewReader(v1), Options{Workers: 1})
 	if err != nil {
 		t.Fatalf("Load(v1): %v", err)

@@ -3,6 +3,7 @@ package snapshot
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"testing"
 )
 
@@ -20,6 +21,7 @@ import (
 func FuzzDecodeSnapshot(f *testing.F) {
 	valid := saveBytes(f, handState(f), Options{Workers: 1})
 	f.Add(valid)
+	f.Add(saveLegacyBytes(f, handState(f), Options{Workers: 1})) // striped v2 layout
 	f.Add([]byte{})
 	f.Add([]byte(Magic))
 	f.Add(valid[:16])                // header only
@@ -46,8 +48,24 @@ func FuzzDecodeSnapshot(f *testing.F) {
 		if (err == nil) != (viewErr == nil) {
 			t.Fatalf("Load and LoadView disagree: store err=%v, view err=%v", err, viewErr)
 		}
+		mapped, _, mappedErr := openMappedBytes(data)
 		if err != nil {
+			// The mapped opener must reject everything the streaming
+			// decoders reject: a crafted file must never serve mapped
+			// while being refused (or read differently) by Load.
+			if mappedErr == nil {
+				t.Fatalf("Load rejected (%v) but openMappedBytes accepted", err)
+			}
 			return // rejected: that is the expected path for noise
+		}
+		// Load accepted. The mapped opener accepts the same v3 files and
+		// punts pre-v3 layouts to the streaming path via ErrNotMappable.
+		if mappedErr != nil {
+			if !errors.Is(mappedErr, ErrNotMappable) {
+				t.Fatalf("Load accepted but openMappedBytes failed: %v", mappedErr)
+			}
+		} else if a, b := view.Stats(), mapped.Stats(); a != b {
+			t.Fatalf("decoded and mapped view stats differ: %+v != %+v", a, b)
 		}
 		// Both loaders accepted: they must describe the same graph.
 		if a, b := st.Taxonomy.ComputeStats(), view.Stats(); a != b {

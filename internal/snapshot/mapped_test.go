@@ -1,0 +1,276 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+
+	"cnprobase/internal/api"
+	"cnprobase/internal/serving"
+	"cnprobase/internal/taxonomy"
+)
+
+// writeTempSnapshot drops raw snapshot bytes into a fresh temp file
+// and returns its path.
+func writeTempSnapshot(tb testing.TB, data []byte) string {
+	tb.Helper()
+	path := filepath.Join(tb.TempDir(), "snap.cnp")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		tb.Fatalf("write snapshot: %v", err)
+	}
+	return path
+}
+
+func openMapped(tb testing.TB, path string) *serving.View {
+	tb.Helper()
+	v, _, err := OpenMapped(path)
+	if err != nil {
+		tb.Fatalf("OpenMapped: %v", err)
+	}
+	return v
+}
+
+// TestOpenMappedServingEquivalence pins the tentpole acceptance
+// criterion: the memory-mapped view answers every HTTP endpoint —
+// men2ent, getConcept, getEntity, conceptualize, qa — byte-identically
+// to both the freshly built state and the legacy streaming decode of
+// the same state.
+func TestOpenMappedServingEquivalence(t *testing.T) {
+	fresh := buildState(t, 400, 4, 8)
+	legacy := saveLegacyBytes(t, fresh, Options{Workers: 4})
+	v3 := saveBytes(t, fresh, Options{Workers: 4})
+
+	decoded, _, err := LoadView(bytes.NewReader(legacy), Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("LoadView(v2): %v", err)
+	}
+	mapped := openMapped(t, writeTempSnapshot(t, v3))
+
+	nodes := fresh.Taxonomy.Nodes()
+	if len(nodes) > 80 {
+		nodes = nodes[:80]
+	}
+	mentions := append([]string(nil), nodes...)
+	freshBody := apiResponses(t, api.NewServer(fresh.Taxonomy, fresh.Mentions), nodes, mentions)
+	decodedBody := apiResponses(t, api.NewViewServer(decoded), nodes, mentions)
+	mappedBody := apiResponses(t, api.NewViewServer(mapped), nodes, mentions)
+	if freshBody != decodedBody {
+		t.Fatal("v2-decoded server responses differ from freshly built server responses")
+	}
+	if freshBody != mappedBody {
+		t.Fatal("mapped server responses differ from freshly built server responses")
+	}
+}
+
+// randomState assembles a seeded random serving state: entities with
+// shared-prefix mentions (stressing the mapped path's binary-search
+// longest-match), ambiguous mentions, reinforced edges and a small
+// concept hierarchy.
+func randomState(tb testing.TB, seed int64) *State {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tax := taxonomy.New()
+	mentions := taxonomy.NewMentionIndex()
+	kinds := []string{"人物", "地点", "作品"}
+	n := 30 + rng.Intn(50)
+	for i := 0; i < n; i++ {
+		title := fmt.Sprintf("实体%c%02d", 'A'+rune(rng.Intn(4)), i)
+		id := fmt.Sprintf("%s（%s）", title, kinds[rng.Intn(len(kinds))])
+		tax.MarkEntity(id)
+		for c, nc := 0, 1+rng.Intn(3); c < nc; c++ {
+			if err := tax.AddIsA(id, fmt.Sprintf("概念%d", rng.Intn(9)), taxonomy.SourceBracket, rng.Float64()); err != nil {
+				tb.Fatalf("AddIsA: %v", err)
+			}
+		}
+		mentions.Add(id, id)
+		mentions.Add(title, id)
+		if rng.Intn(2) == 0 {
+			mentions.Add(title[:len(title)-1], id) // proper byte-prefix of title (ASCII tail)
+		}
+		if rng.Intn(4) == 0 {
+			mentions.Add("实体", id) // heavily ambiguous shared prefix
+		}
+	}
+	for i := 0; i < 9; i++ {
+		if rng.Intn(3) > 0 {
+			if err := tax.AddIsA(fmt.Sprintf("概念%d", i), "顶层概念", taxonomy.SourceMorph, 1); err != nil {
+				tb.Fatalf("AddIsA: %v", err)
+			}
+		}
+	}
+	tax.Finalize()
+	return &State{Taxonomy: tax, Mentions: mentions, Meta: Meta{Stats: tax.ComputeStats()}}
+}
+
+// TestOpenMappedRandomizedRoundTrip drives the save→map cycle over
+// seeded random states and requires the mapped view to answer the full
+// endpoint mix identically to the streaming decode of the same bytes.
+func TestOpenMappedRandomizedRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			st := randomState(t, seed)
+			data := saveBytes(t, st, Options{Workers: 1})
+			decoded, _, err := LoadView(bytes.NewReader(data), Options{Workers: 1})
+			if err != nil {
+				t.Fatalf("LoadView: %v", err)
+			}
+			mapped := openMapped(t, writeTempSnapshot(t, data))
+			if a, b := decoded.Stats(), mapped.Stats(); a != b {
+				t.Fatalf("stats differ: decoded %+v, mapped %+v", a, b)
+			}
+			nodes := st.Taxonomy.Nodes()
+			mentions := append([]string(nil), nodes...)
+			decodedBody := apiResponses(t, api.NewViewServer(decoded), nodes, mentions)
+			mappedBody := apiResponses(t, api.NewViewServer(mapped), nodes, mentions)
+			if decodedBody != mappedBody {
+				t.Fatal("mapped server responses differ from decoded server responses")
+			}
+		})
+	}
+}
+
+// TestOpenMappedRejectsLegacy pins the fallback protocol: version-1/2
+// files yield ErrNotMappable (so callers retry with LoadView), not a
+// generic failure.
+func TestOpenMappedRejectsLegacy(t *testing.T) {
+	st := handState(t)
+	v2 := saveLegacyBytes(t, st, Options{Workers: 1})
+	if _, _, err := OpenMapped(writeTempSnapshot(t, v2)); !errors.Is(err, ErrNotMappable) {
+		t.Fatalf("OpenMapped(v2) = %v, want ErrNotMappable", err)
+	}
+	v1 := stripToV1(t, v2)
+	if _, _, err := openMappedBytes(v1); !errors.Is(err, ErrNotMappable) {
+		t.Fatalf("openMappedBytes(v1) = %v, want ErrNotMappable", err)
+	}
+}
+
+// TestOpenMappedDetectsCorruption runs the full corruption battery
+// against the mapped opener: every single-byte flip (low and high bit)
+// and every truncation of a valid v3 file must be rejected — the
+// mapped path keeps the same zero-undetected-corruption guarantee as
+// the streaming decoder.
+func TestOpenMappedDetectsCorruption(t *testing.T) {
+	st := handState(t)
+	data := saveBytes(t, st, Options{Workers: 1})
+	for _, mask := range []byte{0x01, 0x80} {
+		for i := range data {
+			mutated := append([]byte(nil), data...)
+			mutated[i] ^= mask
+			if _, _, err := openMappedBytes(mutated); err == nil {
+				t.Fatalf("flip of byte %d (mask %#02x) in a %d-byte snapshot was not detected", i, mask, len(data))
+			}
+		}
+	}
+	for i := 0; i < len(data); i++ {
+		if _, _, err := openMappedBytes(data[:i]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes was not detected", i, len(data))
+		}
+	}
+	// The same guarantees hold through the file-backed entry point.
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, _, err := OpenMapped(writeTempSnapshot(t, flipped)); err == nil {
+		t.Fatal("OpenMapped accepted a corrupted file")
+	}
+	if _, _, err := OpenMapped(writeTempSnapshot(t, data[:len(data)-5])); err == nil {
+		t.Fatal("OpenMapped accepted a truncated file")
+	}
+	if _, _, err := OpenMapped(writeTempSnapshot(t, nil)); err == nil {
+		t.Fatal("OpenMapped accepted an empty file")
+	}
+}
+
+// TestMappedQueryAllocations pins the mapped hot path: with the hash
+// maps and the mention trie replaced by binary search over the mapped
+// arrays, queries still allocate nothing.
+func TestMappedQueryAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under -race")
+	}
+	st := handState(t)
+	v := openMapped(t, writeTempSnapshot(t, saveBytes(t, st, Options{Workers: 1})))
+	var dst []string
+	text := "实体00和实体07见面了"
+	for i := 0; i < 4; i++ { // warm the scratch pool and dst
+		dst = v.FindAllAppend(dst[:0], text)
+	}
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Hypernyms", func() { _ = v.Hypernyms("实体00（人物）") }},
+		{"Hyponyms", func() { _ = v.Hyponyms("概念0", 50) }},
+		{"RankedHypernyms", func() { _ = v.RankedHypernyms("实体00（人物）", 0) }},
+		{"RankedHyponyms", func() { _ = v.RankedHyponyms("概念0", 0) }},
+		{"Lookup", func() { _ = v.Lookup("实体00") }},
+		{"LookupMiss", func() { _ = v.Lookup("不存在") }},
+		{"Kind", func() { _ = v.Kind("概念0") }},
+		{"HasIsA", func() { _ = v.HasIsA("实体00（人物）", "概念0") }},
+		{"TypicalityOfConcept", func() { _ = v.TypicalityOfConcept("实体00（人物）", "概念0") }},
+		{"FindAllAppend", func() { dst = v.FindAllAppend(dst[:0], text) }},
+	}
+	for _, c := range cases {
+		if allocs := testing.AllocsPerRun(100, c.fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f objects per op on the mapped view, want 0", c.name, allocs)
+		}
+	}
+}
+
+// TestMappedConcurrentSwap hot-swaps mapped views under live query
+// load with forced garbage collection between swaps: queries must keep
+// answering correctly while finalizer-driven unmapping retires old
+// mappings — the exact lifecycle of a SIGHUP reload in cnpserver. Run
+// under -race in CI.
+func TestMappedConcurrentSwap(t *testing.T) {
+	st := handState(t)
+	data := saveBytes(t, st, Options{Workers: 1})
+	paths := []string{writeTempSnapshot(t, data), writeTempSnapshot(t, data)}
+
+	srv := api.NewViewServer(openMapped(t, paths[0]))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			urls := []string{
+				ts.URL + "/api/men2ent?mention=实体00",
+				ts.URL + "/api/getConcept?entity=实体03（人物）",
+				ts.URL + "/api/getEntity?concept=概念0&limit=5",
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(urls[i%len(urls)])
+				if err != nil {
+					t.Errorf("query during swap: %v", err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("query during swap: status %d", resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	for i := 0; i < 12; i++ {
+		srv.SwapView(openMapped(t, paths[i%len(paths)]))
+		runtime.GC() // drive the finalizer that unmaps retired views
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package snapshot
+
+import "os"
+
+// mmapFile on platforms without syscall.Mmap reads the file into heap
+// memory: OpenMapped still works — same validation, same aliasing view
+// — just without the page-cache sharing of a real mapping.
+func mmapFile(path string) ([]byte, func(), error) {
+	data, err := os.ReadFile(path)
+	return data, nil, err
+}

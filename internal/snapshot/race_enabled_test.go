@@ -1,0 +1,7 @@
+//go:build race
+
+package snapshot
+
+// raceEnabled reports whether the race detector is on; allocation
+// pinning tests skip under it because instrumentation skews counts.
+const raceEnabled = true

@@ -8,15 +8,18 @@
 // and build metadata.
 //
 // The format is versioned, sectioned and checksummed (docs/SNAPSHOT.md
-// specifies the byte layout). Content is hash-partitioned into a fixed
-// number of stripes that depends only on the logical graph — not on the
-// store's in-memory shard count — so the same taxonomy produces
-// byte-identical snapshots regardless of the Workers/Shards settings it
-// was built or saved with, extending the pipeline's determinism
-// guarantee to the on-disk artifact. Each stripe is a length-prefixed,
-// CRC-32-checked section; stripes encode and decode in parallel over an
-// internal/par pool sized by Options.Workers, exactly like the build,
-// and Load rebuilds the merged query indexes with Taxonomy.Finalize.
+// specifies the byte layout). Since version 3 the content section is a
+// single mappable "view image": the serving view's canonical arrays as
+// fixed-width little-endian blocks plus interned string arenas, 8-byte
+// aligned in the file, so OpenMapped can serve straight out of an mmap
+// with no decode pass and restart cost independent of taxonomy size.
+// Saving compiles the store into the canonical serving view first, so
+// the same logical state produces byte-identical snapshots regardless
+// of the Workers/Shards settings it was built or saved with — the
+// pipeline's determinism guarantee extended to the on-disk artifact.
+// Versions 1 and 2 hash-partitioned the content into a fixed number of
+// varint-encoded stripes instead; SaveLegacy still writes version 2 and
+// the loaders still read both.
 //
 // Decoding defends against arbitrary input: every length is validated
 // against the bytes actually present before anything is allocated or
@@ -25,11 +28,12 @@
 // reported as an error, never a panic (fuzz-tested by
 // FuzzDecodeSnapshot).
 //
-// There are two decode paths: Load reassembles the mutable build
-// store (for JSON export, experiments, further building), and
-// LoadView compiles the snapshot straight into the immutable
-// serving.View the HTTP APIs answer from — the production serving
-// startup, which never materializes the store at all.
+// There are three read paths: Load reassembles the mutable build
+// store (for JSON export, experiments, further building), LoadView
+// compiles the snapshot into an immutable heap serving.View, and
+// OpenMapped — version 3 only — maps the file and serves directly from
+// the mapping: the cheapest startup, and N replicas on one box share a
+// single page-cache copy of the string arenas.
 package snapshot
 
 import (
@@ -52,15 +56,23 @@ const (
 	Magic = "CNPBSNP1"
 	// EndMagic closes every snapshot file (truncation tripwire).
 	EndMagic = "CNPBEND1"
-	// Version is the current format version. Version 2 appends an
-	// evidence section (kept candidates, page-derived verification
-	// evidence, NE support, corpus statistics) after the mention
-	// stripes, which is what lets a snapshot-loaded Result accept
-	// incremental Update. Version-1 files are still read; they simply
-	// restore no evidence.
-	Version = 2
-	// versionLegacy is the pre-evidence layout the loader still
-	// accepts.
+	// Version is the current format version. Version 3 replaces the
+	// taxonomy/mention stripes with a single mappable "view image"
+	// section — the serving view's canonical arrays as fixed-width
+	// little-endian blocks plus interned string arenas, 8-byte aligned
+	// in the file — so OpenMapped can serve straight out of an mmap of
+	// the file with no decode pass. Version-1 and version-2 (striped)
+	// files are still read by Load and LoadView; they simply cannot be
+	// mapped.
+	Version = 3
+	// versionV2 is the striped layout with an evidence section (kept
+	// candidates, page-derived verification evidence, NE support,
+	// corpus statistics) after the mention stripes — what lets a
+	// snapshot-loaded Result accept incremental Update. SaveLegacy
+	// still writes it as the compatibility oracle.
+	versionV2 = 2
+	// versionLegacy is the pre-evidence striped layout the loader
+	// still accepts.
 	versionLegacy = 1
 	// Stripes is the number of hash partitions per index (taxonomy,
 	// mentions).
@@ -73,6 +85,9 @@ const (
 	sectionTaxonomy byte = 2
 	sectionMentions byte = 3
 	sectionEvidence byte = 4
+	// sectionView is the version-3 mappable view image, replacing the
+	// taxonomy and mention stripes.
+	sectionView byte = 5
 )
 
 // maxStripes bounds the stripe count a loader accepts from a header.

@@ -2,8 +2,10 @@ package snapshot
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 
@@ -79,6 +81,17 @@ func saveBytes(tb testing.TB, st *State, opts Options) []byte {
 	var buf bytes.Buffer
 	if err := Save(&buf, st, opts); err != nil {
 		tb.Fatalf("Save: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// saveLegacyBytes writes st in the striped version-2 layout — the
+// compatibility-path fixture source.
+func saveLegacyBytes(tb testing.TB, st *State, opts Options) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := SaveLegacy(&buf, st, opts); err != nil {
+		tb.Fatalf("SaveLegacy: %v", err)
 	}
 	return buf.Bytes()
 }
@@ -202,17 +215,17 @@ func TestByteStabilityAcrossConfigs(t *testing.T) {
 }
 
 // apiResponses issues a fixed query mix — men2ent, getConcept (plain
-// and ranked), getEntity (unlimited and limited) — against a server
-// and returns the concatenated raw response bodies.
+// and ranked), getEntity (unlimited and limited), plus the Section V
+// layer (conceptualize, qa) over texts built from the mentions —
+// against a server and returns the concatenated raw response bodies.
 func apiResponses(tb testing.TB, srv *api.Server, nodes, mentions []string) string {
 	tb.Helper()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	var out bytes.Buffer
-	get := func(path string) {
-		resp, err := ts.Client().Get(ts.URL + path)
+	record := func(path string, resp *http.Response, err error) {
 		if err != nil {
-			tb.Fatalf("GET %s: %v", path, err)
+			tb.Fatalf("%s: %v", path, err)
 		}
 		body, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
@@ -221,8 +234,22 @@ func apiResponses(tb testing.TB, srv *api.Server, nodes, mentions []string) stri
 		}
 		fmt.Fprintf(&out, "%s %d %s", path, resp.StatusCode, body)
 	}
+	get := func(path string) {
+		resp, err := ts.Client().Get(ts.URL + path)
+		record(path, resp, err)
+	}
+	post := func(path string, req any) {
+		b, err := json.Marshal(req)
+		if err != nil {
+			tb.Fatalf("encode %s request: %v", path, err)
+		}
+		resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(b))
+		record(path, resp, err)
+	}
 	for _, m := range mentions {
 		get("/api/men2ent?mention=" + m)
+		post("/api/conceptualize", api.ConceptualizeRequest{Text: m + "的资料"})
+		post("/api/qa", api.QARequest{Question: m + "是什么？"})
 	}
 	for _, n := range nodes {
 		get("/api/getConcept?entity=" + n)
