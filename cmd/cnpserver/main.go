@@ -46,6 +46,24 @@
 // size; older snapshots stream-decode instead. All requests are
 // answered from that lock-free view.
 //
+// Overload safety: every listener (query, ingest, pprof) runs with
+// hard ReadHeader/Read/Write/Idle timeouts and a header-size cap, so a
+// slowloris client cannot pin connection goroutines; the query plane
+// runs behind admission control (-max-inflight concurrent requests,
+// -admit-wait bounded wait, then 429 + Retry-After), per-request
+// deadlines (-query-timeout for the GET lookups, -batch-timeout for
+// the POST endpoints; JSON 503 on expiry) and panic isolation (a
+// handler panic is a JSON 500 on that request, never a dead process).
+// A panic on the ingest updater wedges the ingester with a sticky 503
+// — queries keep serving the last good view — and flips /readyz so the
+// replica is rotated out. /api/stats reports shed/timeout/panic
+// counters next to the latency histograms.
+//
+// Probes: GET /healthz answers 200 while the process is alive;
+// GET /readyz answers 200 only while the server should receive
+// traffic (serving state loaded and WAL replayed, not draining, the
+// ingester not wedged).
+//
 // Signals:
 //
 //	SIGHUP           — hot reload: re-read the -load snapshot and swap
@@ -55,8 +73,13 @@
 //	                   and when -ingest is active (the ingester's live
 //	                   state owns the view; a file reload would be
 //	                   silently reverted by the next batch).
-//	SIGINT, SIGTERM  — graceful shutdown; logs per-endpoint request
-//	                   counts and p50/p99 latency before exiting.
+//	SIGINT, SIGTERM  — graceful shutdown: /readyz flips to 503
+//	                   immediately, -drain-grace lets load balancers
+//	                   stop routing, then all listeners (query, ingest,
+//	                   pprof) drain in-flight requests together
+//	                   (bounded by -drain-timeout), the ingester
+//	                   flushes its WAL, and per-endpoint request counts
+//	                   and p50/p99 latency are logged before exit.
 //
 // Mentions come from the snapshot's full index with -load and from the
 // pipeline with the demo build; the -tax JSON path indexes entity IDs
@@ -80,12 +103,14 @@ import (
 
 	"cnprobase"
 	"cnprobase/internal/encyclopedia"
+	"cnprobase/internal/resilience"
 	"cnprobase/internal/taxonomy"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cnpserver: ")
+	defres := cnprobase.DefaultServerResilience()
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
 		loadPath = flag.String("load", "", "binary snapshot path (from `cnprobase build -save`); SIGHUP hot-reloads it")
@@ -97,11 +122,28 @@ func main() {
 		ingestA  = flag.String("ingest", "", "serve the POST /ingest admin endpoint on this address (e.g. localhost:7070); off when empty")
 		walDir   = flag.String("wal", "", "write-ahead-log directory for durable ingestion (requires -load and -ingest); startup replays the log tail past the snapshot's LSN")
 		compactE = flag.Duration("compact-every", time.Minute, "how often the durable ingester snapshots and truncates the WAL (0 disables background compaction)")
+
+		maxInFlight  = flag.Int("max-inflight", defres.MaxInFlight, "admission cap on concurrently executing query requests; excess is shed with 429 + Retry-After (0 disables admission control)")
+		admitWait    = flag.Duration("admit-wait", defres.AdmitWait, "how long a request may wait for an admission slot before being shed")
+		queryTimeout = flag.Duration("query-timeout", defres.LookupTimeout, "per-request deadline for the GET lookup endpoints; JSON 503 on expiry (0 disables)")
+		batchTimeout = flag.Duration("batch-timeout", defres.BatchTimeout, "per-request deadline for the POST batch/application endpoints; JSON 503 on expiry (0 disables)")
+		chaosDelay   = flag.Duration("chaos-delay", 0, "chaos knob: artificial latency injected into every query request (drain drills and overload experiments; keep 0 in production)")
+		drainGrace   = flag.Duration("drain-grace", 500*time.Millisecond, "on SIGINT/SIGTERM, how long /readyz answers 503 before the listeners stop accepting, so load balancers stop routing first")
+		drainTO      = flag.Duration("drain-timeout", 10*time.Second, "how long graceful shutdown waits for in-flight requests across all listeners")
 	)
 	flag.Parse()
 	if *walDir != "" && (*loadPath == "" || *ingestA == "") {
 		log.Fatal("-wal requires -load (the snapshot the compactor rewrites) and -ingest")
 	}
+	if *loadPath != "" && *taxPath != "" {
+		log.Fatal("-load and -tax are mutually exclusive")
+	}
+
+	// Every listener this process opens is registered here and drained
+	// together on shutdown — no bare http.Serve anywhere, so no
+	// connection is ever abandoned mid-request by an exiting main.
+	var drain resilience.DrainGroup
+
 	if *pprofA != "" {
 		// A dedicated mux on a dedicated listener: profiling never
 		// shares a port (or a handler namespace) with the public API.
@@ -116,14 +158,13 @@ func main() {
 			log.Fatalf("pprof listen %s: %v", *pprofA, err)
 		}
 		log.Printf("pprof on http://%s/debug/pprof/", pln.Addr())
+		pprofServer := resilience.PprofServerConfig().Server(mux)
+		drain.Add("pprof", pprofServer)
 		go func() {
-			if err := http.Serve(pln, mux); err != nil {
+			if err := pprofServer.Serve(pln); !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("pprof server stopped: %v", err)
 			}
 		}()
-	}
-	if *loadPath != "" && *taxPath != "" {
-		log.Fatal("-load and -tax are mutually exclusive")
 	}
 
 	var (
@@ -221,8 +262,16 @@ func main() {
 			st.Entities, st.Concepts, st.IsARelations)
 	}
 
-	srv := cnprobase.NewViewServer(view)
-	httpServer := &http.Server{Handler: srv.Handler()}
+	rc := cnprobase.ServerResilience{
+		MaxInFlight:   *maxInFlight,
+		AdmitWait:     *admitWait,
+		LookupTimeout: *queryTimeout,
+		BatchTimeout:  *batchTimeout,
+		HandlerDelay:  *chaosDelay,
+	}
+	srv := cnprobase.NewViewServerResilient(view, rc)
+	httpServer := resilience.DefaultServerConfig().Server(srv.Handler())
+	drain.Add("query", httpServer)
 
 	var ing *cnprobase.Ingester
 	if *ingestA != "" {
@@ -253,8 +302,10 @@ func main() {
 			log.Fatalf("ingest listen %s: %v", *ingestA, err)
 		}
 		fmt.Printf("ingesting on %s\n", iln.Addr())
+		ingestServer := resilience.IngestServerConfig().Server(ing.Handler())
+		drain.Add("ingest", ingestServer)
 		go func() {
-			if err := http.Serve(iln, ing.Handler()); err != nil {
+			if err := ingestServer.Serve(iln); !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("ingest server stopped: %v", err)
 			}
 		}()
@@ -292,8 +343,16 @@ func main() {
 				continue
 			}
 			log.Printf("%v: shutting down", sig)
-			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-			_ = httpServer.Shutdown(ctx)
+			// Flip readiness first so load balancers stop routing here,
+			// then give them -drain-grace to notice before the listeners
+			// stop accepting; in-flight requests keep completing the
+			// whole time.
+			srv.Health().SetDraining()
+			time.Sleep(*drainGrace)
+			ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+			for _, err := range drain.Shutdown(ctx) {
+				log.Printf("shutdown: %v", err)
+			}
 			cancel()
 			if ing != nil {
 				// Flushes and fsyncs the WAL; batches still queued are

@@ -1,0 +1,325 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// getStatus fetches a path and returns just the status code.
+func getStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestProbes pins the orchestration endpoints on a running binary:
+// /healthz and /readyz both answer 200 JSON once the server announces
+// its address (serving state loaded).
+func TestProbes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test: compiles and runs the binary")
+	}
+	snap, _ := writeSnapshot(t)
+	base, stop := startServer(t, "-load", snap)
+	defer stop()
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d (%s), want 200", path, resp.StatusCode, body)
+		}
+		var ok struct {
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(body, &ok); err != nil || ok.Status != "ok" {
+			t.Fatalf("GET %s body = %q", path, body)
+		}
+	}
+}
+
+// TestOverloadFlagsShed proves the admission flags reach the serving
+// plane: with one slot, zero wait and a slow handler, a saturated
+// request is shed with 429 + Retry-After while /api/stats (exempt)
+// still answers and reports the shed.
+func TestOverloadFlagsShed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test: compiles and runs the binary")
+	}
+	snap, _ := writeSnapshot(t)
+	base, stop := startServer(t, "-load", snap,
+		"-max-inflight", "1", "-admit-wait", "0", "-chaos-delay", "2s")
+	defer stop()
+
+	slowDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(base + "/api/men2ent?mention=任意")
+		if err != nil {
+			slowDone <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		slowDone <- resp.StatusCode
+	}()
+
+	// Wait for the slot to be held, then watch the next request shed.
+	var code int
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/api/getConcept?entity=任意")
+		if err != nil {
+			t.Fatalf("GET during overload: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		code = resp.StatusCode
+		if code == http.StatusTooManyRequests {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After")
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+				t.Fatalf("429 body %q is not the JSON error shape", body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never observed a 429; last code %d", code)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if code := getStatus(t, base+"/api/stats"); code != http.StatusOK {
+		t.Fatalf("/api/stats during overload = %d, want 200", code)
+	}
+	if code := <-slowDone; code != http.StatusOK {
+		t.Fatalf("admitted slow request = %d, want 200", code)
+	}
+}
+
+// TestSigtermDrainsSlowQuery is the graceful-drain contract: SIGTERM
+// flips /readyz to 503 immediately (so load balancers stop routing)
+// while a deliberately slow in-flight query still completes with 200,
+// and the process then exits cleanly.
+func TestSigtermDrainsSlowQuery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test: compiles and runs the binary")
+	}
+	snap, _ := writeSnapshot(t)
+	var stderr syncBuffer
+	base, cmd := startServerCapture(t, &stderr, "-load", snap,
+		"-chaos-delay", "3s", "-drain-grace", "1500ms", "-drain-timeout", "30s")
+
+	// Launch the slow query; every /api request carries the 3s chaos
+	// delay, so it is guaranteed to still be in flight at SIGTERM time.
+	slowDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(base + "/api/men2ent?mention=任意")
+		if err != nil {
+			slowDone <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		slowDone <- resp.StatusCode
+	}()
+	// The probe endpoints skip the chaos delay, so readyz==200 here
+	// also proves the slow request above has been accepted (same mux,
+	// announced listener).
+	if code := getStatus(t, base+"/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz before SIGTERM = %d, want 200", code)
+	}
+	time.Sleep(300 * time.Millisecond) // let the slow GET land in its handler
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	// During the drain grace the listener still accepts: /readyz must
+	// answer 503 so the load balancer rotates this replica out.
+	readyCode := -1
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err != nil {
+			break // grace elapsed and the listener closed before we sampled
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		readyCode = resp.StatusCode
+		if readyCode == http.StatusServiceUnavailable {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if readyCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain = %d, want 503", readyCode)
+	}
+
+	// The slow query drains to completion despite the shutdown.
+	select {
+	case code := <-slowDone:
+		if code != http.StatusOK {
+			t.Fatalf("in-flight query across SIGTERM = %d, want 200; stderr:\n%s", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("in-flight query never completed during drain")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("server exited uncleanly: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if out := stderr.String(); !strings.Contains(out, "shutting down") {
+		t.Errorf("shutdown not logged:\n%s", out)
+	}
+}
+
+// TestSigtermDrainsInflightIngest is the durability half of graceful
+// shutdown: a /ingest batch whose body is still arriving when SIGTERM
+// lands must complete with a 200 — and that 200 must mean fsynced, so
+// a restart from the same snapshot + WAL replays the batch and serves
+// its edge.
+func TestSigtermDrainsInflightIngest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test: compiles and runs the binary")
+	}
+	snap, res := writeSnapshot(t)
+	concept := res.Kept[0].Hyper
+	const title = "排水期间摄取实体"
+	walDir := filepath.Join(t.TempDir(), "wal")
+
+	var stderr syncBuffer
+	apiBase, ingestBase, cmd := startServerWithIngest(t, &stderr,
+		"-load", snap, "-wal", walDir, "-compact-every", "0",
+		"-drain-grace", "200ms", "-drain-timeout", "30s")
+	_ = apiBase
+
+	page, err := json.Marshal(map[string]any{"title": title, "tags": []string{concept}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := append(page, '\n')
+
+	// Hand-rolled request so the body can straddle the SIGTERM: send
+	// the headers plus the first byte, signal, then finish the body.
+	conn, err := net.Dial("tcp", strings.TrimPrefix(ingestBase, "http://"))
+	if err != nil {
+		t.Fatalf("dial ingest: %v", err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "POST /ingest HTTP/1.1\r\nHost: ingest\r\nContent-Type: application/x-ndjson\r\nContent-Length: %d\r\nConnection: close\r\n\r\n", len(body))
+	if _, err := conn.Write(body[:1]); err != nil {
+		t.Fatalf("write first body byte: %v", err)
+	}
+	time.Sleep(200 * time.Millisecond) // let the handler enter ReadAll
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	time.Sleep(300 * time.Millisecond) // shutdown is now underway
+	if _, err := conn.Write(body[1:]); err != nil {
+		t.Fatalf("write body remainder during drain: %v", err)
+	}
+	respBytes, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatalf("read in-flight ingest response: %v\nstderr:\n%s", err, stderr.String())
+	}
+	resp := string(respBytes)
+	if !strings.HasPrefix(resp, "HTTP/1.1 200") {
+		t.Fatalf("in-flight ingest across SIGTERM got:\n%s\nstderr:\n%s", resp, stderr.String())
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("server exited uncleanly: %v\nstderr:\n%s", err, stderr.String())
+	}
+
+	// The 200 promised durability: a restart must replay the batch.
+	var restartErr syncBuffer
+	restartAPI, _, _ := startServerWithIngest(t, &restartErr,
+		"-load", snap, "-wal", walDir, "-compact-every", "0")
+	if !strings.Contains(restartErr.String(), "replayed 1 wal batches") {
+		t.Fatalf("restart did not replay the drained batch; stderr:\n%s", restartErr.String())
+	}
+	resp2, err := http.Get(restartAPI + "/api/getConcept?entity=" + title)
+	if err != nil {
+		t.Fatalf("GET after restart: %v", err)
+	}
+	var got struct {
+		Hypernyms []string `json:"hypernyms"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp2.Body.Close()
+	found := false
+	for _, h := range got.Hypernyms {
+		if h == concept {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("edge from the drained batch missing after restart: getConcept(%q) = %v", title, got.Hypernyms)
+	}
+}
+
+// TestConcurrentProbesAndQueriesDuringIngest hammers probes, queries
+// and ingest batches at a live binary simultaneously — a smoke screen
+// for the full serving plane under mixed load.
+func TestConcurrentProbesAndQueriesDuringIngest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test: compiles and runs the binary")
+	}
+	snap, res := writeSnapshot(t)
+	concept := res.Kept[0].Hyper
+	var stderr syncBuffer
+	apiBase, ingestBase, _ := startServerWithIngest(t, &stderr, "-load", snap)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				if code := postPage(t, ingestBase, fmt.Sprintf("混合负载实体%d·%d", i, j), concept); code != http.StatusOK && code != http.StatusTooManyRequests {
+					t.Errorf("ingest under load = %d", code)
+					return
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if code := getStatus(t, apiBase+"/api/men2ent?mention=任意"); code != http.StatusOK {
+					t.Errorf("query under load = %d", code)
+					return
+				}
+				if code := getStatus(t, apiBase+"/readyz"); code != http.StatusOK {
+					t.Errorf("/readyz under load = %d", code)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

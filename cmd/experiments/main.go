@@ -13,6 +13,7 @@
 //	experiments -bench-qa [-entities N] [-questions M] [-bench-qa-out BENCH_QA.json]
 //	experiments -bench-serve [-entities N] [-serve-calls K] [-bench-serve-out BENCH_SERVE.json]
 //	experiments -bench-startup [-entities N] [-bench-startup-out BENCH_STARTUP.json]
+//	experiments -bench-overload [-entities N] [-overload-requests K] [-bench-overload-out BENCH_OVERLOAD.json]
 //
 // -bench-build skips the evaluation suite and instead measures the
 // build-side hot path — steady-state segmentation runes/s, end-to-end
@@ -50,6 +51,13 @@
 // mappable v3 layout at growing world sizes and measures file-to-view
 // cold start (LoadView decode vs OpenMapped) plus live-heap growth as
 // BENCH_STARTUP.json — the record documenting the O(1) mapped start.
+//
+// -bench-overload drives closed-loop client populations at 1×/4×/16×
+// of the serving plane's admission capacity — once with admission
+// control armed, once without — over a real listener, and records
+// goodput, client-observed p99 and shed rate per cell as
+// BENCH_OVERLOAD.json: the record documenting that overload turns
+// into fast clean 429s instead of collapsing goodput.
 package main
 
 import (
@@ -94,9 +102,12 @@ func main() {
 		serveK    = flag.Int("serve-calls", 20000, "workload size for -bench-serve")
 		benchSt   = flag.Bool("bench-startup", false, "measure snapshot cold-start (decode vs mmap) and emit JSON instead of running experiments")
 		benchStO  = flag.String("bench-startup-out", "BENCH_STARTUP.json", "output path for -bench-startup")
+		benchO    = flag.Bool("bench-overload", false, "measure goodput/p99/shed under 1x/4x/16x overload, with and without admission control, and emit JSON instead of running experiments")
+		benchOOut = flag.String("bench-overload-out", "BENCH_OVERLOAD.json", "output path for -bench-overload")
+		overloadK = flag.Int("overload-requests", 4000, "requests per load level for -bench-overload")
 	)
 	flag.Parse()
-	if *benchB || *benchU || *benchR || *benchQ || *benchS || *benchSt {
+	if *benchB || *benchU || *benchR || *benchQ || *benchS || *benchSt || *benchO {
 		if *benchB {
 			runBuildBench(*entities, *benchOut)
 		}
@@ -114,6 +125,9 @@ func main() {
 		}
 		if *benchSt {
 			runStartupBench(*entities, *benchStO)
+		}
+		if *benchO {
+			runOverloadBench(*entities, *overloadK, *benchOOut)
 		}
 		return
 	}
@@ -315,6 +329,32 @@ func runServeBench(entities, calls int, out string) {
 	fmt.Printf("throughput: %.0f req/s over %d calls (%.1fs)\n", res.ReqPerSec, res.Calls, res.Seconds)
 	for _, ep := range res.Endpoints {
 		fmt.Printf("latency %-13s calls=%-7d p50=%.3fms p99=%.3fms\n", ep.Endpoint, ep.Count, ep.P50Ms, ep.P99Ms)
+	}
+	fmt.Printf("wrote %s\n", out)
+}
+
+// runOverloadBench measures goodput, p99 and shed rate at growing
+// multiples of server capacity and writes BENCH_OVERLOAD.json.
+func runOverloadBench(entities, requests int, out string) {
+	fmt.Printf("== overload bench: %d entities, %d requests per level ==\n", entities, requests)
+	res, err := experiments.RunOverloadBench(entities, requests)
+	if err != nil {
+		log.Fatalf("bench-overload: %v", err)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatalf("create %s: %v", out, err)
+	}
+	if err := res.WriteJSON(f); err != nil {
+		f.Close()
+		log.Fatalf("write %s: %v", out, err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("close %s: %v", out, err)
+	}
+	fmt.Printf("capacity: %d in-flight slots, %dµs sleep + %dµs burn per request\n", res.MaxInFlight, res.DelayMicros, res.BurnMicros)
+	for _, p := range res.Points {
+		fmt.Println(p.Describe())
 	}
 	fmt.Printf("wrote %s\n", out)
 }

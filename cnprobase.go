@@ -185,6 +185,25 @@ func NewAPIServer(t *Taxonomy, m *MentionIndex) *APIServer { return api.NewServe
 // mutable build store.
 func NewViewServer(v *ServingView) *APIServer { return api.NewViewServer(v) }
 
+// ServerResilience tunes the overload-safety stack wrapped around the
+// query endpoints: the admission-control cap and bounded wait (beyond
+// which requests are shed with 429 + Retry-After), the per-request
+// deadlines for the lookup and batch endpoint classes (JSON 503 on
+// expiry), and the chaos knobs (artificial per-request delay/CPU burn)
+// drain drills and the overload benchmark inject.
+type ServerResilience = api.ResilienceConfig
+
+// DefaultServerResilience is the production default resilience
+// configuration (the one NewViewServer applies).
+func DefaultServerResilience() ServerResilience { return api.DefaultResilience() }
+
+// NewViewServerResilient is NewViewServer with an explicit resilience
+// configuration — cnpserver builds its server through this so the
+// admission cap, deadlines and chaos knobs are flag-tunable.
+func NewViewServerResilient(v *ServingView, rc ServerResilience) *APIServer {
+	return api.NewViewServerConfig(v, rc)
+}
+
 // Ingester is the continuous-ingestion admin endpoint: POST JSONL
 // pages to /ingest and a single updater goroutine folds each batch
 // into the taxonomy via Update, freezes the result and swaps the

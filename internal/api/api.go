@@ -13,7 +13,9 @@
 //	/api/qa                 — POST a question, get its taxonomy understanding
 //
 // plus /api/stats exposing per-API call counters and latency
-// summaries, which the Table II workload experiment reads back.
+// summaries, which the Table II workload experiment reads back, and
+// the orchestration probes /healthz (liveness) and /readyz
+// (readiness).
 //
 // Handlers never touch the mutable build store: every request is
 // served from an immutable serving.View held in an atomic pointer —
@@ -23,16 +25,27 @@
 // ({"error": "..."}) with the right Content-Type. Handlers are safe
 // for concurrent use; request/response schemas are documented in
 // docs/API.md.
+//
+// Every query endpoint runs behind the resilience stack (see
+// internal/resilience): admission control sheds excess load with 429 +
+// Retry-After instead of queueing without bound, a per-request
+// deadline converts stuck work into a JSON 503, and panic isolation
+// turns a handler panic into a JSON 500 on that one request. /api/stats
+// and the health probes bypass admission so observability survives
+// overload. ResilienceConfig tunes all of it.
 package api
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
+	"cnprobase/internal/resilience"
 	"cnprobase/internal/serving"
 	"cnprobase/internal/taxonomy"
 )
@@ -49,9 +62,55 @@ const (
 	MaxBatchBytes    = 4 << 20
 )
 
+// ResilienceConfig tunes the overload-safety stack wrapped around the
+// query endpoints. The zero value disables every layer (panic
+// isolation stays on — it has no knob); DefaultResilience returns the
+// production defaults NewServer and NewViewServer apply.
+type ResilienceConfig struct {
+	// MaxInFlight caps concurrently executing query-plane requests;
+	// beyond it (after AdmitWait) requests are shed with 429 +
+	// Retry-After. <= 0 disables admission control.
+	MaxInFlight int
+	// AdmitWait is how long an arriving request may wait for an
+	// admission slot before being shed — long enough to ride out a
+	// micro-burst, far too short to build a queue.
+	AdmitWait time.Duration
+	// LookupTimeout is the per-request deadline for the cheap GET
+	// lookups (men2ent, getConcept, getEntity); BatchTimeout covers
+	// the heavier POST endpoints (men2entBatch, conceptualize,
+	// conceptualizeBatch, qa). 0 disables the deadline for that class.
+	LookupTimeout time.Duration
+	BatchTimeout  time.Duration
+	// HandlerDelay and HandlerBurn are chaos knobs: artificial sleep /
+	// CPU spin injected inside the stack (inside the admission slot,
+	// under the deadline) on every query-plane request. Drain drills
+	// and the overload benchmark use them to make handler cost
+	// controllable; zero in production.
+	HandlerDelay time.Duration
+	HandlerBurn  time.Duration
+}
+
+// DefaultResilience is the production default: admission wide enough
+// that only true overload sheds, deadlines generous enough that only
+// stuck work times out.
+func DefaultResilience() ResilienceConfig {
+	return ResilienceConfig{
+		MaxInFlight:   64 * runtime.GOMAXPROCS(0),
+		AdmitWait:     10 * time.Millisecond,
+		LookupTimeout: 5 * time.Second,
+		BatchTimeout:  30 * time.Second,
+	}
+}
+
 // Server hosts the APIs over an immutable serving view.
 type Server struct {
 	view atomic.Pointer[serving.View]
+
+	rc      ResilienceConfig
+	limiter *resilience.Limiter
+	metrics resilience.Metrics
+	health  resilience.Health
+	shed    map[string]*atomic.Int64 // per-endpoint load-shed counters, keyed like the latency map
 
 	men2entCalls           atomic.Int64
 	men2entBatchCalls      atomic.Int64
@@ -78,12 +137,57 @@ func NewServer(tax *taxonomy.Taxonomy, mentions *taxonomy.MentionIndex) *Server 
 }
 
 // NewViewServer builds a Server over an already-compiled view — the
-// zero-copy path snapshot loading uses.
+// zero-copy path snapshot loading uses — with the default resilience
+// stack.
 func NewViewServer(v *serving.View) *Server {
-	s := &Server{}
+	return NewViewServerConfig(v, DefaultResilience())
+}
+
+// NewViewServerConfig is NewViewServer with an explicit resilience
+// configuration (admission cap, deadlines, chaos knobs). The server
+// starts ready: by construction its serving view is loaded.
+func NewViewServerConfig(v *serving.View, rc ResilienceConfig) *Server {
+	s := &Server{rc: rc}
 	s.view.Store(v)
+	s.limiter = resilience.NewLimiter(rc.MaxInFlight, rc.AdmitWait)
+	s.shed = make(map[string]*atomic.Int64)
+	for path := range s.routes() {
+		if admitted(path) {
+			s.shed[endpointName(path)] = new(atomic.Int64)
+		}
+	}
+	s.health.SetReady(true)
 	return s
 }
+
+// Health exposes the probe state behind /healthz and /readyz, so the
+// serving process can flip readiness off when it starts draining and
+// the ingest plane can mark itself wedged after an isolated panic.
+func (s *Server) Health() *resilience.Health { return &s.health }
+
+// admitted reports whether a route sits behind admission control.
+// Stats and the health probes are exempt: observability and
+// orchestration must keep answering precisely when the server sheds.
+func admitted(path string) bool {
+	switch path {
+	case "/api/stats", "/healthz", "/readyz":
+		return false
+	}
+	return true
+}
+
+// lookupClass reports whether a route is a cheap GET lookup (the
+// LookupTimeout class) rather than a heavy POST (BatchTimeout class).
+func lookupClass(path string) bool {
+	switch path {
+	case "/api/men2ent", "/api/getConcept", "/api/getEntity":
+		return true
+	}
+	return false
+}
+
+// endpointName is the short stats/latency key of a route.
+func endpointName(path string) string { return strings.TrimPrefix(path, "/api/") }
 
 // SwapView atomically replaces the serving view and returns the
 // previous one. In-flight requests finish on the view they started
@@ -107,14 +211,35 @@ func (s *Server) routes() map[string]http.HandlerFunc {
 		"/api/conceptualizeBatch": s.handleConceptualizeBatch,
 		"/api/qa":                 s.handleQA,
 		"/api/stats":              s.handleStats,
+		"/healthz":                s.health.ServeLiveness,
+		"/readyz":                 s.health.ServeReadiness,
 	}
 }
 
-// Handler returns the HTTP mux with all endpoints registered.
+// Handler returns the HTTP mux with all endpoints registered, each
+// behind its slice of the resilience stack: query endpoints get
+// admission control + a per-class deadline + panic isolation, while
+// stats and the health probes get panic isolation only (they must
+// answer while the rest of the plane sheds).
 func (s *Server) Handler() http.Handler {
+	base := resilience.Guard{
+		Limiter: s.limiter,
+		Metrics: &s.metrics,
+		Delay:   s.rc.HandlerDelay,
+		Burn:    s.rc.HandlerBurn,
+	}
 	mux := http.NewServeMux()
 	for path, h := range s.routes() {
-		mux.HandleFunc(path, h)
+		g := base
+		switch {
+		case !admitted(path):
+			g = resilience.Guard{Metrics: &s.metrics} // recover-only
+		case lookupClass(path):
+			g.Timeout = s.rc.LookupTimeout
+		default:
+			g.Timeout = s.rc.BatchTimeout
+		}
+		mux.Handle(path, g.Wrap(h, s.shed[endpointName(path)]))
 	}
 	return mux
 }
@@ -244,11 +369,46 @@ func (s *Server) Counters() Stats {
 	}
 }
 
+// ResilienceStats reports the failure-path counters of the overload
+// stack: panics isolated (handler or ingest updater), deadlines
+// expired, and — per endpoint — requests shed by admission control.
+type ResilienceStats struct {
+	Panics   int64            `json:"panics"`
+	Timeouts int64            `json:"timeouts"`
+	Shed     map[string]int64 `json:"shed,omitempty"`
+}
+
+// ResilienceReport snapshots the overload counters, or nil when every
+// counter is zero (so the legacy /api/stats payload shape is
+// preserved until the stack first absorbs something).
+func (s *Server) ResilienceReport() *ResilienceStats {
+	rs := &ResilienceStats{
+		Panics:   s.metrics.Panics.Load(),
+		Timeouts: s.metrics.Timeouts.Load(),
+	}
+	var total int64
+	for name, c := range s.shed {
+		if n := c.Load(); n > 0 {
+			if rs.Shed == nil {
+				rs.Shed = make(map[string]int64)
+			}
+			rs.Shed[name] = n
+			total += n
+		}
+	}
+	if rs.Panics == 0 && rs.Timeouts == 0 && total == 0 {
+		return nil
+	}
+	return rs
+}
+
 // statsResponse is the /api/stats payload: the Table II counters plus
-// per-endpoint latency summaries.
+// per-endpoint latency summaries and, once the overload stack has
+// absorbed anything, its failure-path counters.
 type statsResponse struct {
 	Stats
-	Latency []EndpointLatency `json:"latency,omitempty"`
+	Latency    []EndpointLatency `json:"latency,omitempty"`
+	Resilience *ResilienceStats  `json:"resilience,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -257,7 +417,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "stats requires GET")
 		return
 	}
-	writeJSON(w, statsResponse{Stats: s.Counters(), Latency: s.LatencyReport()})
+	writeJSON(w, statsResponse{Stats: s.Counters(), Latency: s.LatencyReport(), Resilience: s.ResilienceReport()})
 }
 
 func (h *histogram) since(start time.Time) { h.observe(time.Since(start)) }

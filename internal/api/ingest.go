@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -40,6 +41,7 @@ import (
 
 	"cnprobase/internal/core"
 	"cnprobase/internal/encyclopedia"
+	"cnprobase/internal/resilience"
 	"cnprobase/internal/wal"
 )
 
@@ -55,6 +57,21 @@ const DefaultIngestQueue = 16
 // reach the ingester after Close has begun: the WAL is already flushed
 // and closed, so the batch was not — and will never be — made durable.
 var ErrIngesterClosed = errors.New("api: ingester is closed")
+
+// ErrIngesterWedged is returned (and mapped to a sticky 503) for every
+// batch after the updater goroutine has panicked: the panic is
+// isolated — the process keeps serving queries from the last good view
+// — but the mutable build state can no longer be trusted, so no
+// further batch is applied or acknowledged until the replica is
+// restarted.
+var ErrIngesterWedged = errors.New("api: ingest updater is wedged after a panic; restart the server")
+
+// Updater folds a crawl delta into a build Result — the single method
+// of core.Pipeline the ingest plane uses, as an interface so the
+// chaos tests can inject failing and panicking updaters.
+type Updater interface {
+	Update(prev *core.Result, delta *encyclopedia.Corpus) (*core.Result, error)
+}
 
 // IngesterConfig configures durability and backpressure. The zero
 // value is a volatile, memory-only ingester with the default queue
@@ -113,7 +130,7 @@ type ingestReq struct {
 // for the outcome, so concurrent POSTs serialize and the serving view
 // is swapped exactly once per batch.
 type Ingester struct {
-	pipeline *core.Pipeline
+	pipeline Updater
 	srv      *Server
 	cfg      IngesterConfig
 	reqs     chan ingestReq
@@ -121,6 +138,12 @@ type Ingester struct {
 	stop     chan struct{}
 	done     chan struct{}
 	closing  sync.Once
+
+	// wedged flips (permanently) when the updater goroutine panics:
+	// the panic is recovered, the half-mutated build state is
+	// quarantined, and every subsequent batch gets a sticky 503 while
+	// the query plane keeps serving the last published view.
+	wedged atomic.Bool
 
 	// lsn is the last LSN settled by the updater (applied, or logged
 	// and rejected by Update); compacted is the LSN the latest
@@ -134,7 +157,7 @@ type Ingester struct {
 // and statistics — a fresh build, or a snapshot with the evidence
 // section); srv is the API server whose view each batch swap publishes
 // to.
-func NewIngester(res *core.Result, pipeline *core.Pipeline, srv *Server) (*Ingester, error) {
+func NewIngester(res *core.Result, pipeline Updater, srv *Server) (*Ingester, error) {
 	return NewDurableIngester(res, pipeline, srv, IngesterConfig{})
 }
 
@@ -142,7 +165,7 @@ func NewIngester(res *core.Result, pipeline *core.Pipeline, srv *Server) (*Inges
 // durability configuration. With cfg.WAL set, the log's existing tail
 // must already be replayed into res (see ReplayWAL) — the ingester
 // numbers new batches after the log's last LSN.
-func NewDurableIngester(res *core.Result, pipeline *core.Pipeline, srv *Server, cfg IngesterConfig) (*Ingester, error) {
+func NewDurableIngester(res *core.Result, pipeline Updater, srv *Server, cfg IngesterConfig) (*Ingester, error) {
 	if res == nil || res.Taxonomy == nil {
 		return nil, fmt.Errorf("api: ingester needs a build Result")
 	}
@@ -190,7 +213,11 @@ func (ing *Ingester) run(res *core.Result) {
 			ing.shutdown()
 			return
 		case req := <-ing.reqs:
-			res = ing.apply(res, req)
+			if ing.wedged.Load() {
+				req.reply <- ingestReply{err: ErrIngesterWedged}
+				continue
+			}
+			res = ing.applySafe(res, req)
 		case <-tickc:
 			if err := ing.compact(res); err != nil {
 				log.Printf("cnprobase: wal compaction: %v", err)
@@ -200,6 +227,31 @@ func (ing *Ingester) run(res *core.Result) {
 		}
 	}
 }
+
+// applySafe is apply behind the ingest plane's panic isolation: a
+// panic anywhere in the WAL append / Update / freeze / swap path is
+// recovered on this goroutine — the process survives — but the build
+// state it may have half-mutated is quarantined: the ingester wedges
+// permanently (sticky 503 for every later batch, /readyz flips to 503
+// so the replica is rotated out) while queries keep serving the last
+// view that was published whole.
+func (ing *Ingester) applySafe(res *core.Result, req ingestReq) (out *core.Result) {
+	defer func() {
+		if p := recover(); p != nil {
+			ing.srv.metrics.Panics.Add(1)
+			ing.wedged.Store(true)
+			reason := fmt.Sprintf("update panicked: %v", p)
+			ing.srv.Health().Wedge(reason)
+			log.Printf("cnprobase: ingest updater panic (ingester wedged, queries unaffected): %v\n%s", p, debug.Stack())
+			req.reply <- ingestReply{err: fmt.Errorf("%w (%s)", ErrIngesterWedged, reason)}
+			out = res
+		}
+	}()
+	return ing.apply(res, req)
+}
+
+// Wedged reports whether the updater has been isolated after a panic.
+func (ing *Ingester) Wedged() bool { return ing.wedged.Load() }
 
 // apply settles one batch: make it durable, fold it in, publish the
 // new view, answer the caller. The WAL append comes first — only a
@@ -253,6 +305,12 @@ func (ing *Ingester) apply(res *core.Result, req ingestReq) *core.Result {
 // the old snapshot + full log or the new snapshot + shorter log, both
 // complete.
 func (ing *Ingester) compact(res *core.Result) error {
+	if ing.wedged.Load() {
+		// A wedged ingester must never snapshot: res may be half-mutated
+		// by the panicked update, and persisting it would replace a good
+		// snapshot with a corrupt one.
+		return ErrIngesterWedged
+	}
 	lsn := ing.lsn.Load()
 	if ing.cfg.WAL == nil || lsn == ing.compacted.Load() {
 		return nil
@@ -354,10 +412,14 @@ func (ing *Ingester) Close() {
 	<-ing.done
 }
 
-// Handler returns the admin mux with the /ingest endpoint registered.
+// Handler returns the admin mux with the /ingest endpoint registered
+// behind panic isolation (a handler bug yields a JSON 500 on that
+// request, never a dropped connection or a dead process). Backpressure
+// is the bounded queue itself, so no extra admission layer is stacked.
 func (ing *Ingester) Handler() http.Handler {
+	g := resilience.Guard{Metrics: &ing.srv.metrics}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/ingest", ing.handleIngest)
+	mux.Handle("/ingest", g.Wrap(http.HandlerFunc(ing.handleIngest), nil))
 	return mux
 }
 
@@ -365,6 +427,12 @@ func (ing *Ingester) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, http.StatusMethodNotAllowed, "ingest requires POST with JSONL pages")
+		return
+	}
+	if ing.wedged.Load() {
+		// Sticky refusal: reject before reading the body so a wedged
+		// replica sheds crawler load instantly.
+		writeError(w, http.StatusServiceUnavailable, ErrIngesterWedged.Error())
 		return
 	}
 	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxIngestBytes))
@@ -415,7 +483,7 @@ func (ing *Ingester) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	if rep.err != nil {
 		code := http.StatusInternalServerError
-		if errors.Is(rep.err, ErrIngesterClosed) || errors.Is(rep.err, wal.ErrClosed) {
+		if errors.Is(rep.err, ErrIngesterClosed) || errors.Is(rep.err, ErrIngesterWedged) || errors.Is(rep.err, wal.ErrClosed) {
 			code = http.StatusServiceUnavailable
 		}
 		writeError(w, code, "update failed: "+rep.err.Error())

@@ -8,9 +8,10 @@ import (
 	"cnprobase/internal/taxonomy"
 )
 
-// TestRoutesMatchDocs is the docs contract: every /api route the mux
-// serves must be documented in docs/API.md, and every /api route the
-// docs mention must exist on the mux. Adding an endpoint without
+// TestRoutesMatchDocs is the docs contract: every route the mux
+// serves (the /api endpoints plus the /healthz and /readyz probes)
+// must be documented in docs/API.md, and every such route the docs
+// mention must exist on the mux. Adding an endpoint without
 // documenting it (or documenting one that does not exist) fails here.
 func TestRoutesMatchDocs(t *testing.T) {
 	doc, err := os.ReadFile("../../docs/API.md")
@@ -18,7 +19,7 @@ func TestRoutesMatchDocs(t *testing.T) {
 		t.Fatalf("read docs/API.md: %v", err)
 	}
 	documented := map[string]bool{}
-	for _, m := range regexp.MustCompile(`/api/[A-Za-z0-9]+`).FindAllString(string(doc), -1) {
+	for _, m := range regexp.MustCompile(`/api/[A-Za-z0-9]+|/healthz|/readyz`).FindAllString(string(doc), -1) {
 		documented[m] = true
 	}
 

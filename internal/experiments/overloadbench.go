@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"cnprobase/internal/api"
+	"cnprobase/internal/core"
+	"cnprobase/internal/synth"
+)
+
+// OverloadPoint is one cell of the overload matrix: a closed-loop
+// client population at some multiple of server capacity, with or
+// without admission control.
+type OverloadPoint struct {
+	// Admission is whether the admission controller was armed.
+	Admission bool `json:"admission"`
+	// Multiple is the offered load as a multiple of MaxInFlight
+	// (1 = at capacity, 16 = heavy overload).
+	Multiple int `json:"multiple"`
+	// Clients is the closed-loop client count (Multiple × MaxInFlight);
+	// Requests the total requests they issued.
+	Clients  int `json:"clients"`
+	Requests int `json:"requests"`
+	// Seconds is the wall time for the whole population.
+	Seconds float64 `json:"seconds"`
+	// Served counts 200s, Shed counts 429s, Timeout counts deadline
+	// 503s. Served+Shed+Timeout == Requests.
+	Served  int `json:"served"`
+	Shed    int `json:"shed"`
+	Timeout int `json:"timeout"`
+	// GoodputPerSec is successful responses per second — the number
+	// that must NOT collapse as Multiple grows.
+	GoodputPerSec float64 `json:"goodput_per_sec"`
+	// ShedRate is Shed / Requests.
+	ShedRate float64 `json:"shed_rate"`
+	// P99Ms is the client-observed p99 latency of *successful*
+	// requests; P99ShedMs the p99 of shed (429) responses — sheds must
+	// be fast to be useful.
+	P99Ms     float64 `json:"p99_ms"`
+	P99ShedMs float64 `json:"p99_shed_ms,omitempty"`
+}
+
+// OverloadBenchResult is the machine-readable overload record the CI
+// pipeline emits as BENCH_OVERLOAD.json: goodput, client-observed p99
+// and shed rate at 1×/4×/16× saturation, with and without admission
+// control, over the real serving stack (admission + deadline + panic
+// guard + mux) on a real listener. The claim it documents: with
+// admission control, goodput holds and excess load turns into fast
+// clean 429s; without it, p99 inflates with the queue instead.
+type OverloadBenchResult struct {
+	Entities    int   `json:"entities"`
+	MaxInFlight int   `json:"max_inflight"`
+	DelayMicros int   `json:"delay_micros"`
+	BurnMicros  int   `json:"burn_micros"`
+	Levels      []int `json:"levels"`
+	// Points holds one entry per (admission, level) pair.
+	Points []OverloadPoint `json:"points"`
+}
+
+// overloadLevels is the offered-load ladder, in multiples of capacity.
+var overloadLevels = []int{1, 4, 16}
+
+// RunOverloadBench builds a small world, serves it with a deliberately
+// small admission cap and a fixed per-request cost (so capacity is
+// controlled, not incidental), and drives closed-loop client
+// populations at each load level — once with admission control, once
+// without.
+func RunOverloadBench(entities, requestsPerLevel int) (*OverloadBenchResult, error) {
+	wcfg := synth.DefaultConfig()
+	if entities > 0 {
+		wcfg.Entities = entities
+	}
+	w, err := synth.Generate(wcfg)
+	if err != nil {
+		return nil, err
+	}
+	opts := core.DefaultOptions()
+	opts.EnableNeural = false
+	res, err := core.New(opts).Build(w.Corpus())
+	if err != nil {
+		return nil, err
+	}
+	view := res.Freeze()
+
+	maxInFlight := runtime.GOMAXPROCS(0)
+	if maxInFlight < 2 {
+		maxInFlight = 2
+	}
+	// Per-request cost is a sleep plus a CPU burn. The sleep is what
+	// makes saturation observable: a sleeping handler holds its
+	// admission slot without holding a CPU, so excess arrivals actually
+	// find the semaphore full and shed (a pure CPU burn on a small box
+	// self-throttles arrivals through the run queue and nothing ever
+	// sheds). The burn is what makes unbounded concurrency hurt: without
+	// admission, every extra in-flight request adds real CPU contention
+	// and the served p99 inflates with the queue.
+	const delay = 1 * time.Millisecond
+	const burn = 200 * time.Microsecond
+	if requestsPerLevel <= 0 {
+		requestsPerLevel = 4000
+	}
+
+	out := &OverloadBenchResult{
+		Entities:    wcfg.Entities,
+		MaxInFlight: maxInFlight,
+		DelayMicros: int(delay / time.Microsecond),
+		BurnMicros:  int(burn / time.Microsecond),
+		Levels:      overloadLevels,
+	}
+	for _, admission := range []bool{true, false} {
+		rc := api.ResilienceConfig{
+			LookupTimeout: 30 * time.Second, // generous: this run measures shedding, not deadlines
+			HandlerDelay:  delay,
+			HandlerBurn:   burn,
+		}
+		if admission {
+			// Zero wait: a saturated server sheds instantly, so the
+			// matrix cleanly separates served from shed. (Production
+			// defaults add a short bounded wait to ride out
+			// micro-bursts; that would blur the measurement here.)
+			rc.MaxInFlight = maxInFlight
+			rc.AdmitWait = 0
+		}
+		for _, multiple := range overloadLevels {
+			srv := api.NewViewServerConfig(view, rc)
+			ts := httptest.NewServer(srv.Handler())
+			p := drive(ts, admission, multiple, maxInFlight*multiple, requestsPerLevel)
+			ts.Close()
+			out.Points = append(out.Points, p)
+		}
+	}
+	return out, nil
+}
+
+// drive runs one closed-loop population: `clients` goroutines share a
+// budget of `total` requests, each firing its next request as soon as
+// the previous one returns.
+func drive(ts *httptest.Server, admission bool, multiple, clients, total int) OverloadPoint {
+	url := ts.URL + "/api/men2ent?mention=压测提及"
+	transport := ts.Client().Transport.(*http.Transport).Clone()
+	transport.MaxIdleConnsPerHost = clients
+	client := &http.Client{Transport: transport}
+
+	var mu sync.Mutex
+	var served, shed, timeout int
+	var okLat, shedLat []time.Duration
+
+	per := total / clients
+	if per == 0 {
+		per = 1
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			myOK := make([]time.Duration, 0, per)
+			myShed := make([]time.Duration, 0, per)
+			var myServed, myShed429, myTimeout int
+			for i := 0; i < per; i++ {
+				t0 := time.Now()
+				resp, err := client.Get(url)
+				lat := time.Since(t0)
+				if err != nil {
+					continue // connection-level failure: counted in neither bucket
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					myServed++
+					myOK = append(myOK, lat)
+				case http.StatusTooManyRequests:
+					myShed429++
+					myShed = append(myShed, lat)
+				case http.StatusServiceUnavailable:
+					myTimeout++
+				}
+			}
+			mu.Lock()
+			served += myServed
+			shed += myShed429
+			timeout += myTimeout
+			okLat = append(okLat, myOK...)
+			shedLat = append(shedLat, myShed...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	requests := per * clients
+	p := OverloadPoint{
+		Admission: admission,
+		Multiple:  multiple,
+		Clients:   clients,
+		Requests:  requests,
+		Seconds:   elapsed,
+		Served:    served,
+		Shed:      shed,
+		Timeout:   timeout,
+		P99Ms:     p99ms(okLat),
+		P99ShedMs: p99ms(shedLat),
+	}
+	if elapsed > 0 {
+		p.GoodputPerSec = float64(served) / elapsed
+	}
+	if requests > 0 {
+		p.ShedRate = float64(shed) / float64(requests)
+	}
+	return p
+}
+
+// p99ms returns the 99th-percentile of durations in milliseconds, or
+// 0 for an empty sample.
+func p99ms(lat []time.Duration) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	idx := len(lat) * 99 / 100
+	if idx >= len(lat) {
+		idx = len(lat) - 1
+	}
+	return float64(lat[idx].Microseconds()) / 1000
+}
+
+// Describe renders one point as a human-readable line.
+func (p OverloadPoint) Describe() string {
+	mode := "no admission"
+	if p.Admission {
+		mode = "admission"
+	}
+	return fmt.Sprintf("%-12s %2dx load (%3d clients): %6.0f good req/s, p99 %7.2fms, shed %5.1f%% (p99 %6.2fms), timeouts %d",
+		mode, p.Multiple, p.Clients, p.GoodputPerSec, p.P99Ms, p.ShedRate*100, p.P99ShedMs, p.Timeout)
+}
+
+// WriteJSON emits the record as indented JSON.
+func (r *OverloadBenchResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

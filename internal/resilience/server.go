@@ -1,0 +1,133 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ServerConfig is the hardened-listener recipe: every http.Server the
+// process runs gets explicit header/read/write/idle timeouts and a
+// header-size cap, so no client — malicious or just broken — can pin a
+// connection goroutine forever. The zero value is invalid on purpose;
+// start from one of the presets.
+type ServerConfig struct {
+	// ReadHeaderTimeout bounds how long a client may dribble out
+	// request headers — the classic slowloris vector.
+	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds reading the entire request (headers + body).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing the response; it must comfortably
+	// exceed the largest per-request deadline stacked on the handlers.
+	WriteTimeout time.Duration
+	// IdleTimeout closes keep-alive connections that go quiet.
+	IdleTimeout time.Duration
+	// MaxHeaderBytes caps the request header block.
+	MaxHeaderBytes int
+}
+
+// DefaultServerConfig hardens the public query listener: requests are
+// small and fast, so the windows are tight.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
+// IngestServerConfig hardens the admin ingest listener: bodies are up
+// to 64 MiB from possibly-slow crawlers and a response waits behind
+// the updater queue, so the read/write windows are generous — but the
+// header window stays tight, so a slowloris on the admin port dies
+// just as fast.
+func IngestServerConfig() ServerConfig {
+	return ServerConfig{
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       10 * time.Minute,
+		WriteTimeout:      15 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
+// PprofServerConfig hardens the profiling listener: CPU profiles
+// stream for tens of seconds, so writes get a long window.
+func PprofServerConfig() ServerConfig {
+	return ServerConfig{
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       1 * time.Minute,
+		WriteTimeout:      10 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
+// Server builds an http.Server over h with the config's limits
+// applied.
+func (c ServerConfig) Server(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: c.ReadHeaderTimeout,
+		ReadTimeout:       c.ReadTimeout,
+		WriteTimeout:      c.WriteTimeout,
+		IdleTimeout:       c.IdleTimeout,
+		MaxHeaderBytes:    c.MaxHeaderBytes,
+	}
+}
+
+// DrainGroup shuts down every listener a process owns in one graceful
+// step. Each server is registered once; Shutdown drains them all in
+// parallel and reports every failure, so the query plane, the ingest
+// plane and the pprof plane stop accepting together and in-flight
+// requests on all three finish before the process exits.
+type DrainGroup struct {
+	mu      sync.Mutex
+	servers []namedServer
+}
+
+type namedServer struct {
+	name string
+	srv  *http.Server
+}
+
+// Add registers a server under a name used in error reports.
+func (g *DrainGroup) Add(name string, srv *http.Server) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.servers = append(g.servers, namedServer{name: name, srv: srv})
+}
+
+// Shutdown gracefully drains every registered server in parallel,
+// bounded by ctx. The returned slice holds one error per server that
+// failed to drain cleanly (typically context.DeadlineExceeded when
+// in-flight work outlived the budget); empty means every listener
+// closed with all requests completed.
+func (g *DrainGroup) Shutdown(ctx context.Context) []error {
+	g.mu.Lock()
+	servers := append([]namedServer(nil), g.servers...)
+	g.mu.Unlock()
+
+	errc := make(chan error, len(servers))
+	var wg sync.WaitGroup
+	for _, ns := range servers {
+		wg.Add(1)
+		go func(ns namedServer) {
+			defer wg.Done()
+			if err := ns.srv.Shutdown(ctx); err != nil {
+				errc <- fmt.Errorf("drain %s: %w", ns.name, err)
+			}
+		}(ns)
+	}
+	wg.Wait()
+	close(errc)
+	var errs []error
+	for err := range errc {
+		errs = append(errs, err)
+	}
+	return errs
+}
