@@ -24,6 +24,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -51,7 +52,7 @@ func saveSnapshotAtomic(path string, res *cnprobase.Result) error {
 	}
 	tmp := f.Name()
 	cleanup := func(err error) error {
-		f.Close()
+		err = errors.Join(err, f.Close())
 		os.Remove(tmp)
 		return err
 	}
@@ -118,9 +119,11 @@ func cmdGen(args []string) {
 	if err != nil {
 		log.Fatalf("create %s: %v", *out, err)
 	}
-	defer f.Close()
 	if err := w.Corpus().WriteJSONL(f); err != nil {
 		log.Fatalf("write dump: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("close %s: %v", *out, err)
 	}
 	c := w.Corpus()
 	fmt.Printf("wrote %s: %d pages, %d abstracts, %d triples, %d tags\n",
@@ -160,7 +163,9 @@ func cmdBuild(args []string) {
 			if !stopped {
 				stopped = true
 				pprof.StopCPUProfile()
-				pf.Close()
+				if err := pf.Close(); err != nil {
+					log.Printf("close %s: %v", *cpuProfile, err)
+				}
 			}
 		}
 		defer stopCPUProfile()
@@ -195,9 +200,11 @@ func cmdBuild(args []string) {
 	if err != nil {
 		fail("create %s: %v", *out, err)
 	}
-	defer g.Close()
 	if err := res.Taxonomy.WriteJSON(g); err != nil {
 		fail("write taxonomy: %v", err)
+	}
+	if err := g.Close(); err != nil {
+		fail("close %s: %v", *out, err)
 	}
 	fmt.Printf("wrote %s\n", *out)
 	if *save != "" {

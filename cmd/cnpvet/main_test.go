@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles cnpvet into a temp dir once per test run.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "cnpvet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build cnpvet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestVersionHandshake checks the -V=full reply cmd/go hashes into its
+// vet action cache key: three fields, second "version", third not
+// "devel".
+func TestVersionHandshake(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("cnpvet -V=full: %v", err)
+	}
+	f := strings.Fields(strings.TrimSpace(string(out)))
+	if len(f) < 3 || f[1] != "version" || f[2] == "devel" {
+		t.Fatalf("handshake %q not in 'name version ver' release form", out)
+	}
+}
+
+// TestStandaloneCleanTree runs cnpvet the way a contributor would and
+// expects the module to be diagnostic-free.
+func TestStandaloneCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	bin := buildTool(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = moduleRoot(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("cnpvet ./... found diagnostics or failed: %v\n%s", err, out)
+	}
+}
+
+// TestVettoolProtocol runs the suite through cmd/go's own vettool
+// mode — the exact CI invocation — over the serving package.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go vet")
+	}
+	bin := buildTool(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./internal/serving/...", "./internal/wal/...")
+	cmd.Dir = moduleRoot(t)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go vet -vettool: %v\n%s", err, stderr.String())
+	}
+}
+
+// TestVettoolCatchesRegression reverts one satellite fix in a scratch
+// copy of a durability file shape and confirms the named diagnostic
+// fires — the acceptance criterion that un-fixing breaks the build.
+func TestVettoolCatchesRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go vet over a scratch module")
+	}
+	bin := buildTool(t)
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch.example/internal/wal\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "wal.go"), `package wal
+
+import "os"
+
+func roll() error {
+	f, err := os.Create("seg")
+	if err != nil {
+		return err
+	}
+	f.Close()
+	return nil
+}
+`)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, ".")
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		t.Fatalf("go vet -vettool passed on a reverted fix; want durablesync diagnostic")
+	}
+	if !strings.Contains(stderr.String(), "durablesync") || !strings.Contains(stderr.String(), "Close error discarded") {
+		t.Fatalf("missing named diagnostic, got:\n%s", stderr.String())
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -61,14 +61,30 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
 	"cnprobase/internal/core"
 	"cnprobase/internal/experiments"
 )
+
+// writeJSONFile creates path, streams write into it, and closes it —
+// folding a close failure into the result so a full disk or quota hit
+// at flush time cannot leave a bench artifact silently truncated.
+func writeJSONFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	return f.Close()
+}
 
 func main() {
 	log.SetFlags(0)
@@ -208,16 +224,8 @@ func runBuildBench(entities int, out string) {
 	if err != nil {
 		log.Fatalf("bench-build: %v", err)
 	}
-	f, err := os.Create(out)
-	if err != nil {
-		log.Fatalf("create %s: %v", out, err)
-	}
-	if err := res.WriteJSON(f); err != nil {
-		f.Close()
+	if err := writeJSONFile(out, res.WriteJSON); err != nil {
 		log.Fatalf("write %s: %v", out, err)
-	}
-	if err := f.Close(); err != nil {
-		log.Fatalf("close %s: %v", out, err)
 	}
 	fmt.Printf("segmentation: %.0f runes/s, %.3f allocs/cut\n", res.RunesPerSec, res.AllocsPerCut)
 	fmt.Printf("build: %.1f pages/s (%d workers), %.1f pages/s (sequential)\n",
@@ -233,16 +241,8 @@ func runUpdateBench(entities, batches int, out string) {
 	if err != nil {
 		log.Fatalf("bench-update: %v", err)
 	}
-	f, err := os.Create(out)
-	if err != nil {
-		log.Fatalf("create %s: %v", out, err)
-	}
-	if err := res.WriteJSON(f); err != nil {
-		f.Close()
+	if err := writeJSONFile(out, res.WriteJSON); err != nil {
 		log.Fatalf("write %s: %v", out, err)
-	}
-	if err := f.Close(); err != nil {
-		log.Fatalf("close %s: %v", out, err)
 	}
 	for _, b := range res.Batches {
 		fmt.Printf("batch %2d: %4d pages in %7.1fms (%.0f pages/s, reverified %d/%d) — corpus now %d pages\n",
@@ -260,16 +260,8 @@ func runRecoveryBench(entities, batches int, out string) {
 	if err != nil {
 		log.Fatalf("bench-recovery: %v", err)
 	}
-	f, err := os.Create(out)
-	if err != nil {
-		log.Fatalf("create %s: %v", out, err)
-	}
-	if err := res.WriteJSON(f); err != nil {
-		f.Close()
+	if err := writeJSONFile(out, res.WriteJSON); err != nil {
 		log.Fatalf("write %s: %v", out, err)
-	}
-	if err := f.Close(); err != nil {
-		log.Fatalf("close %s: %v", out, err)
 	}
 	for _, p := range res.Points {
 		fmt.Printf("tail %2d batches (%7d wal bytes): load %6.1fms + replay %7.1fms = %7.1fms\n",
@@ -288,16 +280,8 @@ func runQABench(entities, questions int, out string) {
 	if err != nil {
 		log.Fatalf("bench-qa: %v", err)
 	}
-	f, err := os.Create(out)
-	if err != nil {
-		log.Fatalf("create %s: %v", out, err)
-	}
-	if err := res.WriteJSON(f); err != nil {
-		f.Close()
+	if err := writeJSONFile(out, res.WriteJSON); err != nil {
 		log.Fatalf("write %s: %v", out, err)
-	}
-	if err := f.Close(); err != nil {
-		log.Fatalf("close %s: %v", out, err)
 	}
 	fmt.Printf("coverage: %.2f%% (paper: %.2f%%), avg concepts per covered entity: %.2f (paper: %.2f)\n",
 		res.Coverage*100, res.PaperCoverage*100, res.AvgConceptsPerCoveredEntity, res.PaperAvgConcepts)
@@ -315,16 +299,8 @@ func runServeBench(entities, calls int, out string) {
 	if err != nil {
 		log.Fatalf("bench-serve: %v", err)
 	}
-	f, err := os.Create(out)
-	if err != nil {
-		log.Fatalf("create %s: %v", out, err)
-	}
-	if err := res.WriteJSON(f); err != nil {
-		f.Close()
+	if err := writeJSONFile(out, res.WriteJSON); err != nil {
 		log.Fatalf("write %s: %v", out, err)
-	}
-	if err := f.Close(); err != nil {
-		log.Fatalf("close %s: %v", out, err)
 	}
 	fmt.Printf("throughput: %.0f req/s over %d calls (%.1fs)\n", res.ReqPerSec, res.Calls, res.Seconds)
 	for _, ep := range res.Endpoints {
@@ -341,16 +317,8 @@ func runOverloadBench(entities, requests int, out string) {
 	if err != nil {
 		log.Fatalf("bench-overload: %v", err)
 	}
-	f, err := os.Create(out)
-	if err != nil {
-		log.Fatalf("create %s: %v", out, err)
-	}
-	if err := res.WriteJSON(f); err != nil {
-		f.Close()
+	if err := writeJSONFile(out, res.WriteJSON); err != nil {
 		log.Fatalf("write %s: %v", out, err)
-	}
-	if err := f.Close(); err != nil {
-		log.Fatalf("close %s: %v", out, err)
 	}
 	fmt.Printf("capacity: %d in-flight slots, %dµs sleep + %dµs burn per request\n", res.MaxInFlight, res.DelayMicros, res.BurnMicros)
 	for _, p := range res.Points {
@@ -367,16 +335,8 @@ func runStartupBench(entities int, out string) {
 	if err != nil {
 		log.Fatalf("bench-startup: %v", err)
 	}
-	f, err := os.Create(out)
-	if err != nil {
-		log.Fatalf("create %s: %v", out, err)
-	}
-	if err := res.WriteJSON(f); err != nil {
-		f.Close()
+	if err := writeJSONFile(out, res.WriteJSON); err != nil {
 		log.Fatalf("write %s: %v", out, err)
-	}
-	if err := f.Close(); err != nil {
-		log.Fatalf("close %s: %v", out, err)
 	}
 	for _, s := range res.Sizes {
 		fmt.Printf("%7d entities (%d nodes, %d edges): decode %7.1fms / %5.1f MiB heap — map %6.2fms / %5.2f MiB heap\n",

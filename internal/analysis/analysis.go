@@ -1,0 +1,292 @@
+// Package analysis is a self-contained static-analysis framework plus
+// the cnpvet analyzer suite that mechanically enforces this repo's
+// cross-cutting invariants:
+//
+//   - noallochot:  no allocation-inducing constructs in functions
+//     annotated //cnp:noalloc (the zero-alloc query and segmentation
+//     hot paths)
+//   - viewmut:     no writes through serving.View backing slices —
+//     mapped views alias PROT_READ memory, so such a write is a
+//     guaranteed SIGSEGV in production
+//   - durablesync: no unchecked Sync/Close/Rename/Truncate errors on
+//     write paths, and no rename without a directory fsync — the WAL
+//     and snapshot durability contract
+//   - jsonerr:     handlers answer errors only through
+//     resilience.WriteJSONError (the uniform JSON error contract)
+//   - bareserve:   no bare http listeners outside internal/resilience
+//     (every listener must carry the hardened timeouts)
+//   - fieldalign:  structs in the serving/api/wal planes carry no
+//     avoidable padding
+//
+// The framework mirrors the golang.org/x/tools/go/analysis vocabulary
+// (Analyzer, Pass, Diagnostic) but is built purely on the standard
+// library: packages are loaded via `go list -export -deps -json` and
+// type-checked against compiler export data, so the suite needs no
+// dependencies beyond the Go toolchain itself. cmd/cnpvet is the
+// driver; it runs standalone (cnpvet ./...) and as a vettool
+// (go vet -vettool=$(which cnpvet) ./...). docs/ANALYSIS.md documents
+// each invariant, the annotations, and the suppression syntax.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker. Run inspects a single
+// type-checked package through its Pass and reports findings via
+// Pass.Report.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //cnp:allow suppression comments.
+	Name string
+	// Doc is the one-line description shown by cnpvet -help.
+	Doc string
+	// Run analyzes one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned in the analyzed package.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	allow  map[string]map[int][]string // filename → line → allowed analyzer names
+	report func(Diagnostic)
+}
+
+// Report records a finding at pos unless a //cnp:allow comment on the
+// same or the preceding line suppresses this analyzer there.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(position) {
+		return
+	}
+	p.report(Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) suppressed(pos token.Position) bool {
+	lines := p.allow[pos.Filename]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == p.Analyzer.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// allowPrefix introduces a suppression comment: //cnp:allow name[,name]
+// optionally followed by a justification. It applies to the line it is
+// on and the line below it.
+const allowPrefix = "//cnp:allow"
+
+// annotationPrefix marks hot-path annotations: //cnp:noalloc on a
+// function's doc comment opts it into the noallochot analyzer.
+const annotationPrefix = "//cnp:"
+
+// buildAllowIndex scans every comment in the files for //cnp:allow
+// markers.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	idx := make(map[string]map[int][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				rest = strings.TrimSpace(rest)
+				if i := strings.IndexAny(rest, " \t("); i >= 0 {
+					rest = rest[:i]
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					idx[pos.Filename] = lines
+				}
+				for _, name := range strings.Split(rest, ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						lines[pos.Line] = append(lines[pos.Line], name)
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// FuncAnnotated reports whether fn's doc comment carries the
+// //cnp:<name> annotation (e.g. //cnp:noalloc).
+func FuncAnnotated(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, annotationPrefix)
+		if !ok {
+			continue
+		}
+		if i := strings.IndexAny(rest, " \t"); i >= 0 {
+			rest = rest[:i]
+		}
+		if rest == name {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers applies every analyzer to the package and returns the
+// collected findings sorted by position. Test files (*_test.go) are
+// excluded from analysis: the invariants guard production code paths,
+// and tests legitimately exercise the forbidden constructs.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	files := make([]*ast.File, 0, len(pkg.Files))
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	allow := buildAllowIndex(pkg.Fset, files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			allow:    allow,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return diags, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// Suite returns the full cnpvet analyzer suite in reporting order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		NoAllocHot,
+		ViewMut,
+		DurableSync,
+		JSONErr,
+		BareServe,
+		FieldAlign,
+	}
+}
+
+// --- shared type/AST helpers used by several analyzers ---
+
+// calleeFunc resolves the called function or method object of call,
+// or nil for calls through function values and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isPkgFunc reports whether call invokes the package-level function
+// pkgPath.name (e.g. os.Rename, net/http.Error).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// isMethodCall reports whether call invokes a method with the given
+// name (on any receiver type).
+func isMethodCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Name() == name && fn.Type().(*types.Signature).Recv() != nil
+}
+
+// namedTypeIs reports whether t (after peeling pointers) is the named
+// type pkgPath.name.
+func namedTypeIs(t types.Type, pkgPath, name string) bool {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			obj := tt.Obj()
+			return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+		default:
+			return false
+		}
+	}
+}
+
+// isBuiltinIdent reports whether id resolves to a builtin (append,
+// copy, make, ...) — either recorded as *types.Builtin in Uses or left
+// unresolved.
+func isBuiltinIdent(info *types.Info, id *ast.Ident) bool {
+	obj, ok := info.Uses[id]
+	if !ok {
+		return true
+	}
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}
+
+// eachFuncDecl visits every function declaration with a body.
+func eachFuncDecl(files []*ast.File, fn func(*ast.FuncDecl)) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}

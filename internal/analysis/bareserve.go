@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// BareServe forbids standing up HTTP listeners outside
+// internal/resilience. A bare http.ListenAndServe (or a hand-rolled
+// &http.Server{}) carries no ReadHeaderTimeout, no IdleTimeout, no
+// graceful-drain hook — exactly the hardening resilience.NewServer
+// exists to centralize. Flagged outside internal/resilience:
+//
+//   - http.ListenAndServe / http.ListenAndServeTLS / http.Serve /
+//     http.ServeTLS package-level calls
+//   - net/http.Server composite literals (with or without &)
+var BareServe = &Analyzer{
+	Name: "bareserve",
+	Doc:  "no bare http listeners outside internal/resilience",
+	Run:  runBareServe,
+}
+
+func runBareServe(pass *Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), resiliencePkgSuffix) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				for _, name := range [...]string{"ListenAndServe", "ListenAndServeTLS", "Serve", "ServeTLS"} {
+					if isPkgFunc(pass.Info, e, "net/http", name) {
+						pass.Report(e.Pos(),
+							"http.%s starts an unhardened listener; build it with resilience.NewServer", name)
+						return true
+					}
+				}
+			case *ast.CompositeLit:
+				if tv, ok := pass.Info.Types[e]; ok && namedTypeIs(tv.Type, "net/http", "Server") {
+					pass.Report(e.Pos(),
+						"raw http.Server literal bypasses the hardened timeouts; build it with resilience.NewServer")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// fieldAlignScopes are the package-path suffixes fieldalign inspects:
+// the serving, API and WAL planes, whose structs are either numerous
+// (per-request) or long-lived (per-view). Snapshot byte-layout structs
+// are deliberately out of scope — their field order IS the wire format,
+// pinned by golden tests.
+var fieldAlignScopes = [...]string{
+	"internal/serving",
+	"internal/api",
+	"internal/wal",
+}
+
+// FieldAlign reports struct types whose fields, if reordered, would
+// occupy fewer bytes under 64-bit alignment rules. It is scoped to the
+// serving/api/wal planes and is advisory about layout only: it never
+// proposes reordering structs whose layout is externally meaningful.
+// Suppress a deliberate layout with //cnp:allow fieldalign (reason).
+var FieldAlign = &Analyzer{
+	Name: "fieldalign",
+	Doc:  "structs in the serving/api/wal planes should carry no avoidable padding",
+	Run:  runFieldAlign,
+}
+
+// stdSizes is the layout model: 64-bit words, 64-bit max alignment —
+// matches gc on amd64/arm64, the deployment targets.
+var stdSizes = types.StdSizes{WordSize: 8, MaxAlign: 8}
+
+func runFieldAlign(pass *Pass) error {
+	inScope := false
+	for _, suffix := range fieldAlignScopes {
+		if strings.HasSuffix(pass.Pkg.Path(), suffix) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				obj, ok := pass.Info.Defs[ts.Name]
+				if !ok || obj == nil {
+					continue
+				}
+				st, ok := obj.Type().Underlying().(*types.Struct)
+				if !ok || st.NumFields() < 2 {
+					continue
+				}
+				// StdSizes.Sizeof omits the trailing padding that rounds a
+				// struct up to its alignment; add it, as gc does.
+				current := align(stdSizes.Sizeof(st), stdSizes.Alignof(st))
+				optimal := optimalStructSize(st)
+				if optimal < current {
+					pass.Report(ts.Pos(),
+						"struct %s is %d bytes; reordering fields by descending alignment would make it %d",
+						ts.Name.Name, current, optimal)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// optimalStructSize computes the size st would have with its fields
+// sorted by descending alignment (the classic padding-minimizing
+// order). Zero-sized trailing fields keep their required padding byte
+// semantics via the final alignment round-up.
+func optimalStructSize(st *types.Struct) int64 {
+	fields := make([]*types.Var, st.NumFields())
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	sort.SliceStable(fields, func(i, j int) bool {
+		ai, aj := stdSizes.Alignof(fields[i].Type()), stdSizes.Alignof(fields[j].Type())
+		if ai != aj {
+			return ai > aj
+		}
+		return stdSizes.Sizeof(fields[i].Type()) > stdSizes.Sizeof(fields[j].Type())
+	})
+	var off, maxAlign int64 = 0, 1
+	for _, f := range fields {
+		a := stdSizes.Alignof(f.Type())
+		if a > maxAlign {
+			maxAlign = a
+		}
+		off = align(off, a)
+		off += stdSizes.Sizeof(f.Type())
+	}
+	return align(off, maxAlign)
+}
+
+func align(off, a int64) int64 {
+	if a <= 0 {
+		return off
+	}
+	return (off + a - 1) / a * a
+}

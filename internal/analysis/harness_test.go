@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts `// want "regex"` expectations from fixture sources —
+// the same golden style as golang.org/x/tools analysistest.
+var wantRe = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want` marker: a diagnostic matching rx must be
+// reported on this file:line.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	hit  bool
+}
+
+// runFixture loads the fixture package at testdata/src/<pkgPath>, runs
+// the analyzers over it, and matches every diagnostic against the
+// fixture's `// want "regex"` markers: each marker must be hit exactly
+// once and no unexpected diagnostics may remain.
+func runFixture(t *testing.T, pkgPath string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkg, err := LoadDir("../..", "testdata/src", pkgPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", pkgPath, err)
+	}
+	wants := collectWants(t, pkg)
+	diags, err := RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		if !claimWant(wants, d.Pos, d.Analyzer+": "+d.Message) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}
+
+func collectWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					rx, err := regexp.Compile(m[1])
+					if err != nil {
+						pos := pkg.Fset.Position(c.Pos())
+						t.Fatalf("%s: bad want regexp %q: %v", pos, m[1], err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func claimWant(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(msg) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// requireClean runs the full suite over a real module package and fails
+// on any diagnostic — the negative corpus proving the annotated hot
+// paths and fixed call sites stay clean.
+func requireClean(t *testing.T, pattern string) {
+	t.Helper()
+	pkgs, err := Load("../..", pattern)
+	if err != nil {
+		t.Fatalf("load %s: %v", pattern, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("load %s: no packages", pattern)
+	}
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzers(pkg, Suite())
+		if err != nil {
+			t.Fatalf("run %s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s", pkg.Path, d)
+		}
+	}
+}
+
+// sanity check for the harness itself: a want marker that nothing hits
+// must be reported, and claimWant is position-exact.
+func TestClaimWant(t *testing.T) {
+	w := &expectation{file: "f.go", line: 3, rx: regexp.MustCompile("boom")}
+	if claimWant([]*expectation{w}, token.Position{Filename: "f.go", Line: 4}, "boom") {
+		t.Fatal("claimed a want on the wrong line")
+	}
+	if !claimWant([]*expectation{w}, token.Position{Filename: "f.go", Line: 3}, "analyzer: boom goes the line") {
+		t.Fatal("failed to claim a matching want")
+	}
+	if claimWant([]*expectation{w}, token.Position{Filename: "f.go", Line: 3}, "boom") {
+		t.Fatal("claimed an already-hit want twice")
+	}
+}
+
+func TestWantRegexpSyntax(t *testing.T) {
+	m := wantRe.FindStringSubmatch(`x := 1 // want "append to un-presized local \"xs\""`)
+	if m == nil {
+		t.Fatal("want marker with escaped quotes not recognized")
+	}
+	if !strings.Contains(m[1], `\"xs\"`) {
+		t.Fatalf("capture = %q", m[1])
+	}
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// resiliencePkgSuffix identifies the one package allowed to touch the
+// raw response-writing primitives: it owns WriteJSONError and the
+// hardened server construction.
+const resiliencePkgSuffix = "internal/resilience"
+
+// JSONErr enforces the uniform JSON error contract: every handler-side
+// error response must go through resilience.WriteJSONError, which emits
+// {"error":...} with the right Content-Type and Content-Length. Outside
+// internal/resilience the analyzer flags:
+//
+//   - http.Error(w, ...) — plain-text body, breaks every client that
+//     unmarshals the error envelope
+//   - w.WriteHeader(code) on an http.ResponseWriter — the bare
+//     status+Fprintf idiom that bypasses the envelope (success-path
+//     WriteHeader is rare in this codebase; wrap or suppress with
+//     //cnp:allow jsonerr when a handler genuinely streams)
+//   - fmt.Fprint/Fprintf/Fprintln with an http.ResponseWriter
+//     destination — writing an ad-hoc body instead of the envelope
+var JSONErr = &Analyzer{
+	Name: "jsonerr",
+	Doc:  "handler errors must go through resilience.WriteJSONError",
+	Run:  runJSONErr,
+}
+
+func runJSONErr(pass *Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), resiliencePkgSuffix) {
+		return nil
+	}
+	isResponseWriter := func(expr ast.Expr) bool {
+		tv, ok := pass.Info.Types[expr]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		return namedTypeIs(tv.Type, "net/http", "ResponseWriter")
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case isPkgFunc(pass.Info, call, "net/http", "Error"):
+				pass.Report(call.Pos(),
+					"http.Error writes a plain-text error body; use resilience.WriteJSONError")
+			case isMethodCall(pass.Info, call, "WriteHeader"):
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && isResponseWriter(sel.X) {
+					pass.Report(call.Pos(),
+						"bare WriteHeader bypasses the JSON error envelope; use resilience.WriteJSONError")
+				}
+			default:
+				if fn := calleeFunc(pass.Info, call); fn != nil && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") &&
+					len(call.Args) > 0 && isResponseWriter(call.Args[0]) {
+					pass.Report(call.Pos(),
+						"fmt.%s to an http.ResponseWriter writes an ad-hoc body; use resilience.WriteJSONError", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

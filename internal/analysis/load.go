@@ -1,0 +1,233 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` over the patterns in dir
+// and returns every reported package (dependencies included).
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Error",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter returns a types.Importer that resolves import paths
+// through compiler export data files (as produced by go list -export),
+// with importMap applied first (the vettool protocol's vendor map).
+func exportImporter(fset *token.FileSet, exports map[string]string, importMap map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// newInfo returns a types.Info with every map the analyzers read.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// TypeCheck parses and type-checks one package from explicit file
+// paths, resolving imports through export data. importMap may be nil.
+func TypeCheck(fset *token.FileSet, importPath string, goFiles []string,
+	exports, importMap map[string]string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: exportImporter(fset, exports, importMap)}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		Path:  importPath,
+		Dir:   filepath.Dir(goFiles[0]),
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// Load resolves the package patterns in dir (the standalone cnpvet
+// mode), type-checks every matched package from source against its
+// dependencies' export data, and returns them sorted by import path.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var targets []listedPackage
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, p := range targets {
+		paths := make([]string, len(p.GoFiles))
+		for i, name := range p.GoFiles {
+			paths[i] = filepath.Join(p.Dir, name)
+		}
+		pkg, err := TypeCheck(fset, p.ImportPath, paths, exports, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.ImportPath, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadDir type-checks the single fixture package at srcRoot/pkgPath,
+// giving it pkgPath as its import path (so path-scoped analyzers see
+// the path the fixture claims). Fixtures live under testdata, which
+// the go tool never lists; imports are resolved by go-listing the
+// fixture's imports from moduleDir, so fixtures may import both the
+// standard library and this module's packages.
+func LoadDir(moduleDir, srcRoot, pkgPath string) (*Package, error) {
+	srcDir := filepath.Join(srcRoot, filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(srcDir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", srcDir)
+	}
+	imports := make(map[string]bool)
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			imports[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	exports := make(map[string]string)
+	if len(imports) > 0 {
+		patterns := make([]string, 0, len(imports))
+		for path := range imports {
+			patterns = append(patterns, path)
+		}
+		sort.Strings(patterns)
+		listed, err := goList(moduleDir, patterns)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	info := newInfo()
+	conf := types.Config{Importer: exportImporter(fset, exports, nil)}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		Path:  pkgPath,
+		Dir:   srcDir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

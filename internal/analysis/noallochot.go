@@ -1,0 +1,359 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoAllocHot flags allocation-inducing constructs inside functions
+// annotated //cnp:noalloc — the repo's zero-alloc hot paths
+// (serving.View query methods, segment.CutAppend, trie
+// MatchesFromAppend, conceptualize.ConceptualizeInto). The runtime
+// AllocsPerRun pins catch regressions only for the inputs a test
+// happens to run; this catches the construct itself, at vet time.
+//
+// Flagged constructs:
+//
+//   - string concatenation (s1 + s2)
+//   - conversions between string and []byte/[]rune (either direction)
+//   - make and new
+//   - map literals, non-empty slice literals, and &T{...} literals
+//   - function literals (closures)
+//   - any call into package fmt
+//   - append to an un-presized local slice (declared var s []T,
+//     s := []T{}, or s := make([]T, 0) with no capacity) — growth is
+//     guaranteed to allocate; append into caller-provided or pooled
+//     buffers is the sanctioned idiom and is not flagged
+//   - boxing a non-pointer value into an interface (call arguments and
+//     assignments); pointer-shaped values carry no allocation
+//
+// The check is per-function and does not follow calls: a //cnp:noalloc
+// function may call helpers (they should be annotated too if they are
+// on the hot path). Cold branches inside a hot function can suppress a
+// finding with //cnp:allow noallochot and a justification.
+var NoAllocHot = &Analyzer{
+	Name: "noallochot",
+	Doc:  "flag allocation-inducing constructs in //cnp:noalloc functions",
+	Run:  runNoAllocHot,
+}
+
+func runNoAllocHot(pass *Pass) error {
+	eachFuncDecl(pass.Files, func(fd *ast.FuncDecl) {
+		if !FuncAnnotated(fd, "noalloc") {
+			return
+		}
+		(&noallocCheck{pass: pass, presized: presizedLocals(pass, fd)}).check(fd.Body)
+	})
+	return nil
+}
+
+type noallocCheck struct {
+	pass *Pass
+	// presized maps each local slice variable to whether appending to
+	// it is acceptable (parameter, reslice, presized make — anything
+	// but a guaranteed-empty fresh slice).
+	presized map[*types.Var]bool
+}
+
+// presizedLocals classifies every slice variable assigned in fn: a
+// variable whose every binding is a fresh un-presized slice (var s
+// []T; s := []T{}; s := make([]T, 0)) is a guaranteed-growth append
+// target; one bound from a parameter, field, reslice, call result or
+// presized make is an amortized append target.
+func presizedLocals(pass *Pass, fn *ast.FuncDecl) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			for _, name := range field.Names {
+				if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+					out[v] = true
+				}
+			}
+		}
+	}
+	mark := func(id *ast.Ident, rhs ast.Expr) {
+		v, ok := pass.Info.Defs[id].(*types.Var)
+		if !ok {
+			if v, ok = pass.Info.Uses[id].(*types.Var); !ok {
+				return
+			}
+		}
+		if _, isSlice := v.Type().Underlying().(*types.Slice); !isSlice {
+			return
+		}
+		// x = append(...) must not amortize its own destination — the
+		// append call is what we are classifying the destination FOR.
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && isBuiltinIdent(pass.Info, id) {
+				return
+			}
+		}
+		if rhs == nil || freshEmptySlice(pass, rhs) {
+			// Keep an existing amortized marking: a later recycle
+			// binding (s = s[:0] style) must not be demoted, and vice
+			// versa a fresh binding anywhere keeps the variable fresh
+			// unless another binding amortizes it.
+			out[v] = out[v] || false
+		} else {
+			out[v] = true
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) == len(st.Rhs) {
+				for i, lhs := range st.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						mark(id, st.Rhs[i])
+					}
+				}
+			} else {
+				for _, lhs := range st.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						mark(id, st.Rhs[0])
+					}
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := st.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for i, name := range vs.Names {
+							var rhs ast.Expr
+							if i < len(vs.Values) {
+								rhs = vs.Values[i]
+							}
+							mark(name, rhs)
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if id, ok := st.Value.(*ast.Ident); ok {
+				mark(id, st.X)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// freshEmptySlice reports whether expr is a guaranteed-fresh,
+// guaranteed-empty slice: []T{}, make([]T, 0) without capacity, or nil.
+func freshEmptySlice(pass *Pass, expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.CompositeLit:
+		_, isSlice := pass.Info.Types[e].Type.Underlying().(*types.Slice)
+		return isSlice && len(e.Elts) == 0
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "make" && isBuiltinIdent(pass.Info, id) {
+			_, isSlice := pass.Info.Types[e].Type.Underlying().(*types.Slice)
+			return isSlice && len(e.Args) <= 2 // no explicit capacity
+		}
+	}
+	return false
+}
+
+func (c *noallocCheck) check(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.BinaryExpr:
+			c.checkConcat(e)
+		case *ast.CallExpr:
+			c.checkCall(e)
+		case *ast.CompositeLit:
+			c.checkCompositeLit(e, false)
+		case *ast.UnaryExpr:
+			if lit, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok && e.Op.String() == "&" {
+				c.checkCompositeLit(lit, true)
+				return false // the inner literal is already reported
+			}
+		case *ast.FuncLit:
+			c.pass.Report(e.Pos(), "function literal may allocate a closure in a //cnp:noalloc function")
+		case *ast.AssignStmt:
+			c.checkAssignBoxing(e)
+		}
+		return true
+	})
+}
+
+func (c *noallocCheck) checkConcat(e *ast.BinaryExpr) {
+	if e.Op.String() != "+" {
+		return
+	}
+	if tv, ok := c.pass.Info.Types[e]; ok {
+		if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+			c.pass.Report(e.Pos(), "string concatenation allocates in a //cnp:noalloc function")
+		}
+	}
+}
+
+func (c *noallocCheck) checkCall(call *ast.CallExpr) {
+	info := c.pass.Info
+	// Conversions: string <-> []byte/[]rune.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		from := info.Types[call.Args[0]].Type
+		if isStringBytesConversion(to, from) {
+			c.pass.Report(call.Pos(), "conversion between string and byte/rune slice allocates in a //cnp:noalloc function")
+		} else {
+			c.checkBoxing(call.Args[0], to) // explicit interface conversion boxes too
+		}
+		return
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if isBuiltinIdent(info, id) {
+			switch id.Name {
+			case "make":
+				c.pass.Report(call.Pos(), "make allocates in a //cnp:noalloc function")
+				return
+			case "new":
+				c.pass.Report(call.Pos(), "new allocates in a //cnp:noalloc function")
+				return
+			case "append":
+				c.checkAppend(call)
+				return
+			}
+		}
+	}
+	// fmt.* always allocates (interface boxing of arguments at minimum).
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		c.pass.Report(call.Pos(), "fmt.%s allocates in a //cnp:noalloc function", fn.Name())
+		return
+	}
+	c.checkArgBoxing(call)
+}
+
+func (c *noallocCheck) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return // reslices, fields, call results: caller-managed storage
+	}
+	v, ok := c.pass.Info.Uses[id].(*types.Var)
+	if !ok {
+		return
+	}
+	if amortized, known := c.presized[v]; known && !amortized {
+		c.pass.Report(call.Pos(),
+			"append to un-presized local %s is guaranteed to grow (allocate) in a //cnp:noalloc function", id.Name)
+	}
+}
+
+// checkArgBoxing flags non-pointer-shaped concrete values passed where
+// an interface is expected: the conversion boxes the value on the heap.
+func (c *noallocCheck) checkArgBoxing(call *ast.CallExpr) {
+	sig, ok := c.pass.Info.Types[call.Fun].Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if i == sig.Params().Len()-1 && call.Ellipsis.IsValid() {
+				param = sig.Params().At(sig.Params().Len() - 1).Type()
+			} else {
+				param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		c.checkBoxing(arg, param)
+	}
+}
+
+func (c *noallocCheck) checkAssignBoxing(st *ast.AssignStmt) {
+	if len(st.Lhs) != len(st.Rhs) {
+		return
+	}
+	for i, lhs := range st.Lhs {
+		lt, ok := c.pass.Info.Types[lhs]
+		if !ok {
+			continue
+		}
+		c.checkBoxing(st.Rhs[i], lt.Type)
+	}
+}
+
+func (c *noallocCheck) checkBoxing(expr ast.Expr, target types.Type) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	tv, ok := c.pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	from := tv.Type
+	if types.IsInterface(from) || tv.IsNil() {
+		return
+	}
+	if pointerShaped(from) {
+		return
+	}
+	// Constants box too, but small-integer and zero-value boxing is
+	// handled by the runtime's static box cache only for some values;
+	// flag uniformly — hot paths should not box at all.
+	c.pass.Report(expr.Pos(), "converting %s to interface %s boxes (allocates) in a //cnp:noalloc function",
+		types.TypeString(from, types.RelativeTo(c.pass.Pkg)), types.TypeString(target, types.RelativeTo(c.pass.Pkg)))
+}
+
+// isStringBytesConversion reports whether a conversion between the two
+// types crosses the string <-> []byte / []rune boundary (which copies).
+func isStringBytesConversion(to, from types.Type) bool {
+	return (isStringType(to) && isByteOrRuneSlice(from)) ||
+		(isStringType(from) && isByteOrRuneSlice(to))
+}
+
+func isStringType(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	slice, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	elem, ok := slice.Elem().Underlying().(*types.Basic)
+	return ok && (elem.Kind() == types.Byte || elem.Kind() == types.Rune ||
+		elem.Kind() == types.Uint8 || elem.Kind() == types.Int32)
+}
+
+// pointerShaped reports whether values of t fit in an interface's data
+// word without boxing.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func (c *noallocCheck) checkCompositeLit(lit *ast.CompositeLit, addressed bool) {
+	tv, ok := c.pass.Info.Types[lit]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		c.pass.Report(lit.Pos(), "map literal allocates in a //cnp:noalloc function")
+	case *types.Slice:
+		if len(lit.Elts) > 0 {
+			c.pass.Report(lit.Pos(), "non-empty slice literal allocates in a //cnp:noalloc function")
+		}
+	default:
+		if addressed {
+			c.pass.Report(lit.Pos(), "&composite literal may allocate in a //cnp:noalloc function")
+		}
+	}
+}

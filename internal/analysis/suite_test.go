@@ -1,0 +1,49 @@
+package analysis
+
+import "testing"
+
+// Each fixture exercises one analyzer's positive and negative space;
+// the `// want` markers in testdata/src are the goldens.
+
+func TestNoAllocHotFixture(t *testing.T) {
+	runFixture(t, "example.com/noalloc", NoAllocHot)
+}
+
+func TestViewMutFixture(t *testing.T) {
+	runFixture(t, "example.com/viewmutuse", ViewMut)
+}
+
+func TestDurableSyncStrictFixture(t *testing.T) {
+	runFixture(t, "example.com/internal/wal", DurableSync)
+}
+
+func TestDurableSyncLenientFixture(t *testing.T) {
+	runFixture(t, "example.com/fileutil", DurableSync)
+}
+
+func TestJSONErrFixture(t *testing.T) {
+	runFixture(t, "example.com/handlers", JSONErr)
+}
+
+func TestJSONErrExemptsResilience(t *testing.T) {
+	runFixture(t, "example.com/internal/resilience", JSONErr, BareServe)
+}
+
+func TestBareServeFixture(t *testing.T) {
+	runFixture(t, "example.com/servers", BareServe)
+}
+
+func TestFieldAlignFixture(t *testing.T) {
+	runFixture(t, "example.com/internal/serving", FieldAlign)
+}
+
+// TestRepoIsClean is the negative corpus over the real tree: the
+// annotated hot paths, the durability planes, and every cmd must stay
+// diagnostic-free. A regression here is exactly what CI's cnpvet step
+// reports.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	requireClean(t, "./...")
+}

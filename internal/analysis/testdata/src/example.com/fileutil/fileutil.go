@@ -1,0 +1,25 @@
+// Package fileutil is the durablesync negative fixture for a
+// non-durability package: unknown-origin closes are tolerated here,
+// while write-handle closes and os-level durable calls are still held
+// to the contract module-wide.
+package fileutil
+
+import "os"
+
+// unknownOriginClose is fine outside internal/wal and
+// internal/snapshot: the handle's provenance is unknown and this
+// package makes no durability promises.
+func unknownOriginClose(f *os.File) {
+	f.Close()
+}
+
+// writeClose still gets flagged even here: the handle demonstrably
+// buffers writes.
+func writeClose() error {
+	f, err := os.Create("out")
+	if err != nil {
+		return err
+	}
+	f.Close() // want "Close error discarded"
+	return nil
+}

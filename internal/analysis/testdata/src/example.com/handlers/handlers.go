@@ -1,0 +1,23 @@
+// Package handlers is the jsonerr fixture: every way a handler can
+// bypass the uniform JSON error envelope.
+package handlers
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+func bad(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "nope", http.StatusBadRequest)  // want "http.Error writes a plain-text error body"
+	w.WriteHeader(http.StatusInternalServerError) // want "bare WriteHeader bypasses the JSON error envelope"
+	fmt.Fprintf(w, "oops: %v", r.URL)             // want "fmt.Fprintf to an http.ResponseWriter"
+	fmt.Fprintln(w, "bye")                        // want "fmt.Fprintln to an http.ResponseWriter"
+}
+
+// good answers through an encoder on the success path — no bare status
+// writes, no ad-hoc bodies.
+func good(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = json.NewEncoder(w).Encode(map[string]string{"ok": "true"})
+}

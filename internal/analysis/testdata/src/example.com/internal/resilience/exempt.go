@@ -1,0 +1,18 @@
+// Package resilience is the jsonerr/bareserve exemption fixture: a
+// package whose import path ends in internal/resilience may touch the
+// raw primitives — it IS the sanctioned implementation layer.
+package resilience
+
+import (
+	"fmt"
+	"net/http"
+)
+
+func writeRaw(w http.ResponseWriter, code int, msg string) {
+	w.WriteHeader(code)
+	fmt.Fprintln(w, msg)
+}
+
+func serve(h http.Handler) *http.Server {
+	return &http.Server{Handler: h}
+}

@@ -1,0 +1,23 @@
+// Package serving is the fieldalign fixture: its import path suffix
+// puts it in scope, and padded demonstrates the classic
+// small-large-small layout the analyzer computes a tighter order for.
+package serving
+
+type padded struct { // want "struct padded is 24 bytes; reordering fields by descending alignment would make it 16"
+	a bool
+	b int64
+	c bool
+}
+
+type packed struct {
+	b int64
+	a bool
+	c bool
+}
+
+//cnp:allow fieldalign (fixture: layout is deliberate)
+type pinned struct {
+	a bool
+	b int64
+	c bool
+}

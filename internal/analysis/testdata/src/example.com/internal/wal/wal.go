@@ -1,0 +1,71 @@
+// Package wal is the durablesync fixture for a durability package
+// (path suffix internal/wal → strict mode: even unknown-origin closes
+// must be checked).
+package wal
+
+import "os"
+
+func uncheckedWriteClose() error {
+	f, err := os.Create("seg")
+	if err != nil {
+		return err
+	}
+	f.Close() // want "Close error discarded"
+	return nil
+}
+
+func uncheckedReadClose() error {
+	f, err := os.Open("seg")
+	if err != nil {
+		return err
+	}
+	f.Close() // read handle: closing loses nothing, no finding
+	return nil
+}
+
+func deferredClose() error {
+	f, err := os.CreateTemp("", "seg")
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "Close error discarded in defer"
+	return nil
+}
+
+func blankSync(f *os.File) {
+	_ = f.Sync() // want "Sync error assigned to _"
+}
+
+func unknownOriginClose(f *os.File) {
+	f.Close() // want "Close error discarded"
+}
+
+func renameNoDirSync(a, b string) error {
+	return os.Rename(a, b) // want "rename without a following directory fsync"
+}
+
+func renameWithDirSync(a, b string) error {
+	if err := os.Rename(a, b); err != nil {
+		return err
+	}
+	d, err := os.Open(".")
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+func checkedEverything() error {
+	f, err := os.Create("seg")
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Truncate(0); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,77 @@
+// Package noalloc is the noallochot fixture: an annotated function
+// exercising every forbidden construct, plus negative cases proving
+// unannotated code, sanctioned append targets, and suppressions stay
+// silent.
+package noalloc
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+//cnp:noalloc
+func hot(a, b string, sink *any) string {
+	var xs []int
+	xs = append(xs, 1) // want "append to un-presized local xs"
+	ys := []int{}
+	ys = append(ys, 2)   // want "append to un-presized local ys"
+	zs := make([]int, 0) // want "make allocates"
+	zs = append(zs, 3)   // want "append to un-presized local zs"
+	_ = xs
+	_ = ys
+	_ = zs
+	m := map[string]int{} // want "map literal allocates"
+	_ = m
+	lit := []int{1, 2} // want "non-empty slice literal allocates"
+	_ = lit
+	p := &pair{} // want "&composite literal may allocate"
+	_ = p
+	q := new(pair) // want "new allocates"
+	_ = q
+	bs := []byte(a) // want "conversion between string and byte/rune slice"
+	_ = bs
+	back := string(bs) // want "conversion between string and byte/rune slice"
+	_ = back
+	f := func() {} // want "function literal may allocate a closure"
+	f()
+	fmt.Println(a)       // want "fmt.Println allocates"
+	*sink = len(a)       // want "converting int to interface"
+	boxed := any(pair{}) // want "converting pair to interface"
+	_ = boxed
+	return a + b // want "string concatenation allocates"
+}
+
+// hotClean shows the sanctioned zero-alloc idioms: append into a
+// caller-provided buffer, reuse of a presized scratch reslice, and
+// pointer-shaped interface values.
+//
+//cnp:noalloc
+func hotClean(dst []int, scratch []byte, pp *pair, sink *any) []int {
+	dst = append(dst, 1)
+	buf := scratch[:0]
+	buf = append(buf, 'x')
+	_ = buf
+	empty := []int{}
+	_ = empty
+	*sink = pp // pointer-shaped: interface conversion without boxing
+	return dst
+}
+
+// hotSuppressed demonstrates the //cnp:allow escape hatch for a cold
+// branch inside a hot function.
+//
+//cnp:noalloc
+func hotSuppressed(a string) []byte {
+	//cnp:allow noallochot (cold path: fixture)
+	return []byte(a)
+}
+
+// cold is unannotated: every construct above is fine here.
+func cold(a, b string) string {
+	var xs []int
+	xs = append(xs, 1)
+	m := map[string]int{a: 2}
+	_ = m
+	_ = xs
+	fmt.Println(a)
+	return a + b
+}

@@ -1,0 +1,22 @@
+// Package servers is the bareserve fixture: listener construction
+// outside internal/resilience.
+package servers
+
+import "net/http"
+
+func listen(h http.Handler) error {
+	srv := &http.Server{Addr: ":8080", Handler: h} // want "raw http.Server literal"
+	_ = srv
+	return http.ListenAndServe(":8080", h) // want "http.ListenAndServe starts an unhardened listener"
+}
+
+func listenTLS(h http.Handler) error {
+	return http.ListenAndServeTLS(":8443", "c.pem", "k.pem", h) // want "http.ListenAndServeTLS starts an unhardened listener"
+}
+
+// mux building and client use are fine — only listeners are fenced.
+func wire() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {})
+	return mux
+}

@@ -435,9 +435,9 @@ type ErrorResponse struct {
 }
 
 // writeError sends a JSON error body with the right Content-Type —
-// clients always parse one schema, success or failure.
+// clients always parse one schema, success or failure. It delegates to
+// resilience.WriteJSONError, the single place allowed to write raw
+// error responses (enforced by the jsonerr analyzer).
 func writeError(w http.ResponseWriter, code int, msg string) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
+	resilience.WriteJSONError(w, code, msg)
 }

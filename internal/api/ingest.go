@@ -322,7 +322,7 @@ func (ing *Ingester) compact(res *core.Result) error {
 	}
 	tmp := f.Name()
 	fail := func(err error) error {
-		f.Close()
+		err = errors.Join(err, f.Close())
 		os.Remove(tmp)
 		return fmt.Errorf("compaction snapshot: %w", err)
 	}

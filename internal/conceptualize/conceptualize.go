@@ -149,6 +149,8 @@ func (e *Engine) Conceptualize(text string) Result {
 // keeps the view-backed resolve path at 0 allocs/op (all other
 // per-call state is pooled internally). The refilled res must not be
 // retained across a subsequent call.
+//
+//cnp:noalloc
 func (e *Engine) ConceptualizeInto(res *Result, text string) {
 	res.Mentions = res.Mentions[:0]
 	res.Concepts = res.Concepts[:0]
@@ -215,6 +217,8 @@ func (e *Engine) ConceptualizeInto(res *Result, text string) {
 // dominant sense) modulated by agreement with the text's aggregate
 // context (a mention of 刘德华 next to 专辑 resolves to the singer
 // sense).
+//
+//cnp:noalloc
 func (e *Engine) disambiguate(ids []string, context map[string]float64) string {
 	best, bestScore := ids[0], -1.0
 	for _, id := range ids {

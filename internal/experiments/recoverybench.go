@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -260,8 +261,7 @@ func saveBenchSnapshot(path string, res *core.Result, lsn uint64) (int64, error)
 		return 0, err
 	}
 	if err := snapshot.Save(f, st, snapshot.Options{}); err != nil {
-		f.Close()
-		return 0, err
+		return 0, errors.Join(err, f.Close())
 	}
 	if err := f.Close(); err != nil {
 		return 0, err

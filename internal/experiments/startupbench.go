@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -206,8 +207,7 @@ func writeSnapshot(path string, st *snapshot.State, save func(io.Writer, *snapsh
 		return err
 	}
 	if err := save(f, st, snapshot.Options{}); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	return f.Close()
 }

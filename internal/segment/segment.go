@@ -146,6 +146,8 @@ func (sg *Segmenter) Cut(text string) []string {
 // from the previous call) keeps the whole segmentation allocation-free
 // in steady state — the batch loops of the build pipeline run on this
 // entry point.
+//
+//cnp:noalloc
 func (sg *Segmenter) CutAppend(dst []string, text string) []string {
 	if text == "" {
 		return dst
@@ -206,6 +208,8 @@ func growInts(buf []int32, n int) []int32 {
 
 // cutHan Viterbi-decodes one pure-Han span, appending its tokens to
 // dst. text is the span substring; all tokens are substrings of it.
+//
+//cnp:noalloc
 func (sg *Segmenter) cutHan(dst []string, text string, sc *scratch) []string {
 	rs, ofs := sc.rs[:0], sc.ofs[:0]
 	for i, r := range text {
@@ -323,6 +327,8 @@ func isSpace(r rune) bool {
 // byte range of text, invalid UTF-8 included (an invalid byte
 // classifies as punctuation via utf8.RuneError but keeps its own
 // 1-byte width).
+//
+//cnp:noalloc
 func appendSpans(buf []spanRange, text string) []spanRange {
 	cur := -1 // start byte of the open run, -1 = none
 	curKind := spanOther

@@ -39,6 +39,8 @@ func (v *View) FindAll(text string) []string { return v.FindAllAppend(nil, text)
 // substring of text, so a steady-state caller with a warm dst
 // allocates nothing. Deduplication applies to the mentions appended by
 // this call, not to dst's prior contents.
+//
+//cnp:noalloc
 func (v *View) FindAllAppend(dst []string, text string) []string {
 	if len(v.mentions) == 0 || text == "" {
 		return dst
@@ -70,6 +72,7 @@ func (v *View) FindAllAppend(dst []string, text string) []string {
 		if !clean {
 			// Invalid input bytes decode to U+FFFD; re-encode the runes
 			// so the result matches MentionIndex.FindAll byte for byte.
+			//cnp:allow noallochot (cold path: only texts carrying invalid UTF-8)
 			w = string(rs[i : i+l])
 		}
 		if !containsString(dst[base:], w) {
@@ -85,6 +88,8 @@ func (v *View) FindAllAppend(dst []string, text string) []string {
 // validRuneAt reports whether the rune starting at byte offset i of s
 // is a well-formed encoding (a literal U+FFFD is valid; a decode error
 // is not).
+//
+//cnp:noalloc
 func validRuneAt(s string, i int) bool {
 	r, size := utf8.DecodeRuneInString(s[i:])
 	return !(r == utf8.RuneError && size == 1)
@@ -93,6 +98,8 @@ func validRuneAt(s string, i int) bool {
 // containsString reports whether xs contains w. Found-mention counts
 // per text are tiny, so a linear scan beats a map (and allocates
 // nothing).
+//
+//cnp:noalloc
 func containsString(xs []string, w string) bool {
 	for _, x := range xs {
 		if x == w {
@@ -113,6 +120,8 @@ func containsString(xs []string, w string) bool {
 // trie.LongestFrom exactly — including on text whose invalid bytes
 // decoded to U+FFFD: the runes re-encode to valid bytes before any
 // comparison, just as trie.Insert/LongestFrom operate on runes.
+//
+//cnp:noalloc
 func (v *View) longestMentionFrom(rs []rune, start int, p []byte) (int, []byte) {
 	lo, hi := 0, len(v.mentions)
 	best := 0
@@ -135,6 +144,8 @@ func (v *View) longestMentionFrom(rs []rune, start int, p []byte) (int, []byte) 
 // already known to share p's previous prefix — to the entries carrying
 // the full prefix p. Hand-rolled binary searches (no sort.Search
 // closures) keep the scan at 0 allocs/op.
+//
+//cnp:noalloc
 func prefixRange(xs []string, lo, hi int, p []byte) (int, int) {
 	l, h := lo, hi // first entry not below the prefix
 	for l < h {
@@ -161,6 +172,8 @@ func prefixRange(xs []string, lo, hi int, p []byte) (int, int) {
 // prefixCompare orders s against the prefix p: negative when s sorts
 // before every string with prefix p, 0 when s carries the prefix,
 // positive when it sorts after.
+//
+//cnp:noalloc
 func prefixCompare(s string, p []byte) int {
 	n := len(s)
 	if len(p) < n {

@@ -24,7 +24,6 @@
 package serving
 
 import (
-	"sort"
 	"strings"
 
 	"cnprobase/internal/taxonomy"
@@ -80,6 +79,8 @@ type View struct {
 // interning map; mapped views (OpenImage) drop it and binary-search
 // the sorted name table instead — IDs are sorted ranks, so the found
 // index IS the ID.
+//
+//cnp:noalloc
 func (v *View) id(name string) (uint32, bool) {
 	if v.ids != nil {
 		id, ok := v.ids[name]
@@ -91,6 +92,8 @@ func (v *View) id(name string) (uint32, bool) {
 // searchSorted finds s in the ascending table xs, returning its index.
 // Hand-rolled (no sort.SearchStrings closure) to keep the mapped query
 // path at 0 allocs/op.
+//
+//cnp:noalloc
 func searchSorted(xs []string, s string) (uint32, bool) {
 	lo, hi := 0, len(xs)
 	for lo < hi {
@@ -108,22 +111,34 @@ func searchSorted(xs []string, s string) (uint32, bool) {
 }
 
 // NodeCount returns the number of nodes.
+//
+//cnp:noalloc
 func (v *View) NodeCount() int { return len(v.names) }
 
 // EdgeCount returns the number of isA edges.
+//
+//cnp:noalloc
 func (v *View) EdgeCount() int { return len(v.hyperIDs) }
 
 // MentionCount returns the number of distinct mentions.
+//
+//cnp:noalloc
 func (v *View) MentionCount() int { return len(v.mentions) }
 
 // Nodes returns all node names, sorted. The returned slice is shared:
 // do not modify it.
+//
+//cnp:noalloc
 func (v *View) Nodes() []string { return v.names }
 
 // Stats returns the Table-I-shaped summary computed at compile time.
+//
+//cnp:noalloc
 func (v *View) Stats() taxonomy.Stats { return v.stats }
 
 // Kind returns the node kind of name.
+//
+//cnp:noalloc
 func (v *View) Kind(name string) taxonomy.NodeKind {
 	if id, ok := v.id(name); ok {
 		return v.kinds[id]
@@ -135,6 +150,8 @@ func (v *View) Kind(name string) taxonomy.NodeKind {
 // order — the getConcept API. The returned slice is shared: do not
 // modify it. Nil when the node is unknown or has no hypernyms, exactly
 // like Taxonomy.Hypernyms.
+//
+//cnp:noalloc
 func (v *View) Hypernyms(node string) []string {
 	id, ok := v.id(node)
 	if !ok {
@@ -150,6 +167,8 @@ func (v *View) Hypernyms(node string) []string {
 // Hyponyms returns up to limit direct hyponyms of a concept in
 // canonical order — the getEntity API; limit <= 0 means all. The
 // returned slice is shared: do not modify it.
+//
+//cnp:noalloc
 func (v *View) Hyponyms(concept string, limit int) []string {
 	id, ok := v.id(concept)
 	if !ok {
@@ -166,6 +185,8 @@ func (v *View) Hyponyms(concept string, limit int) []string {
 }
 
 // HyponymCount returns the number of direct hyponyms of a concept.
+//
+//cnp:noalloc
 func (v *View) HyponymCount(concept string) int {
 	id, ok := v.id(concept)
 	if !ok {
@@ -177,6 +198,8 @@ func (v *View) HyponymCount(concept string) int {
 // RankedHypernyms returns the node's hypernyms pre-sorted by
 // descending typicality (ties broken lexicographically); limit <= 0
 // returns all. The returned slice is shared: do not modify it.
+//
+//cnp:noalloc
 func (v *View) RankedHypernyms(node string, limit int) []taxonomy.Scored {
 	id, ok := v.id(node)
 	if !ok {
@@ -192,6 +215,8 @@ func (v *View) RankedHypernyms(node string, limit int) []taxonomy.Scored {
 // RankedHyponyms returns the concept's hyponyms pre-sorted by
 // descending typicality; limit <= 0 returns all. The returned slice is
 // shared: do not modify it.
+//
+//cnp:noalloc
 func (v *View) RankedHyponyms(concept string, limit int) []taxonomy.Scored {
 	id, ok := v.id(concept)
 	if !ok {
@@ -205,22 +230,35 @@ func (v *View) RankedHyponyms(concept string, limit int) []taxonomy.Scored {
 }
 
 // edgeIndex locates the flat-array index of edge (hypoID → hyper) by
-// binary search over the node's ascending hypernym IDs.
+// binary search over the node's ascending hypernym IDs. Hand-rolled
+// (no sort.Search closure) to keep the edge query path at 0 allocs/op.
+//
+//cnp:noalloc
 func (v *View) edgeIndex(hypoID uint32, hyper string) (uint32, bool) {
 	hyperID, ok := v.id(hyper)
 	if !ok {
 		return 0, false
 	}
-	lo, hi := v.hyperOff[hypoID], v.hyperOff[hypoID+1]
-	seg := v.hyperIDs[lo:hi]
-	i := sort.Search(len(seg), func(i int) bool { return seg[i] >= hyperID })
-	if i < len(seg) && seg[i] == hyperID {
-		return lo + uint32(i), true
+	off, end := v.hyperOff[hypoID], v.hyperOff[hypoID+1]
+	seg := v.hyperIDs[off:end]
+	lo, hi := 0, len(seg)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if seg[mid] < hyperID {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(seg) && seg[lo] == hyperID {
+		return off + uint32(lo), true
 	}
 	return 0, false
 }
 
 // HasIsA reports whether the direct edge exists.
+//
+//cnp:noalloc
 func (v *View) HasIsA(hypo, hyper string) bool {
 	id, ok := v.id(hypo)
 	if !ok {
@@ -231,6 +269,8 @@ func (v *View) HasIsA(hypo, hyper string) bool {
 }
 
 // EdgeOf returns the edge with its full provenance, if present.
+//
+//cnp:noalloc
 func (v *View) EdgeOf(hypo, hyper string) (taxonomy.Edge, bool) {
 	id, ok := v.id(hypo)
 	if !ok {
@@ -251,6 +291,8 @@ func (v *View) EdgeOf(hypo, hyper string) (taxonomy.Edge, bool) {
 
 // TypicalityOfConcept returns P(hyper | hypo) from the edge evidence
 // counts; zero when the edge is absent.
+//
+//cnp:noalloc
 func (v *View) TypicalityOfConcept(hypo, hyper string) float64 {
 	id, ok := v.id(hypo)
 	if !ok {
@@ -269,6 +311,8 @@ func (v *View) TypicalityOfConcept(hypo, hyper string) float64 {
 
 // TypicalityOfInstance returns P(hypo | hyper): how representative the
 // instance is of the concept.
+//
+//cnp:noalloc
 func (v *View) TypicalityOfInstance(hyper, hypo string) float64 {
 	hypoID, ok := v.id(hypo)
 	if !ok {
@@ -402,6 +446,8 @@ func (v *View) CommonAncestors(a, b string) []string {
 // Lookup returns the entity IDs a mention may refer to, sorted — the
 // men2ent API. The returned slice is shared: do not modify it. Nil
 // when the mention is unknown, exactly like MentionIndex.Lookup.
+//
+//cnp:noalloc
 func (v *View) Lookup(mention string) []string {
 	q := strings.TrimSpace(mention)
 	var i uint32

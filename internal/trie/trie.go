@@ -72,6 +72,8 @@ func (t *Trie) Frozen() bool { return t.frozen }
 const binarySearchMin = 8
 
 // findEdge locates r in the sorted edge run es.
+//
+//cnp:noalloc
 func findEdge(es []edge, r rune) (uint32, bool) {
 	if len(es) < binarySearchMin {
 		for i := range es {
@@ -274,6 +276,8 @@ func (t *Trie) MatchesFrom(rs []rune, start int) []Match {
 // MatchesFromAppend is MatchesFrom in append style: hits are appended
 // to buf (which may be a recycled scratch slice) and the extended slice
 // is returned, so a steady-state caller allocates nothing.
+//
+//cnp:noalloc
 func (t *Trie) MatchesFromAppend(rs []rune, start int, buf []Match) []Match {
 	if start >= len(rs) {
 		return buf
@@ -334,6 +338,8 @@ scan:
 
 // LongestFrom returns the rune length of the longest dictionary word
 // starting at rs[start], or 0 if none matches.
+//
+//cnp:noalloc
 func (t *Trie) LongestFrom(rs []rune, start int) int {
 	if start >= len(rs) {
 		return 0

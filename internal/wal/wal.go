@@ -376,7 +376,7 @@ func (l *Log) rollLocked() error {
 		// Remove the partial file: retrying OpenAppend over it would
 		// stack a second header after torn bytes. If the removal fails
 		// too the log wedges, same as a failed record repair.
-		f.Close()
+		err = errors.Join(err, f.Close())
 		if rmErr := l.fs.Remove(path); rmErr != nil {
 			l.brokenBy = err
 		}
@@ -493,8 +493,7 @@ func (l *Log) Close() error {
 	f := l.cur
 	l.cur = nil
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("wal: fsync on close: %w", err)
+		return fmt.Errorf("wal: fsync on close: %w", errors.Join(err, f.Close()))
 	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("wal: close segment: %w", err)
